@@ -1,0 +1,123 @@
+/// \file bench_diagram1.cpp
+/// \brief Experiment D1: Diagram 1, the interconnection of ISIS components.
+///
+/// Exhaustively drives every arc of the two-level state machine — schema
+/// selection changes at both levels, view switches (forest <-> network <->
+/// worksheet <-> data), and the temporary-visit loops that must preserve
+/// both the schema selection S and the data selection D — asserting the
+/// documented invariants on each lap, and measures transition throughput.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "datasets/instrumental_music.h"
+#include "ui/controller.h"
+
+namespace {
+
+using isis::Status;
+using isis::datasets::BuildInstrumentalMusic;
+using isis::ui::Level;
+using isis::ui::SessionController;
+using isis::ui::TempVisit;
+
+void Require(bool ok, const char* what) {
+  if (!ok) {
+    std::fprintf(stderr, "diagram1 invariant failed: %s\n", what);
+    std::exit(1);
+  }
+}
+
+/// One full lap around Diagram 1, checking level/selection invariants.
+void Lap(SessionController* s) {
+  // Schema level: S <- S' in the forest.
+  Require(s->RunScript("pick class:musicians\n").ok(), "select class");
+  Require(s->state().level == Level::kInheritanceForest, "at forest");
+  // Forest -> semantic network (view associations), navigate, pop back.
+  Require(s->RunScript("cmd view associations\n").ok(), "to network");
+  Require(s->state().level == Level::kSemanticNetwork, "at network");
+  Require(s->RunScript("pick class:instruments\ncmd pop\n").ok(),
+          "navigate + pop");
+  Require(s->state().level == Level::kInheritanceForest, "back at forest");
+  // Forest -> data level (view contents); D <- D' at the data level.
+  Require(s->RunScript("cmd view contents\npick member:flute\n").ok(),
+          "to data level");
+  Require(s->state().level == Level::kDataLevel, "at data level");
+  Require(s->state().pages.size() == 1, "one page");
+  // Data-level navigation along a map, and back.
+  Require(s->RunScript("cmd follow\npick attr:family\ncmd pop\n").ok(),
+          "follow + pop");
+  // Data level -> forest -> worksheet (define) -> temporary visit to the
+  // data level for a constant -> back, preserving S and D.
+  Require(s->RunScript("cmd view forest\n"
+                       "pick class:play_strings\n"
+                       "cmd (re)define membership\n"
+                       "pick atom:B\n"
+                       "cmd edit\n"
+                       "pick attr:union\n"
+                       "cmd rhs constant\n")
+              .ok(),
+          "worksheet + constant visit");
+  Require(s->state().level == Level::kDataLevel, "temp visit at data level");
+  Require(s->state().temp_visit == TempVisit::kConstantSelection,
+          "temp visit flagged");
+  Require(s->RunScript("pick member:YES\ncmd accept constant\n").ok(),
+          "accept constant");
+  Require(s->state().level == Level::kPredicateWorksheet,
+          "returned to worksheet");
+  Require(s->state().temp_visit == TempVisit::kNone, "visit cleared");
+  // Diagram 1's invariant: the schema selection survived the visit.
+  Require(
+      s->workspace().db().schema().GetClass(s->state().selection.cls).name ==
+          "play_strings",
+      "S preserved across the temporary visit");
+  Require(s->RunScript("cmd abort\n").ok(), "abort worksheet");
+  Require(s->state().level == Level::kInheritanceForest, "back at forest");
+}
+
+void BM_Diagram1Lap(benchmark::State& state) {
+  SessionController session(BuildInstrumentalMusic());
+  std::int64_t transitions = 0;
+  for (auto _ : state) {
+    Lap(&session);
+    transitions += 16;
+  }
+  state.counters["transitions_per_lap"] = 16;
+  state.SetItemsProcessed(transitions);
+}
+BENCHMARK(BM_Diagram1Lap)->Unit(benchmark::kMicrosecond);
+
+/// Raw event dispatch throughput (pick + command alternation).
+void BM_EventDispatch(benchmark::State& state) {
+  SessionController session(BuildInstrumentalMusic());
+  Require(session.RunScript("pick class:musicians\n").ok(), "setup");
+  bool network = false;
+  for (auto _ : state) {
+    Status st = session.HandleEvent(
+        isis::input::CommandEvent{network ? "pop" : "view associations"});
+    if (!st.ok()) state.SkipWithError(st.ToString().c_str());
+    network = !network;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EventDispatch);
+
+/// Hit-testing cost on a fully rendered forest.
+void BM_HitTest(benchmark::State& state) {
+  SessionController session(BuildInstrumentalMusic());
+  const isis::ui::Screen& screen = session.Render();
+  int x = 0, y = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(screen.HitTest(x, y));
+    x = (x + 7) % isis::ui::kScreenWidth;
+    y = (y + 3) % isis::ui::kScreenHeight;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HitTest);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,82 @@
+/// \file bench_figures.cpp
+/// \brief Experiments F1-F12: regenerates every figure of the paper.
+///
+/// On startup (before the timing loops) the harness replays the §4.2
+/// session and prints each figure's screen — the reproduction artifact —
+/// then benchmarks, per figure, the cost of replaying the session prefix
+/// from scratch and rendering the screen. Run with --print-figures to dump
+/// only the screens.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstring>
+
+#include "datasets/instrumental_music.h"
+#include "datasets/session_script.h"
+#include "ui/controller.h"
+
+namespace {
+
+using isis::datasets::BuildInstrumentalMusic;
+using isis::datasets::PaperSessionFigures;
+using isis::ui::SessionController;
+
+void PrintFigures() {
+  SessionController session(BuildInstrumentalMusic());
+  for (const auto& fig : PaperSessionFigures()) {
+    isis::Status st = session.RunScript(fig.script);
+    if (!st.ok()) {
+      std::fprintf(stderr, "replay failed at %s: %s\n", fig.name.c_str(),
+                   st.ToString().c_str());
+      std::exit(1);
+    }
+    std::printf("--- %s: %s ---\n%s\n", fig.name.c_str(), fig.caption.c_str(),
+                session.Render().canvas.ToString().c_str());
+  }
+}
+
+/// Replays the session from scratch through figure `n` and renders it.
+void BM_FigureReplay(benchmark::State& state) {
+  const auto& figs = PaperSessionFigures();
+  int n = static_cast<int>(state.range(0));
+  std::string prefix;
+  for (int i = 0; i < n; ++i) prefix += figs[i].script;
+  std::int64_t events = 0;
+  for (auto _ : state) {
+    SessionController session(BuildInstrumentalMusic());
+    isis::Status st = session.RunScript(prefix);
+    if (!st.ok()) state.SkipWithError(st.ToString().c_str());
+    const isis::ui::Screen& screen = session.Render();
+    benchmark::DoNotOptimize(screen.canvas.At(0, 0));
+    ++events;
+  }
+  state.SetLabel(figs[n - 1].name);
+  benchmark::DoNotOptimize(events);
+}
+BENCHMARK(BM_FigureReplay)->DenseRange(1, 12, 1)->Unit(benchmark::kMicrosecond);
+
+/// The full session including save + stop.
+void BM_FullPaperSession(benchmark::State& state) {
+  std::string script;
+  for (const auto& fig : PaperSessionFigures()) script += fig.script;
+  for (auto _ : state) {
+    SessionController session(BuildInstrumentalMusic());
+    isis::Status st = session.RunScript(script);
+    if (!st.ok()) state.SkipWithError(st.ToString().c_str());
+    benchmark::DoNotOptimize(session.Render().hits.size());
+  }
+}
+BENCHMARK(BM_FullPaperSession)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool figures_only =
+      argc > 1 && std::strcmp(argv[1], "--print-figures") == 0;
+  PrintFigures();
+  if (figures_only) return 0;
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

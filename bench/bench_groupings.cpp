@@ -1,0 +1,125 @@
+/// \file bench_groupings.cpp
+/// \brief Experiment A1 (ablation): incremental grouping maintenance vs
+/// recompute-on-read.
+///
+/// The paper requires groupings to be "completely determined from the
+/// parent class and an attribute"; the engine can keep the blocks fresh
+/// incrementally on every mutation or rebuild lazily at each read after a
+/// change. The crossover depends on the read/write mix, which this bench
+/// sweeps: write-heavy workloads favour lazy recomputation, browse-heavy
+/// workloads (the ISIS norm — every data-level render reads the blocks)
+/// favour incremental maintenance.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "datasets/scaled_music.h"
+
+namespace {
+
+using isis::EntityId;
+using isis::Rng;
+using isis::datasets::BuildScaledMusic;
+using isis::datasets::ResolveScaledMusic;
+using isis::datasets::ScaledMusicHandles;
+using isis::sdm::Database;
+
+/// args: (scale, reads_per_write, incremental 0/1)
+void BM_GroupingMix(benchmark::State& state) {
+  int scale = static_cast<int>(state.range(0));
+  int reads_per_write = static_cast<int>(state.range(1));
+  bool incremental = state.range(2) != 0;
+
+  Database::Options opts;
+  opts.incremental_groupings = incremental;
+  auto ws = BuildScaledMusic(scale, /*seed=*/7, opts);
+  ScaledMusicHandles h = ResolveScaledMusic(*ws);
+  Database& db = ws->db();
+
+  std::vector<EntityId> insts(db.Members(h.instruments).begin(),
+                              db.Members(h.instruments).end());
+  std::vector<EntityId> fams(db.Members(h.families).begin(),
+                             db.Members(h.families).end());
+  Rng rng(99);
+  (void)db.GroupingBlocks(h.by_family);  // warm build
+
+  std::int64_t ops = 0;
+  for (auto _ : state) {
+    EntityId x = insts[rng.Below(insts.size())];
+    EntityId f = fams[rng.Below(fams.size())];
+    benchmark::DoNotOptimize(db.SetSingle(x, h.family, f).ok());
+    ++ops;
+    for (int r = 0; r < reads_per_write; ++r) {
+      benchmark::DoNotOptimize(db.GroupingBlocks(h.by_family).size());
+      ++ops;
+    }
+  }
+  state.SetItemsProcessed(ops);
+  state.counters["rebuilds"] =
+      static_cast<double>(db.stats().grouping_rebuilds);
+  state.counters["incr_updates"] =
+      static_cast<double>(db.stats().grouping_incremental_updates);
+  state.SetLabel(std::string(incremental ? "incremental" : "recompute") +
+                 " reads/write=" + std::to_string(reads_per_write));
+}
+BENCHMARK(BM_GroupingMix)
+    ->ArgsProduct({{8, 64}, {0, 1, 16}, {0, 1}})
+    ->Unit(benchmark::kMicrosecond);
+
+/// Cold rebuild cost vs class size (the lazy path's unit of work).
+void BM_GroupingRebuild(benchmark::State& state) {
+  int scale = static_cast<int>(state.range(0));
+  Database::Options opts;
+  opts.incremental_groupings = false;
+  auto ws = BuildScaledMusic(scale, /*seed=*/7, opts);
+  ScaledMusicHandles h = ResolveScaledMusic(*ws);
+  Database& db = ws->db();
+  std::vector<EntityId> insts(db.Members(h.instruments).begin(),
+                              db.Members(h.instruments).end());
+  std::vector<EntityId> fams(db.Members(h.families).begin(),
+                             db.Members(h.families).end());
+  Rng rng(5);
+  for (auto _ : state) {
+    state.PauseTiming();
+    // Dirty the cache with one write.
+    benchmark::DoNotOptimize(
+        db.SetSingle(insts[rng.Below(insts.size())], h.family,
+                     fams[rng.Below(fams.size())])
+            .ok());
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(db.GroupingBlocks(h.by_family).size());
+  }
+  state.counters["members"] =
+      static_cast<double>(db.Members(h.instruments).size());
+}
+BENCHMARK(BM_GroupingRebuild)
+    ->RangeMultiplier(4)
+    ->Range(1, 256)
+    ->Unit(benchmark::kMicrosecond);
+
+/// Incremental update cost per mutation (independent of class size — the
+/// ablation's headline).
+void BM_GroupingIncrementalUpdate(benchmark::State& state) {
+  int scale = static_cast<int>(state.range(0));
+  auto ws = BuildScaledMusic(scale);
+  ScaledMusicHandles h = ResolveScaledMusic(*ws);
+  Database& db = ws->db();
+  std::vector<EntityId> insts(db.Members(h.instruments).begin(),
+                              db.Members(h.instruments).end());
+  std::vector<EntityId> fams(db.Members(h.families).begin(),
+                             db.Members(h.families).end());
+  Rng rng(5);
+  (void)db.GroupingBlocks(h.by_family);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        db.SetSingle(insts[rng.Below(insts.size())], h.family,
+                     fams[rng.Below(fams.size())])
+            .ok());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GroupingIncrementalUpdate)->RangeMultiplier(4)->Range(1, 256);
+
+}  // namespace
+
+BENCHMARK_MAIN();

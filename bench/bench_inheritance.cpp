@@ -1,0 +1,122 @@
+/// \file bench_inheritance.cpp
+/// \brief Experiment A4: cost of inheritance resolution — single-parent
+/// (the paper's model) vs the multiple-parent extension (§5 future work) —
+/// across chain depth.
+
+#include <benchmark/benchmark.h>
+
+#include "query/workspace.h"
+
+namespace {
+
+using isis::AttributeId;
+using isis::ClassId;
+using isis::EntityId;
+using isis::query::Workspace;
+using isis::sdm::Database;
+using isis::sdm::Membership;
+using isis::sdm::Schema;
+
+/// Builds a chain (single) or a ladder of diamonds (multi) of `depth`.
+std::unique_ptr<Workspace> BuildHierarchy(int depth, bool multi) {
+  Database::Options opts;
+  opts.schema.allow_multiple_parents = multi;
+  auto ws = std::make_unique<Workspace>(opts);
+  Database& db = ws->db();
+  ClassId base = db.CreateBaseclass("base", "name").ValueOrDie();
+  (void)db.CreateAttribute(base, "a0", Schema::kIntegers(), false);
+  ClassId cur = base;
+  for (int d = 1; d <= depth; ++d) {
+    ClassId next =
+        db.CreateSubclass("c" + std::to_string(d), cur,
+                          Membership::kEnumerated)
+            .ValueOrDie();
+    (void)db.CreateAttribute(next, "a" + std::to_string(d),
+                             Schema::kIntegers(), false);
+    if (multi && d >= 2) {
+      // A side parent at each level: a diamond ladder.
+      ClassId side =
+          db.CreateSubclass("s" + std::to_string(d), cur,
+                            Membership::kEnumerated)
+              .ValueOrDie();
+      (void)db.CreateAttribute(side, "sa" + std::to_string(d),
+                               Schema::kIntegers(), false);
+      benchmark::DoNotOptimize(db.AddParent(next, side).ok());
+    }
+    cur = next;
+  }
+  // One entity member of the deepest class.
+  EntityId e = db.CreateEntity(base, "probe").ValueOrDie();
+  benchmark::DoNotOptimize(db.AddToClass(e, cur).ok());
+  return ws;
+}
+
+void BM_AllAttributesOf(benchmark::State& state) {
+  int depth = static_cast<int>(state.range(0));
+  bool multi = state.range(1) != 0;
+  auto ws = BuildHierarchy(depth, multi);
+  ClassId deepest =
+      *ws->db().schema().FindClass("c" + std::to_string(depth));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ws->db().schema().AllAttributesOf(deepest).size());
+  }
+  state.SetLabel(multi ? "multi-parent" : "single-parent");
+  state.counters["visible_attrs"] = static_cast<double>(
+      ws->db().schema().AllAttributesOf(deepest).size());
+}
+BENCHMARK(BM_AllAttributesOf)
+    ->ArgsProduct({{2, 4, 8, 16}, {0, 1}});
+
+void BM_FindInheritedAttribute(benchmark::State& state) {
+  int depth = static_cast<int>(state.range(0));
+  bool multi = state.range(1) != 0;
+  auto ws = BuildHierarchy(depth, multi);
+  ClassId deepest =
+      *ws->db().schema().FindClass("c" + std::to_string(depth));
+  for (auto _ : state) {
+    // The root attribute: worst-case walk.
+    benchmark::DoNotOptimize(
+        ws->db().schema().FindAttribute(deepest, "a0").ok());
+  }
+  state.SetLabel(multi ? "multi-parent" : "single-parent");
+}
+BENCHMARK(BM_FindInheritedAttribute)->ArgsProduct({{2, 4, 8, 16}, {0, 1}});
+
+void BM_IsMemberDeepClass(benchmark::State& state) {
+  int depth = static_cast<int>(state.range(0));
+  bool multi = state.range(1) != 0;
+  auto ws = BuildHierarchy(depth, multi);
+  ClassId deepest =
+      *ws->db().schema().FindClass("c" + std::to_string(depth));
+  EntityId probe =
+      *ws->db().FindEntity(*ws->db().schema().FindClass("base"), "probe");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ws->db().IsMember(probe, deepest));
+  }
+  state.SetLabel(multi ? "multi-parent" : "single-parent");
+}
+BENCHMARK(BM_IsMemberDeepClass)->ArgsProduct({{2, 4, 8, 16}, {0, 1}});
+
+void BM_MembershipPropagation(benchmark::State& state) {
+  int depth = static_cast<int>(state.range(0));
+  bool multi = state.range(1) != 0;
+  auto ws = BuildHierarchy(depth, multi);
+  Database& db = ws->db();
+  ClassId base = *db.schema().FindClass("base");
+  ClassId deepest = *db.schema().FindClass("c" + std::to_string(depth));
+  EntityId e = db.CreateEntity(base, "walker").ValueOrDie();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(db.AddToClass(e, deepest).ok());
+    state.PauseTiming();
+    benchmark::DoNotOptimize(
+        db.RemoveFromClass(e, *db.schema().FindClass("c1")).ok());
+    state.ResumeTiming();
+  }
+  state.SetLabel(multi ? "multi-parent" : "single-parent");
+}
+BENCHMARK(BM_MembershipPropagation)->ArgsProduct({{2, 4, 8}, {0, 1}});
+
+}  // namespace
+
+BENCHMARK_MAIN();

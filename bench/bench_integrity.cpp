@@ -1,0 +1,136 @@
+/// \file bench_integrity.cpp
+/// \brief Experiment C2: the paper claims its integrity notion "represents
+/// a reasonable requirement we impose on the system at low computational
+/// cost".
+///
+/// We quantify both enforcement regimes: (a) the engine's per-mutation
+/// guards (what ISIS actually pays on every insert/assign) and (b) the full
+/// from-scratch revalidation by the ConsistencyChecker (what a system
+/// without incremental enforcement would pay), as the database grows.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "datasets/scaled_music.h"
+#include "sdm/consistency.h"
+
+namespace {
+
+using isis::ClassId;
+using isis::EntityId;
+using isis::Rng;
+using isis::datasets::BuildScaledMusic;
+using isis::datasets::ResolveScaledMusic;
+using isis::datasets::ScaledMusicHandles;
+using isis::sdm::ConsistencyChecker;
+using isis::sdm::Database;
+
+/// Full §2 revalidation vs database size.
+void BM_FullConsistencyCheck(benchmark::State& state) {
+  int scale = static_cast<int>(state.range(0));
+  auto ws = BuildScaledMusic(scale);
+  ConsistencyChecker checker(ws->db());
+  for (auto _ : state) {
+    isis::Status st = checker.Check();
+    if (!st.ok()) state.SkipWithError(st.ToString().c_str());
+  }
+  state.counters["entities"] =
+      static_cast<double>(ws->db().AllEntities().size());
+}
+BENCHMARK(BM_FullConsistencyCheck)
+    ->RangeMultiplier(4)
+    ->Range(1, 256)
+    ->Unit(benchmark::kMicrosecond);
+
+/// Guarded mutation cost: what each SetSingle pays for the §2 checks
+/// (membership of owner, membership of value, grouping upkeep).
+void BM_GuardedSetSingle(benchmark::State& state) {
+  int scale = static_cast<int>(state.range(0));
+  auto ws = BuildScaledMusic(scale);
+  ScaledMusicHandles h = ResolveScaledMusic(*ws);
+  Database& db = ws->db();
+  std::vector<EntityId> insts(db.Members(h.instruments).begin(),
+                              db.Members(h.instruments).end());
+  std::vector<EntityId> fams(db.Members(h.families).begin(),
+                             db.Members(h.families).end());
+  Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        db.SetSingle(insts[rng.Below(insts.size())], h.family,
+                     fams[rng.Below(fams.size())])
+            .ok());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GuardedSetSingle)->RangeMultiplier(4)->Range(1, 256);
+
+/// Guarded membership insertion (propagates up the ancestor chain).
+void BM_GuardedAddToClass(benchmark::State& state) {
+  int scale = static_cast<int>(state.range(0));
+  auto ws = BuildScaledMusic(scale);
+  ScaledMusicHandles h = ResolveScaledMusic(*ws);
+  Database& db = ws->db();
+  ClassId sub = db.CreateSubclass("bench_sub", h.musicians,
+                                  isis::sdm::Membership::kEnumerated)
+                    .ValueOrDie();
+  std::vector<EntityId> pool(db.Members(h.musicians).begin(),
+                             db.Members(h.musicians).end());
+  Rng rng(4);
+  for (auto _ : state) {
+    EntityId e = pool[rng.Below(pool.size())];
+    benchmark::DoNotOptimize(db.AddToClass(e, sub).ok());
+    state.PauseTiming();
+    benchmark::DoNotOptimize(db.RemoveFromClass(e, sub).ok());
+    state.ResumeTiming();
+  }
+}
+BENCHMARK(BM_GuardedAddToClass)->RangeMultiplier(4)->Range(1, 64);
+
+/// Rejected mutations are also cheap: the violating call must fail fast.
+void BM_RejectedMutation(benchmark::State& state) {
+  auto ws = BuildScaledMusic(16);
+  ScaledMusicHandles h = ResolveScaledMusic(*ws);
+  Database& db = ws->db();
+  EntityId musician = *db.Members(h.musicians).begin();
+  EntityId group = *db.Members(h.music_groups).begin();
+  for (auto _ : state) {
+    // A musician is not a member of the families value class.
+    isis::Status st = db.SetSingle(group, h.size, musician);
+    benchmark::DoNotOptimize(st.ok());
+    if (st.ok()) state.SkipWithError("violation was accepted");
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RejectedMutation);
+
+/// Stored integrity constraints (the §5 extension): checking a
+/// manager-rule-style constraint over a growing class.
+void BM_ConstraintCheck(benchmark::State& state) {
+  int scale = static_cast<int>(state.range(0));
+  auto ws = BuildScaledMusic(scale);
+  ScaledMusicHandles h = ResolveScaledMusic(*ws);
+  // "every music group has at least 2 members": e.size > 1.
+  isis::query::Predicate p;
+  isis::query::Atom a;
+  a.lhs = isis::query::Term::Candidate({h.size});
+  a.op = isis::query::SetOp::kGreater;
+  a.rhs = isis::query::Term::Constant({ws->db().InternInteger(1)});
+  p.AddAtom(a, 0);
+  if (!ws->DefineConstraint("at_least_duo", h.music_groups, p).ok()) {
+    state.SkipWithError("define failed");
+  }
+  for (auto _ : state) {
+    isis::Status st = ws->EnforceConstraints();
+    if (!st.ok()) state.SkipWithError(st.ToString().c_str());
+  }
+  state.counters["members"] =
+      static_cast<double>(ws->db().Members(h.music_groups).size());
+}
+BENCHMARK(BM_ConstraintCheck)
+    ->RangeMultiplier(4)
+    ->Range(1, 256)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

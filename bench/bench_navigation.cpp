@@ -1,0 +1,101 @@
+/// \file bench_navigation.cpp
+/// \brief Experiment A3a: data-level navigation cost — follow, pop,
+/// select/reject and grouping-set following — as the database scales.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "datasets/scaled_music.h"
+#include "ui/controller.h"
+
+namespace {
+
+using isis::Rng;
+using isis::datasets::BuildScaledMusic;
+using isis::datasets::ResolveScaledMusic;
+using isis::datasets::ScaledMusicHandles;
+using isis::ui::SessionController;
+
+/// follow + pop round trip on a class page (image of the whole selection).
+void BM_FollowPop(benchmark::State& state) {
+  int scale = static_cast<int>(state.range(0));
+  SessionController session(BuildScaledMusic(scale));
+  isis::Status st = session.RunScript(
+      "pick class:musicians\ncmd view contents\n"
+      "pick member:musician0\npick member:musician1\n");
+  if (!st.ok()) {
+    state.SkipWithError(st.ToString().c_str());
+    return;
+  }
+  for (auto _ : state) {
+    isis::Status follow = session.RunScript(
+        "cmd follow\npick attr:plays\ncmd pop\n");
+    if (!follow.ok()) state.SkipWithError(follow.ToString().c_str());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FollowPop)
+    ->RangeMultiplier(4)
+    ->Range(1, 64)
+    ->Unit(benchmark::kMicrosecond);
+
+/// Following a grouping block into the parent class (Figure 6 -> 7).
+void BM_FollowGroupingSet(benchmark::State& state) {
+  int scale = static_cast<int>(state.range(0));
+  SessionController session(BuildScaledMusic(scale));
+  isis::Status st = session.RunScript(
+      "pick grouping:by_family\ncmd view contents\npick member:family0\n");
+  if (!st.ok()) {
+    state.SkipWithError(st.ToString().c_str());
+    return;
+  }
+  for (auto _ : state) {
+    isis::Status follow = session.RunScript("cmd follow\ncmd pop\n");
+    if (!follow.ok()) state.SkipWithError(follow.ToString().c_str());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FollowGroupingSet)
+    ->RangeMultiplier(4)
+    ->Range(1, 64)
+    ->Unit(benchmark::kMicrosecond);
+
+/// select/reject toggling (pick resolution + set update + re-render path).
+void BM_SelectReject(benchmark::State& state) {
+  int scale = static_cast<int>(state.range(0));
+  SessionController session(BuildScaledMusic(scale));
+  isis::Status st =
+      session.RunScript("pick class:musicians\ncmd view contents\n");
+  if (!st.ok()) {
+    state.SkipWithError(st.ToString().c_str());
+    return;
+  }
+  for (auto _ : state) {
+    isis::Status pick = session.RunScript("pick member:musician0\n");
+    if (!pick.ok()) state.SkipWithError(pick.ToString().c_str());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SelectReject)->RangeMultiplier(4)->Range(1, 64);
+
+/// Raw map evaluation underneath `follow`: image of a full class under a
+/// two-step path.
+void BM_MapImageWholeClass(benchmark::State& state) {
+  int scale = static_cast<int>(state.range(0));
+  auto ws = BuildScaledMusic(scale);
+  ScaledMusicHandles h = ResolveScaledMusic(*ws);
+  isis::AttributeId path[] = {h.members, h.plays};
+  const isis::sdm::EntitySet& groups = ws->db().Members(h.music_groups);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ws->db().EvaluateMap(groups, path).size());
+  }
+  state.counters["start_set"] = static_cast<double>(groups.size());
+}
+BENCHMARK(BM_MapImageWholeClass)
+    ->RangeMultiplier(4)
+    ->Range(1, 256)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

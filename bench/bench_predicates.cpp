@@ -1,0 +1,187 @@
+/// \file bench_predicates.cpp
+/// \brief Experiment A2: predicate evaluation scaling.
+///
+/// Sweeps the three cost drivers of the worksheet's commit: candidate-class
+/// size, number of clauses, and map length, on the scaled music database.
+
+#include <benchmark/benchmark.h>
+
+#include "datasets/scaled_music.h"
+#include "query/eval.h"
+
+namespace {
+
+using isis::AttributeId;
+using isis::ClassId;
+using isis::datasets::BuildScaledMusic;
+using isis::datasets::ResolveScaledMusic;
+using isis::datasets::ScaledMusicHandles;
+using isis::query::Atom;
+using isis::query::Evaluator;
+using isis::query::NormalForm;
+using isis::query::Predicate;
+using isis::query::SetOp;
+using isis::query::Term;
+using isis::query::Workspace;
+
+/// Entities scanned vs scale: one-atom selection (size > 3) over groups.
+void BM_Selection_Scale(benchmark::State& state) {
+  int scale = static_cast<int>(state.range(0));
+  auto ws = BuildScaledMusic(scale);
+  ScaledMusicHandles h = ResolveScaledMusic(*ws);
+  Predicate p;
+  Atom a;
+  a.lhs = Term::Candidate({h.size});
+  a.op = SetOp::kGreater;
+  a.rhs = Term::Constant({ws->db().InternInteger(3)});
+  p.AddAtom(a, 0);
+  Evaluator eval(ws->db());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eval.EvaluateSubclass(p, h.music_groups));
+  }
+  state.counters["candidates"] =
+      static_cast<double>(ws->db().Members(h.music_groups).size());
+  state.SetItemsProcessed(state.iterations() *
+                          ws->db().Members(h.music_groups).size());
+}
+BENCHMARK(BM_Selection_Scale)->RangeMultiplier(4)->Range(1, 256);
+
+/// Map length 1..3 at fixed scale: e.members / e.members.plays /
+/// e.members.plays.family.
+void BM_MapLength(benchmark::State& state) {
+  auto ws = BuildScaledMusic(32);
+  ScaledMusicHandles h = ResolveScaledMusic(*ws);
+  int len = static_cast<int>(state.range(0));
+  std::vector<AttributeId> path;
+  if (len >= 1) path.push_back(h.members);
+  if (len >= 2) path.push_back(h.plays);
+  if (len >= 3) path.push_back(h.family);
+  Predicate p;
+  Atom a;
+  a.lhs = Term::Candidate(path);
+  a.op = SetOp::kWeakMatch;
+  // A one-entity constant from the map's terminal class, so the rhs cost is
+  // identical across path lengths and only the map is measured.
+  ClassId tip = len >= 3 ? h.families
+                         : (len >= 2 ? h.instruments : h.musicians);
+  a.rhs = Term::Constant({*ws->db().Members(tip).begin()});
+  p.AddAtom(a, 0);
+  Evaluator eval(ws->db());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eval.EvaluateSubclass(p, h.music_groups));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          ws->db().Members(h.music_groups).size());
+}
+BENCHMARK(BM_MapLength)->DenseRange(1, 3, 1);
+
+/// Clause count sweep (CNF), each clause a distinct size test.
+void BM_ClauseCount(benchmark::State& state) {
+  auto ws = BuildScaledMusic(32);
+  ScaledMusicHandles h = ResolveScaledMusic(*ws);
+  int clauses = static_cast<int>(state.range(0));
+  Predicate p;
+  for (int c = 0; c < clauses; ++c) {
+    Atom a;
+    a.lhs = Term::Candidate({h.size});
+    a.op = SetOp::kGreater;
+    a.rhs = Term::Constant({ws->db().InternInteger(c)});
+    p.AddAtom(a, c);
+  }
+  p.form = NormalForm::kConjunctive;
+  Evaluator eval(ws->db());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eval.EvaluateSubclass(p, h.music_groups));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          ws->db().Members(h.music_groups).size());
+}
+BENCHMARK(BM_ClauseCount)->DenseRange(1, 8, 1);
+
+/// CNF vs DNF over the same atoms (short-circuit behaviour differs).
+void BM_NormalForm(benchmark::State& state) {
+  auto ws = BuildScaledMusic(32);
+  ScaledMusicHandles h = ResolveScaledMusic(*ws);
+  Predicate p;
+  for (int c = 0; c < 4; ++c) {
+    Atom a;
+    a.lhs = Term::Candidate({h.size});
+    a.op = SetOp::kEqual;
+    a.rhs = Term::Constant({ws->db().InternInteger(2 + c)});
+    p.AddAtom(a, c);
+  }
+  p.form = state.range(0) == 0 ? NormalForm::kConjunctive
+                               : NormalForm::kDisjunctive;
+  state.SetLabel(state.range(0) == 0 ? "CNF" : "DNF");
+  Evaluator eval(ws->db());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eval.EvaluateSubclass(p, h.music_groups));
+  }
+}
+BENCHMARK(BM_NormalForm)->Arg(0)->Arg(1);
+
+/// Whole-workspace re-evaluation (the worksheet commit + fixpoint chase).
+void BM_ReevaluateAll(benchmark::State& state) {
+  int scale = static_cast<int>(state.range(0));
+  auto ws = BuildScaledMusic(scale);
+  ScaledMusicHandles h = ResolveScaledMusic(*ws);
+  // Two chained derived classes: piano-quartet style and its subclass.
+  ClassId big = ws->db()
+                    .CreateSubclass("big_groups", h.music_groups,
+                                    isis::sdm::Membership::kEnumerated)
+                    .ValueOrDie();
+  Predicate p1;
+  Atom a1;
+  a1.lhs = Term::Candidate({h.size});
+  a1.op = SetOp::kGreater;
+  a1.rhs = Term::Constant({ws->db().InternInteger(3)});
+  p1.AddAtom(a1, 0);
+  benchmark::DoNotOptimize(ws->DefineSubclassMembership(big, p1).ok());
+  ClassId stringy = ws->db()
+                        .CreateSubclass("stringy_big", big,
+                                        isis::sdm::Membership::kEnumerated)
+                        .ValueOrDie();
+  Predicate p2;
+  Atom a2;
+  a2.lhs = Term::Candidate({h.members, h.plays, h.family});
+  a2.op = SetOp::kWeakMatch;
+  a2.rhs = Term::Constant(
+      {ws->db().FindEntity(h.families, "family0").ValueOrDie()});
+  p2.AddAtom(a2, 0);
+  benchmark::DoNotOptimize(ws->DefineSubclassMembership(stringy, p2).ok());
+  for (auto _ : state) {
+    isis::Status st = ws->ReevaluateAll();
+    if (!st.ok()) state.SkipWithError(st.ToString().c_str());
+  }
+}
+BENCHMARK(BM_ReevaluateAll)->RangeMultiplier(4)->Range(1, 64);
+
+/// Ablation: grouping-as-index fast path vs full scan for a selection on a
+/// grouped attribute (`e.family = {family0}` with by_family defined).
+void BM_IndexedSelection(benchmark::State& state) {
+  int scale = static_cast<int>(state.range(0));
+  bool use_index = state.range(1) != 0;
+  auto ws = BuildScaledMusic(scale);
+  ScaledMusicHandles h = ResolveScaledMusic(*ws);
+  Predicate p;
+  Atom a;
+  a.lhs = Term::Candidate({h.family});
+  a.op = SetOp::kEqual;
+  a.rhs = Term::Constant(
+      {ws->db().FindEntity(h.families, "family0").ValueOrDie()});
+  p.AddAtom(a, 0);
+  Evaluator eval(ws->db());
+  eval.set_use_grouping_index(use_index);
+  (void)ws->db().GroupingBlocks(h.by_family);  // warm
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eval.EvaluateSubclass(p, h.instruments).size());
+  }
+  state.SetLabel(use_index ? "grouping-index" : "scan");
+  state.counters["members"] =
+      static_cast<double>(ws->db().Members(h.instruments).size());
+}
+BENCHMARK(BM_IndexedSelection)->ArgsProduct({{4, 32, 256}, {0, 1}});
+
+}  // namespace
+
+BENCHMARK_MAIN();

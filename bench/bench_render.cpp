@@ -1,0 +1,127 @@
+/// \file bench_render.cpp
+/// \brief Experiment A3b: view rendering cost for each of the four views as
+/// the schema/data grows — the per-interaction latency of the interface.
+
+#include <benchmark/benchmark.h>
+
+#include "datasets/instrumental_music.h"
+#include "datasets/scaled_music.h"
+#include "datasets/synthetic.h"
+#include "ui/views.h"
+
+namespace {
+
+using isis::AttributeId;
+using isis::ClassId;
+using isis::datasets::BuildScaledMusic;
+using isis::datasets::BuildSynthetic;
+using isis::datasets::SyntheticParams;
+using isis::ui::DataPage;
+using isis::ui::Level;
+using isis::ui::RenderContext;
+using isis::ui::SessionState;
+
+/// Forest view over a schema with `range` baseclass trees.
+void BM_RenderForest(benchmark::State& state) {
+  SyntheticParams params;
+  params.baseclasses = static_cast<int>(state.range(0));
+  params.subclass_depth = 3;
+  params.entities_per_class = 10;
+  auto ws = BuildSynthetic(params);
+  SessionState st;
+  st.selection = isis::ui::SchemaSelection::Class(
+      *ws->db().schema().FindClass("B0"));
+  RenderContext ctx{*ws, st, ""};
+  for (auto _ : state) {
+    isis::ui::Screen screen = RenderForestView(ctx);
+    benchmark::DoNotOptimize(screen.hits.size());
+  }
+  state.counters["classes"] =
+      static_cast<double>(ws->db().schema().AllClasses().size());
+}
+BENCHMARK(BM_RenderForest)
+    ->RangeMultiplier(2)
+    ->Range(1, 16)
+    ->Unit(benchmark::kMicrosecond);
+
+/// Semantic network of a class with `range` attributes.
+void BM_RenderNetwork(benchmark::State& state) {
+  SyntheticParams params;
+  params.attributes_per_class = static_cast<int>(state.range(0));
+  params.entities_per_class = 10;
+  auto ws = BuildSynthetic(params);
+  SessionState st;
+  st.level = Level::kSemanticNetwork;
+  st.selection = isis::ui::SchemaSelection::Class(
+      *ws->db().schema().FindClass("B0"));
+  RenderContext ctx{*ws, st, ""};
+  for (auto _ : state) {
+    isis::ui::Screen screen = RenderNetworkView(ctx);
+    benchmark::DoNotOptimize(screen.hits.size());
+  }
+}
+BENCHMARK(BM_RenderNetwork)
+    ->RangeMultiplier(2)
+    ->Range(2, 16)
+    ->Unit(benchmark::kMicrosecond);
+
+/// Data level with a stack of `range` pages.
+void BM_RenderDataPages(benchmark::State& state) {
+  auto ws = BuildScaledMusic(16);
+  const isis::sdm::Schema& s = ws->db().schema();
+  SessionState st;
+  st.level = Level::kDataLevel;
+  ClassId musicians = *s.FindClass("musicians");
+  ClassId instruments = *s.FindClass("instruments");
+  AttributeId plays = *s.FindAttribute(musicians, "plays");
+  for (int i = 0; i < state.range(0); ++i) {
+    DataPage page;
+    page.cls = (i % 2 == 0) ? musicians : instruments;
+    page.followed = (i % 2 == 0) ? plays : isis::AttributeId();
+    page.selected = ws->db().Members(page.cls);
+    st.pages.push_back(page);
+  }
+  RenderContext ctx{*ws, st, ""};
+  for (auto _ : state) {
+    isis::ui::Screen screen = RenderDataView(ctx);
+    benchmark::DoNotOptimize(screen.hits.size());
+  }
+}
+BENCHMARK(BM_RenderDataPages)
+    ->DenseRange(1, 8, 1)
+    ->Unit(benchmark::kMicrosecond);
+
+/// The worksheet with a full predicate on display.
+void BM_RenderWorksheet(benchmark::State& state) {
+  auto ws = isis::datasets::BuildInstrumentalMusic();
+  const isis::sdm::Schema& s = ws->db().schema();
+  SessionState st;
+  st.level = Level::kPredicateWorksheet;
+  st.worksheet.target = isis::ui::WorksheetState::Target::kMembership;
+  st.worksheet.target_class = *s.FindClass("play_strings");
+  // Give it the stored predicate to render.
+  st.worksheet.pred = *ws->SubclassPredicate(*s.FindClass("play_strings"));
+  st.worksheet.current_atom = 0;
+  RenderContext ctx{*ws, st, ""};
+  for (auto _ : state) {
+    isis::ui::Screen screen = RenderWorksheetView(ctx);
+    benchmark::DoNotOptimize(screen.hits.size());
+  }
+}
+BENCHMARK(BM_RenderWorksheet)->Unit(benchmark::kMicrosecond);
+
+/// Screenshot serialization (what tests and figure dumps pay).
+void BM_CanvasToString(benchmark::State& state) {
+  auto ws = isis::datasets::BuildInstrumentalMusic();
+  SessionState st;
+  RenderContext ctx{*ws, st, ""};
+  isis::ui::Screen screen = RenderForestView(ctx);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(screen.canvas.ToString().size());
+  }
+}
+BENCHMARK(BM_CanvasToString);
+
+}  // namespace
+
+BENCHMARK_MAIN();

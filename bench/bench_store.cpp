@@ -1,0 +1,69 @@
+/// \file bench_store.cpp
+/// \brief Save/load cost of the store format vs database size (the paper's
+/// session ends by saving the database; undo/redo snapshots also ride this
+/// path).
+
+#include <benchmark/benchmark.h>
+
+#include "datasets/scaled_music.h"
+#include "store/serializer.h"
+
+namespace {
+
+using isis::datasets::BuildScaledMusic;
+
+void BM_Save(benchmark::State& state) {
+  auto ws = BuildScaledMusic(static_cast<int>(state.range(0)));
+  size_t bytes = 0;
+  for (auto _ : state) {
+    std::string blob = isis::store::Save(*ws);
+    bytes = blob.size();
+    benchmark::DoNotOptimize(blob.data());
+  }
+  state.counters["bytes"] = static_cast<double>(bytes);
+  state.SetBytesProcessed(static_cast<std::int64_t>(bytes) *
+                          state.iterations());
+}
+BENCHMARK(BM_Save)
+    ->RangeMultiplier(4)
+    ->Range(1, 256)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_Load(benchmark::State& state) {
+  auto ws = BuildScaledMusic(static_cast<int>(state.range(0)));
+  std::string blob = isis::store::Save(*ws);
+  for (auto _ : state) {
+    auto loaded = isis::store::Load(blob);
+    if (!loaded.ok()) state.SkipWithError(loaded.status().ToString().c_str());
+    benchmark::DoNotOptimize((*loaded)->db().AllEntities().size());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(blob.size()) *
+                          state.iterations());
+}
+BENCHMARK(BM_Load)
+    ->RangeMultiplier(4)
+    ->Range(1, 256)
+    ->Unit(benchmark::kMicrosecond);
+
+/// The undo snapshot pair (save current + reload previous) as the UI pays
+/// it on every mutating command.
+void BM_UndoSnapshotCycle(benchmark::State& state) {
+  auto ws = BuildScaledMusic(static_cast<int>(state.range(0)));
+  std::string snapshot = isis::store::Save(*ws);
+  for (auto _ : state) {
+    std::string current = isis::store::Save(*ws);
+    auto restored = isis::store::Load(snapshot);
+    if (!restored.ok()) {
+      state.SkipWithError(restored.status().ToString().c_str());
+    }
+    benchmark::DoNotOptimize(current.size());
+  }
+}
+BENCHMARK(BM_UndoSnapshotCycle)
+    ->RangeMultiplier(4)
+    ->Range(1, 64)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

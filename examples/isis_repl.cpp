@@ -1,0 +1,149 @@
+/// \file isis_repl.cpp
+/// \brief An interactive ISIS terminal: the full interface, driven from
+/// stdin one event per line.
+///
+/// This is the closest thing to sitting at the 1985 Apollo: the current
+/// view renders after every event, picks hit-test against the screen, and
+/// every session-script verb works (see `src/input/event.h`):
+///
+///   pick <target>      e.g. pick class:musicians, pick member:flute
+///   pickat <x> <y>     raw coordinate pick
+///   cmd <command>      e.g. cmd view contents, cmd follow, cmd commit
+///   type <text>        answer the current prompt
+///
+/// plus REPL-only conveniences: `screen` (reprint), `hits` (list pickable
+/// targets), `query <class> <predicate>` (ad-hoc textual query, e.g.
+/// `query music_groups e.size = {4} and e.members.plays ]= {piano}`), and
+/// `quit`.
+///
+/// Run: ./isis_repl [database.isis]
+///   with no argument the paper's Instrumental_Music database loads;
+///   with one, the named store file.
+///
+/// Try:  echo "pick class:soloists" | ./isis_repl
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "common/strings.h"
+#include "datasets/instrumental_music.h"
+#include "query/eval.h"
+#include "query/parser.h"
+#include "store/serializer.h"
+#include "ui/controller.h"
+
+using namespace isis;  // NOLINT — example brevity
+
+namespace {
+
+void PrintScreen(ui::SessionController* session) {
+  const ui::Screen& screen = session->Render();
+  std::fputs(screen.canvas.ToString().c_str(), stdout);
+}
+
+/// `query <class> <predicate>`: parse, evaluate, print the answer.
+void RunAdHocQuery(ui::SessionController* session, const std::string& args) {
+  size_t sp = args.find(' ');
+  if (sp == std::string::npos) {
+    std::printf("usage: query <class> <predicate>\n");
+    return;
+  }
+  const sdm::Database& db = session->workspace().db();
+  Result<ClassId> cls = db.schema().FindClass(args.substr(0, sp));
+  if (!cls.ok()) {
+    std::printf("%s\n", cls.status().ToString().c_str());
+    return;
+  }
+  Result<query::Predicate> pred =
+      query::ParsePredicate(db, *cls, args.substr(sp + 1));
+  if (!pred.ok()) {
+    std::printf("%s\n", pred.status().ToString().c_str());
+    return;
+  }
+  sdm::EntitySet answer =
+      query::Evaluator(db).EvaluateSubclass(*pred, *cls);
+  std::printf("%s = {", PredicateToString(db, *pred).c_str());
+  bool first = true;
+  for (EntityId e : answer) {
+    std::printf("%s%s", first ? " " : ", ", db.NameOf(e).c_str());
+    first = false;
+  }
+  std::printf(" }  (%zu member(s))\n", answer.size());
+}
+
+void PrintHits(ui::SessionController* session) {
+  const ui::Screen& screen = session->Render();
+  std::printf("pickable targets (%zu):\n", screen.hits.size());
+  std::string line;
+  for (const ui::HitRegion& h : screen.hits) {
+    if (line.size() + h.target.size() + 2 > 100) {
+      std::printf("  %s\n", line.c_str());
+      line.clear();
+    }
+    if (!line.empty()) line += "  ";
+    line += h.target;
+  }
+  if (!line.empty()) std::printf("  %s\n", line.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::unique_ptr<query::Workspace> ws;
+  if (argc > 1) {
+    Result<std::unique_ptr<query::Workspace>> loaded =
+        store::LoadFromFile(argv[1]);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "cannot load '%s': %s\n", argv[1],
+                   loaded.status().ToString().c_str());
+      return 1;
+    }
+    ws = std::move(loaded).ValueOrDie();
+  } else {
+    ws = datasets::BuildInstrumentalMusic();
+  }
+
+  ui::SessionController session(std::move(ws));
+  PrintScreen(&session);
+  std::printf("> ");
+  std::fflush(stdout);
+
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    std::string trimmed(Trim(line));
+    if (trimmed == "quit" || trimmed == "exit") break;
+    if (trimmed.empty() || trimmed[0] == '#') {
+      std::printf("> ");
+      std::fflush(stdout);
+      continue;
+    }
+    if (trimmed == "screen") {
+      PrintScreen(&session);
+      std::printf("> ");
+      std::fflush(stdout);
+      continue;
+    }
+    if (trimmed == "hits") {
+      PrintHits(&session);
+      std::printf("> ");
+      std::fflush(stdout);
+      continue;
+    }
+    if (StartsWith(trimmed, "query ")) {
+      RunAdHocQuery(&session, trimmed.substr(6));
+      std::printf("> ");
+      std::fflush(stdout);
+      continue;
+    }
+    Status st = session.RunScript(trimmed + "\n", /*stop_on_error=*/false);
+    (void)st;  // errors already land in the status line
+    PrintScreen(&session);
+    if (session.stopped()) break;
+    std::printf("> ");
+    std::fflush(stdout);
+  }
+  std::printf("session ended. design history:\n%s\n",
+              session.journal().Render(20).c_str());
+  return 0;
+}

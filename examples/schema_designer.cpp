@@ -1,0 +1,152 @@
+/// \file schema_designer.cpp
+/// \brief Database construction from scratch, entirely through the
+/// interface — the paper's first integrated activity ("a user is able to
+/// build a database or modify an existing one").
+///
+/// Starting from an *empty* workspace, a scripted session creates
+/// baseclasses with named naming attributes, wires attributes across trees
+/// (using the §3.2 pop-up class list for value classes), creates a
+/// grouping, enters data at the data level, defines a derived subclass on
+/// the worksheet, checks the design with `statistics`, reviews the design
+/// history, and saves. The printed screens show the schema growing.
+///
+/// Run: ./schema_designer
+
+#include <cstdio>
+
+#include <fstream>
+
+#include "query/workspace.h"
+#include "sdm/consistency.h"
+#include "sdm/dot_export.h"
+#include "ui/controller.h"
+
+using namespace isis;  // NOLINT — example brevity
+
+namespace {
+
+int Fail(const Status& st, const ui::SessionController& session) {
+  std::fprintf(stderr, "FAILED: %s\n[last message] %s\n",
+               st.ToString().c_str(), session.message().c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== ISIS schema designer example ==\n\n");
+  auto ws = std::make_unique<query::Workspace>();
+  ws->set_name("Recipes");
+  ui::SessionController session(std::move(ws));
+
+  // --- Build the schema through the interface. ---
+  Status st = session.RunScript(
+      // Two baseclasses, each with a chosen naming attribute.
+      "cmd create baseclass\n"
+      "type recipes\n"
+      "type title\n"
+      "cmd create baseclass\n"
+      "type ingredients\n"
+      "type name\n"
+      // recipes.uses ++> ingredients (created as STRING, then re-aimed via
+      // the pop-up class list, as the paper's session does for all_inst).
+      "pick class:recipes\n"
+      "cmd create attribute\n"
+      "type uses\n"
+      "cmd (re)specify value class\n"
+      "pick class:ingredients\n"
+      // recipes.servings -> INTEGER (the pop-up lists predefined classes).
+      "pick class:recipes\n"
+      "cmd create attribute\n"
+      "type servings_of\n"
+      "cmd (re)specify value class\n"
+      "pick class:INTEGER\n");
+  if (!st.ok()) return Fail(st, session);
+
+  std::printf("[schema after construction]\n%s\n",
+              session.Render().canvas.ToString().c_str());
+
+  // --- Enter data at the data level. ---
+  st = session.RunScript(
+      "pick class:ingredients\n"
+      "cmd view contents\n"
+      "cmd create entity\ntype flour\n"
+      "cmd create entity\ntype egg\n"
+      "cmd create entity\ntype sugar\n"
+      "cmd view forest\n"
+      "pick class:recipes\n"
+      "cmd view contents\n"
+      "cmd create entity\ntype pancakes\n"
+      "cmd create entity\ntype meringue\n");
+  if (!st.ok()) return Fail(st, session);
+
+  // Wire values programmatically (the follow/assign flow is shown in the
+  // instrumental_music example; here we stay terse).
+  {
+    sdm::Database& db = session.workspace().db();
+    ClassId recipes = *db.schema().FindClass("recipes");
+    ClassId ingredients = *db.schema().FindClass("ingredients");
+    AttributeId uses = *db.schema().FindAttribute(recipes, "uses");
+    AttributeId servings =
+        *db.schema().FindAttribute(recipes, "servings_of");
+    EntityId pancakes = *db.FindEntity(recipes, "pancakes");
+    EntityId meringue = *db.FindEntity(recipes, "meringue");
+    for (const char* ing : {"flour", "egg"}) {
+      if (!db.AddToMulti(pancakes, uses, *db.FindEntity(ingredients, ing))
+               .ok()) {
+        return 1;
+      }
+    }
+    for (const char* ing : {"egg", "sugar"}) {
+      if (!db.AddToMulti(meringue, uses, *db.FindEntity(ingredients, ing))
+               .ok()) {
+        return 1;
+      }
+    }
+    (void)db.SetMulti(pancakes, servings, {db.InternInteger(4)});
+    (void)db.SetMulti(meringue, servings, {db.InternInteger(8)});
+  }
+
+  // --- A derived subclass on the worksheet: recipes using eggs. ---
+  st = session.RunScript(
+      "cmd view forest\n"
+      "pick class:recipes\n"
+      "cmd create subclass\n"
+      "type egg_recipes\n"
+      "cmd (re)define membership\n"
+      "pick atom:A\n"
+      "pick clause:1\n"
+      "cmd edit\n"
+      "pick attr:uses\n"
+      "pick op:~\n"
+      "cmd rhs constant\n"
+      "pick member:egg\n"
+      "cmd accept constant\n"
+      "cmd commit\n");
+  if (!st.ok()) return Fail(st, session);
+  std::printf("[after commit] %s\n", session.message().c_str());
+
+  // --- Design review: statistics, advisories, history. ---
+  st = session.RunScript("cmd statistics\n");
+  if (!st.ok()) return Fail(st, session);
+  std::printf("[statistics] %s\n", session.message().c_str());
+  std::printf("[design history]\n%s\n",
+              session.journal().Render(20).c_str());
+
+  // --- Save and verify integrity. ---
+  Status consistency =
+      sdm::ConsistencyChecker(session.workspace().db()).Check();
+  if (!consistency.ok()) return Fail(consistency, session);
+  st = session.RunScript("cmd save\ntype recipes_designed\ncmd stop\n");
+  if (!st.ok()) return Fail(st, session);
+
+  // Export both schema graphs for external tooling (Graphviz).
+  {
+    std::ofstream dot("recipes_schema.dot");
+    dot << sdm::ExportDot(session.workspace().db().schema(),
+                          sdm::DotGraph::kBoth);
+  }
+  std::printf("saved as recipes_designed.isis and recipes_schema.dot; "
+              "schema designer finished OK\n");
+  return 0;
+}

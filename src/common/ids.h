@@ -1,0 +1,66 @@
+/// \file ids.h
+/// \brief Strongly typed integer ids for SDM objects.
+///
+/// Entities, classes, attributes and groupings are referred to by stable
+/// small-integer ids inside the engine; user-visible names map to ids through
+/// the schema/database catalogs. A distinct C++ type per id kind prevents
+/// accidentally indexing one catalog with another catalog's id.
+
+#ifndef ISIS_COMMON_IDS_H_
+#define ISIS_COMMON_IDS_H_
+
+#include <cstdint>
+#include <functional>
+
+namespace isis {
+
+namespace internal {
+
+/// CRTP-free tagged id. Tag is an empty struct naming the id space.
+template <typename Tag>
+class Id {
+ public:
+  using underlying_type = std::int64_t;
+
+  constexpr Id() : value_(-1) {}
+  constexpr explicit Id(underlying_type v) : value_(v) {}
+
+  constexpr underlying_type value() const { return value_; }
+  constexpr bool valid() const { return value_ >= 0; }
+
+  friend constexpr bool operator==(Id a, Id b) { return a.value_ == b.value_; }
+  friend constexpr bool operator!=(Id a, Id b) { return a.value_ != b.value_; }
+  friend constexpr bool operator<(Id a, Id b) { return a.value_ < b.value_; }
+
+ private:
+  underlying_type value_;
+};
+
+}  // namespace internal
+
+struct EntityIdTag {};
+struct ClassIdTag {};
+struct AttributeIdTag {};
+struct GroupingIdTag {};
+
+/// Identifies one entity in the database's entity universe.
+using EntityId = internal::Id<EntityIdTag>;
+/// Identifies one class node of the schema.
+using ClassId = internal::Id<ClassIdTag>;
+/// Identifies one attribute (an arc of the semantic network).
+using AttributeId = internal::Id<AttributeIdTag>;
+/// Identifies one grouping node of the schema.
+using GroupingId = internal::Id<GroupingIdTag>;
+
+}  // namespace isis
+
+namespace std {
+template <typename Tag>
+struct hash<isis::internal::Id<Tag>> {
+  size_t operator()(isis::internal::Id<Tag> id) const {
+    return std::hash<std::int64_t>()(id.value());
+  }
+};
+}  // namespace std
+
+#endif  // ISIS_COMMON_IDS_H_

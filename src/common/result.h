@@ -1,0 +1,84 @@
+/// \file result.h
+/// \brief Result<T>: a value or an error Status.
+
+#ifndef ISIS_COMMON_RESULT_H_
+#define ISIS_COMMON_RESULT_H_
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace isis {
+
+/// \brief Either a value of type T or an error Status.
+///
+/// Mirrors arrow::Result. Constructing from an OK status is a programming
+/// error (asserted in debug builds, degraded to an Internal error in
+/// release).
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value.
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from an error status.
+  Result(Status st) : repr_(std::move(st)) {  // NOLINT(runtime/explicit)
+    assert(!std::get<Status>(repr_).ok());
+    if (std::get<Status>(repr_).ok()) {
+      repr_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// The error status, or OK when a value is held.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(repr_);
+  }
+
+  /// The held value; must only be called when ok().
+  const T& ValueOrDie() const& {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T& ValueOrDie() & {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T ValueOrDie() && {
+    assert(ok());
+    return std::move(std::get<T>(repr_));
+  }
+
+  /// The held value, or `alt` when in error.
+  T ValueOr(T alt) const {
+    return ok() ? std::get<T>(repr_) : std::move(alt);
+  }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+ private:
+  std::variant<Status, T> repr_;
+};
+
+}  // namespace isis
+
+/// Assigns a Result's value to `lhs`, or propagates its error status.
+#define ISIS_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                               \
+  if (!tmp.ok()) return tmp.status();              \
+  lhs = std::move(tmp).ValueOrDie();
+
+#define ISIS_ASSIGN_OR_RETURN_CONCAT(a, b) a##b
+#define ISIS_ASSIGN_OR_RETURN_NAME(a, b) ISIS_ASSIGN_OR_RETURN_CONCAT(a, b)
+
+#define ISIS_ASSIGN_OR_RETURN(lhs, expr) \
+  ISIS_ASSIGN_OR_RETURN_IMPL(            \
+      ISIS_ASSIGN_OR_RETURN_NAME(_isis_result_, __COUNTER__), lhs, expr)
+
+#endif  // ISIS_COMMON_RESULT_H_

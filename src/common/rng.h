@@ -1,0 +1,68 @@
+/// \file rng.h
+/// \brief Deterministic PRNG for workload generators and property tests.
+///
+/// splitmix64-seeded xoshiro256** — fast, reproducible across platforms, and
+/// independent of libstdc++'s distribution implementations (we provide our
+/// own bounded-int and unit-double helpers so generated workloads are
+/// bit-identical everywhere).
+
+#ifndef ISIS_COMMON_RNG_H_
+#define ISIS_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace isis {
+
+/// Deterministic 64-bit PRNG.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) {
+    // splitmix64 expansion of the seed into the xoshiro state.
+    std::uint64_t x = seed;
+    for (auto& word : s_) {
+      x += 0x9E3779B97F4A7C15ull;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  /// Next raw 64-bit value.
+  std::uint64_t Next() {
+    const std::uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  std::uint64_t Below(std::uint64_t bound) { return Next() % bound; }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t Range(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(
+                    Below(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double Unit() { return (Next() >> 11) * (1.0 / 9007199254740992.0); }
+
+  /// Bernoulli with probability p.
+  bool Chance(double p) { return Unit() < p; }
+
+ private:
+  static std::uint64_t Rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4];
+};
+
+}  // namespace isis
+
+#endif  // ISIS_COMMON_RNG_H_

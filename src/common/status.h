@@ -1,0 +1,142 @@
+/// \file status.h
+/// \brief Error handling primitives for the ISIS library.
+///
+/// ISIS follows the Arrow/RocksDB idiom: no exceptions cross public API
+/// boundaries. Fallible operations return Status (or Result<T>, see
+/// result.h). Status is cheap to return in the OK case (a single pointer).
+
+#ifndef ISIS_COMMON_STATUS_H_
+#define ISIS_COMMON_STATUS_H_
+
+#include <memory>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace isis {
+
+/// \brief Broad classification of an error.
+///
+/// Codes mirror the failure classes of the ISIS engine: violations of the
+/// schema/data consistency rules of the paper's Section 2 get their own code
+/// (kConsistency) because callers often want to distinguish "you asked for
+/// something the model forbids" from plain bad arguments.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,   ///< Malformed request (bad name, bad id, ...).
+  kNotFound = 2,          ///< Named/id'd object does not exist.
+  kAlreadyExists = 3,     ///< Unique name or id collision.
+  kConsistency = 4,       ///< Would violate schema/data consistency (paper §2).
+  kTypeError = 5,         ///< Operator applied to incompatible classes.
+  kIOError = 6,           ///< Persistence failure (store/).
+  kParseError = 7,        ///< Serialized form or script is malformed.
+  kUnimplemented = 8,     ///< Feature behind an option that is disabled.
+  kInternal = 9,          ///< Invariant breakage inside the engine (a bug).
+};
+
+/// \brief Human-readable name of a status code, e.g. "Consistency".
+const char* StatusCodeToString(StatusCode code);
+
+/// \brief Outcome of a fallible operation.
+///
+/// A default-constructed Status is OK and carries no allocation. Error
+/// statuses carry a code and a message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() noexcept = default;
+
+  Status(StatusCode code, std::string msg)
+      : state_(code == StatusCode::kOk
+                   ? nullptr
+                   : std::make_unique<State>(State{code, std::move(msg)})) {}
+
+  Status(const Status& other)
+      : state_(other.state_ ? std::make_unique<State>(*other.state_)
+                            : nullptr) {}
+  Status& operator=(const Status& other) {
+    if (this != &other) {
+      state_ = other.state_ ? std::make_unique<State>(*other.state_) : nullptr;
+    }
+    return *this;
+  }
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  static Status OK() { return Status(); }
+
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status Consistency(std::string msg) {
+    return Status(StatusCode::kConsistency, std::move(msg));
+  }
+  static Status TypeError(std::string msg) {
+    return Status(StatusCode::kTypeError, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return state_ == nullptr; }
+
+  StatusCode code() const {
+    return state_ ? state_->code : StatusCode::kOk;
+  }
+
+  /// The error message; empty for OK.
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return state_ ? state_->msg : kEmpty;
+  }
+
+  bool IsInvalidArgument() const {
+    return code() == StatusCode::kInvalidArgument;
+  }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const { return code() == StatusCode::kAlreadyExists; }
+  bool IsConsistency() const { return code() == StatusCode::kConsistency; }
+  bool IsTypeError() const { return code() == StatusCode::kTypeError; }
+  bool IsIOError() const { return code() == StatusCode::kIOError; }
+  bool IsParseError() const { return code() == StatusCode::kParseError; }
+  bool IsUnimplemented() const { return code() == StatusCode::kUnimplemented; }
+  bool IsInternal() const { return code() == StatusCode::kInternal; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string msg;
+  };
+  std::unique_ptr<State> state_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& st);
+
+}  // namespace isis
+
+/// Propagates a non-OK Status to the caller.
+#define ISIS_RETURN_NOT_OK(expr)                \
+  do {                                          \
+    ::isis::Status _st = (expr);                \
+    if (!_st.ok()) return _st;                  \
+  } while (0)
+
+#endif  // ISIS_COMMON_STATUS_H_

@@ -1,0 +1,125 @@
+#include "common/strings.h"
+
+#include <cctype>
+#include <cstdio>
+
+namespace isis {
+
+std::vector<std::string> Split(std::string_view s, char sep) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (true) {
+    size_t pos = s.find(sep, start);
+    if (pos == std::string_view::npos) {
+      out.emplace_back(s.substr(start));
+      break;
+    }
+    out.emplace_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return out;
+}
+
+std::string Join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string_view Trim(std::string_view s) {
+  size_t b = 0;
+  while (b < s.size() && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  size_t e = s.size();
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+bool StartsWith(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+std::string ToLower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+bool IsValidName(std::string_view name) {
+  if (name.empty()) return false;
+  for (char c : name) {
+    if (c == '|' || c == '`' || c == '\n' || c == '\r') return false;
+    if (!std::isprint(static_cast<unsigned char>(c))) return false;
+  }
+  // Names surrounded by whitespace are disallowed; interior spaces are fine
+  // ("New York Philharmonic" is a legal entity name).
+  return !std::isspace(static_cast<unsigned char>(name.front())) &&
+         !std::isspace(static_cast<unsigned char>(name.back()));
+}
+
+std::string Escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '|':
+        out += "\\p";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+std::string Unescape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '\\') {
+      out += s[i];
+      continue;
+    }
+    if (i + 1 >= s.size()) {
+      out += '?';
+      break;
+    }
+    ++i;
+    switch (s[i]) {
+      case '\\':
+        out += '\\';
+        break;
+      case 'n':
+        out += '\n';
+        break;
+      case 'p':
+        out += '|';
+        break;
+      default:
+        out += '?';
+    }
+  }
+  return out;
+}
+
+std::string PadTo(std::string_view s, size_t width) {
+  std::string out(s.substr(0, width));
+  out.resize(width, ' ');
+  return out;
+}
+
+std::string FormatReal(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.10g", v);
+  return buf;
+}
+
+}  // namespace isis

@@ -1,0 +1,48 @@
+/// \file strings.h
+/// \brief Small string utilities shared across the ISIS libraries.
+
+#ifndef ISIS_COMMON_STRINGS_H_
+#define ISIS_COMMON_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace isis {
+
+/// Splits `s` on `sep`, keeping empty fields.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+/// True if `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// Lowercases ASCII letters.
+std::string ToLower(std::string_view s);
+
+/// True if `name` is a legal ISIS object name: nonempty, printable ASCII,
+/// no newlines or the reserved separator characters `|` and `\``.
+bool IsValidName(std::string_view name);
+
+/// Escapes newlines, backslashes and `|` for the store/ text format.
+std::string Escape(std::string_view s);
+
+/// Inverse of Escape. Malformed escapes decode to '?' rather than failing;
+/// the store parser validates records at a higher level.
+std::string Unescape(std::string_view s);
+
+/// Left-pads or truncates `s` to exactly `width` columns.
+std::string PadTo(std::string_view s, size_t width);
+
+/// Formats a double the way ISIS displays Reals: shortest round-trip-ish
+/// decimal with trailing zero trimming ("3.5", "2", "0.25").
+std::string FormatReal(double v);
+
+}  // namespace isis
+
+#endif  // ISIS_COMMON_STRINGS_H_

@@ -1,0 +1,226 @@
+#include "datasets/instrumental_music.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "query/eval.h"
+
+namespace isis::datasets {
+
+using query::Atom;
+using query::NormalForm;
+using query::Predicate;
+using query::SetOp;
+using query::Term;
+using query::Workspace;
+using sdm::Database;
+using sdm::EntitySet;
+using sdm::Membership;
+using sdm::Schema;
+
+namespace {
+
+/// The dataset is a constant; abort loudly on any construction failure.
+void Must(const Status& st, const char* what) {
+  if (!st.ok()) {
+    std::fprintf(stderr, "instrumental_music: %s: %s\n", what,
+                 st.ToString().c_str());
+    std::abort();
+  }
+}
+
+template <typename T>
+T MustGet(Result<T> r, const char* what) {
+  Must(r.status(), what);
+  return std::move(r).ValueOrDie();
+}
+
+}  // namespace
+
+std::unique_ptr<Workspace> BuildInstrumentalMusic() {
+  auto ws = std::make_unique<Workspace>();
+  ws->set_name("Instrumental_Music");
+  Database& db = ws->db();
+
+  // --- Baseclasses (in the paper's order). ---
+  ClassId musicians =
+      MustGet(db.CreateBaseclass("musicians", "stage_name"), "musicians");
+  ClassId instruments =
+      MustGet(db.CreateBaseclass("instruments", "name"), "instruments");
+  ClassId music_groups =
+      MustGet(db.CreateBaseclass("music_groups", "name"), "music_groups");
+  ClassId families =
+      MustGet(db.CreateBaseclass("families", "name"), "families");
+
+  // --- Attributes. ---
+  AttributeId plays = MustGet(
+      db.CreateAttribute(musicians, "plays", instruments, true), "plays");
+  AttributeId union_attr = MustGet(
+      db.CreateAttribute(musicians, "union", Schema::kBooleans(), false),
+      "union");
+  AttributeId family = MustGet(
+      db.CreateAttribute(instruments, "family", families, false), "family");
+  AttributeId popular = MustGet(
+      db.CreateAttribute(instruments, "popular", Schema::kBooleans(), false),
+      "popular");
+  AttributeId members = MustGet(
+      db.CreateAttribute(music_groups, "members", musicians, true),
+      "members");
+  AttributeId size_attr = MustGet(
+      db.CreateAttribute(music_groups, "size", Schema::kIntegers(), false),
+      "size");
+  AttributeId includes = MustGet(
+      db.CreateAttribute(music_groups, "includes", families, true),
+      "includes");
+
+  // --- Groupings. ---
+  Must(db.CreateGrouping("by_instrument", musicians, plays).status(),
+       "by_instrument");
+  Must(db.CreateGrouping("work_status", musicians, union_attr).status(),
+       "work_status");
+  Must(db.CreateGrouping("by_family", instruments, family).status(),
+       "by_family");
+
+  // --- Subclasses. ---
+  ClassId play_strings = MustGet(
+      db.CreateSubclass("play_strings", musicians, Membership::kDerived),
+      "play_strings");
+  AttributeId in_group = MustGet(
+      db.CreateAttribute(play_strings, "in_group", Schema::kBooleans(), false),
+      "in_group");
+  Must(db.CreateGrouping("by_in_group", play_strings, in_group).status(),
+       "by_in_group");
+  ClassId soloists = MustGet(
+      db.CreateSubclass("soloists", musicians, Membership::kEnumerated),
+      "soloists");
+
+  // --- Data: families. ---
+  auto family_of = [&](const char* name) {
+    return MustGet(db.CreateEntity(families, name), name);
+  };
+  EntityId stringed = family_of("stringed");
+  EntityId brass = family_of("brass");
+  EntityId woodwind = family_of("woodwind");
+  EntityId percussion = family_of("percussion");
+  EntityId keyboard = family_of("keyboard");
+
+  // --- Data: instruments. flute and oboe carry the deliberate error the
+  // session corrects (family = brass instead of woodwind). ---
+  struct Inst {
+    const char* name;
+    EntityId fam;
+    bool popular;
+  };
+  const Inst kInstruments[] = {
+      {"flute", brass, true},       // wrong on purpose (paper §4.2)
+      {"oboe", brass, false},       // wrong on purpose (paper §4.2)
+      {"violin", stringed, true},  {"viola", stringed, false},
+      {"cello", stringed, true},   {"guitar", stringed, true},
+      {"harp", stringed, false},   {"trumpet", brass, true},
+      {"trombone", brass, false},  {"tuba", brass, false},
+      {"clarinet", woodwind, true}, {"bassoon", woodwind, false},
+      {"drums", percussion, true}, {"cymbals", percussion, false},
+      {"timpani", percussion, false}, {"piano", keyboard, true},
+      {"organ", keyboard, false},
+  };
+  for (const Inst& inst : kInstruments) {
+    EntityId e = MustGet(db.CreateEntity(instruments, inst.name), inst.name);
+    Must(db.SetSingle(e, family, inst.fam), "family");
+    Must(db.SetSingle(e, popular, db.InternBoolean(inst.popular)), "popular");
+  }
+  auto instrument = [&](const char* name) {
+    return MustGet(db.FindEntity(instruments, name), name);
+  };
+
+  // --- Data: musicians. ---
+  struct Mus {
+    const char* name;
+    std::vector<const char*> plays;
+    bool in_union;
+  };
+  const Mus kMusicians[] = {
+      {"Edith", {"viola", "violin"}, true},
+      {"Karen", {"cello"}, true},
+      {"Lucy", {"violin", "harp"}, false},
+      {"Mark", {"piano", "organ"}, true},
+      {"Ray", {"trumpet"}, true},
+      {"Sonia", {"flute", "oboe"}, false},
+      {"Theo", {"drums", "cymbals"}, true},
+      {"Vera", {"guitar"}, false},
+      {"Walt", {"tuba", "trombone"}, true},
+      {"Yoko", {"clarinet", "bassoon"}, true},
+      {"Zack", {"piano"}, false},
+  };
+  for (const Mus& m : kMusicians) {
+    EntityId e = MustGet(db.CreateEntity(musicians, m.name), m.name);
+    for (const char* inst : m.plays) {
+      Must(db.AddToMulti(e, plays, instrument(inst)), "plays");
+    }
+    Must(db.SetSingle(e, union_attr, db.InternBoolean(m.in_union)), "union");
+  }
+  auto musician = [&](const char* name) {
+    return MustGet(db.FindEntity(musicians, name), name);
+  };
+
+  // --- Data: music groups. Exactly one quartet includes a piano player
+  // (the LaBelle Quartet, with Edith), matching the session's outcome. ---
+  struct Group {
+    const char* name;
+    std::vector<const char*> members;
+  };
+  const Group kGroups[] = {
+      {"LaBelle Quartet", {"Edith", "Karen", "Lucy", "Mark"}},
+      {"Brass Trio", {"Ray", "Walt", "Theo"}},
+      {"String Quartet West", {"Edith", "Karen", "Lucy", "Vera"}},
+      {"Woodwind Quintet", {"Sonia", "Yoko", "Ray", "Walt", "Vera"}},
+      {"Duo Zephyr", {"Zack", "Sonia"}},
+  };
+  for (const Group& g : kGroups) {
+    EntityId e = MustGet(db.CreateEntity(music_groups, g.name), g.name);
+    EntitySet mset;
+    for (const char* m : g.members) mset.insert(musician(m));
+    Must(db.SetMulti(e, members, mset), "members");
+    Must(db.SetSingle(e, size_attr,
+                      db.InternInteger(static_cast<std::int64_t>(
+                          g.members.size()))),
+         "size");
+    // includes: the families of the instruments the group's members play.
+    AttributeId path[] = {members, plays, family};
+    EntitySet fams = db.EvaluateMap(e, path);
+    Must(db.SetMulti(e, includes, fams), "includes");
+  }
+
+  // --- play_strings: derived membership — "those musicians who play at
+  // least one instrument whose attribute family has the value stringed". ---
+  {
+    Predicate pred;
+    Atom atom;
+    atom.lhs = Term::Candidate({plays, family});
+    atom.op = SetOp::kWeakMatch;
+    atom.rhs = Term::Constant({stringed});
+    pred.AddAtom(atom, 0);
+    pred.form = NormalForm::kConjunctive;
+    Must(ws->DefineSubclassMembership(play_strings, pred), "play_strings");
+  }
+  // in_group: YES iff the string player is a value of the members attribute
+  // of some music group (stored, per the paper's description).
+  for (EntityId e : db.Members(play_strings)) {
+    bool in_some = false;
+    for (EntityId g : db.Members(music_groups)) {
+      if (db.GetMulti(g, members).count(e) > 0) {
+        in_some = true;
+        break;
+      }
+    }
+    Must(db.SetSingle(e, in_group, db.InternBoolean(in_some)), "in_group");
+  }
+
+  // --- soloists: user-defined (hand-picked). ---
+  for (const char* name : {"Edith", "Mark", "Yoko"}) {
+    Must(db.AddToClass(musician(name), soloists), "soloists");
+  }
+
+  return ws;
+}
+
+}  // namespace isis::datasets

@@ -1,0 +1,33 @@
+/// \file instrumental_music.h
+/// \brief The paper's sample database (§4.1), reconstructed exactly.
+///
+/// Schema: baseclasses musicians (naming attribute stage_name; plays ++>
+/// instruments; union -> YES/NO), instruments (name; family -> families;
+/// popular -> YES/NO), music_groups (name; members ++> musicians; size ->
+/// INTEGER; includes ++> families), families (name). Groupings:
+/// by_instrument and work_status on musicians, by_family on instruments,
+/// by_in_group on play_strings. Subclasses: play_strings (derived: plays at
+/// least one stringed instrument; attribute in_group -> YES/NO) and
+/// soloists (user-defined).
+///
+/// The data deliberately contains the error of §4.2: flute and oboe start
+/// with family = brass, which the sample session corrects to woodwind. One
+/// music group is a quartet (size 4) with a piano player, so the session's
+/// `quartets` query finds exactly one group.
+
+#ifndef ISIS_DATASETS_INSTRUMENTAL_MUSIC_H_
+#define ISIS_DATASETS_INSTRUMENTAL_MUSIC_H_
+
+#include <memory>
+
+#include "query/workspace.h"
+
+namespace isis::datasets {
+
+/// Builds the Instrumental_Music workspace. Dies on internal error (the
+/// dataset is a fixed constant; any failure is a bug).
+std::unique_ptr<query::Workspace> BuildInstrumentalMusic();
+
+}  // namespace isis::datasets
+
+#endif  // ISIS_DATASETS_INSTRUMENTAL_MUSIC_H_

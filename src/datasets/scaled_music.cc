@@ -1,0 +1,150 @@
+#include "datasets/scaled_music.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/rng.h"
+
+namespace isis::datasets {
+
+using query::Workspace;
+using sdm::Database;
+using sdm::EntitySet;
+using sdm::Schema;
+
+namespace {
+
+void Must(const Status& st, const char* what) {
+  if (!st.ok()) {
+    std::fprintf(stderr, "scaled_music: %s: %s\n", what, st.ToString().c_str());
+    std::abort();
+  }
+}
+
+template <typename T>
+T MustGet(Result<T> r, const char* what) {
+  Must(r.status(), what);
+  return std::move(r).ValueOrDie();
+}
+
+}  // namespace
+
+std::unique_ptr<Workspace> BuildScaledMusic(int scale, std::uint64_t seed) {
+  return BuildScaledMusic(scale, seed, Database::Options{});
+}
+
+std::unique_ptr<Workspace> BuildScaledMusic(int scale, std::uint64_t seed,
+                                            Database::Options options) {
+  auto ws = std::make_unique<Workspace>(options);
+  ws->set_name("Scaled_Music_x" + std::to_string(scale));
+  Database& db = ws->db();
+  Rng rng(seed);
+
+  ClassId musicians =
+      MustGet(db.CreateBaseclass("musicians", "stage_name"), "musicians");
+  ClassId instruments =
+      MustGet(db.CreateBaseclass("instruments", "name"), "instruments");
+  ClassId music_groups =
+      MustGet(db.CreateBaseclass("music_groups", "name"), "music_groups");
+  ClassId families =
+      MustGet(db.CreateBaseclass("families", "name"), "families");
+
+  AttributeId plays = MustGet(
+      db.CreateAttribute(musicians, "plays", instruments, true), "plays");
+  Must(db.CreateAttribute(musicians, "union", Schema::kBooleans(), false)
+           .status(),
+       "union");
+  AttributeId family = MustGet(
+      db.CreateAttribute(instruments, "family", families, false), "family");
+  Must(db.CreateAttribute(instruments, "popular", Schema::kBooleans(), false)
+           .status(),
+       "popular");
+  AttributeId members = MustGet(
+      db.CreateAttribute(music_groups, "members", musicians, true),
+      "members");
+  AttributeId size_attr = MustGet(
+      db.CreateAttribute(music_groups, "size", Schema::kIntegers(), false),
+      "size");
+  AttributeId includes = MustGet(
+      db.CreateAttribute(music_groups, "includes", families, true),
+      "includes");
+  Must(db.CreateGrouping("by_family", instruments, family).status(),
+       "by_family");
+
+  const int n_families = 8;
+  const int n_instruments = std::max(4, 2 * scale);
+  const int n_musicians = std::max(8, 16 * scale);
+  const int n_groups = std::max(2, 3 * scale);
+
+  std::vector<EntityId> fam_entities;
+  for (int i = 0; i < n_families; ++i) {
+    fam_entities.push_back(MustGet(
+        db.CreateEntity(families, "family" + std::to_string(i)), "family"));
+  }
+  std::vector<EntityId> inst_entities;
+  for (int i = 0; i < n_instruments; ++i) {
+    EntityId e = MustGet(
+        db.CreateEntity(instruments, "inst" + std::to_string(i)), "inst");
+    Must(db.SetSingle(e, family, fam_entities[rng.Below(n_families)]),
+         "family value");
+    inst_entities.push_back(e);
+  }
+  AttributeId union_attr =
+      MustGet(db.schema().FindAttribute(musicians, "union"), "find union");
+  AttributeId popular =
+      MustGet(db.schema().FindAttribute(instruments, "popular"), "popular");
+  for (EntityId e : inst_entities) {
+    Must(db.SetSingle(e, popular, db.InternBoolean(rng.Chance(0.4))),
+         "popular value");
+  }
+  std::vector<EntityId> musician_entities;
+  for (int i = 0; i < n_musicians; ++i) {
+    EntityId e = MustGet(
+        db.CreateEntity(musicians, "musician" + std::to_string(i)), "mus");
+    EntitySet kit;
+    int k = 1 + static_cast<int>(rng.Below(3));
+    for (int j = 0; j < k; ++j) {
+      kit.insert(inst_entities[rng.Below(inst_entities.size())]);
+    }
+    Must(db.SetMulti(e, plays, kit), "plays value");
+    Must(db.SetSingle(e, union_attr, db.InternBoolean(rng.Chance(0.6))),
+         "union value");
+    musician_entities.push_back(e);
+  }
+  for (int i = 0; i < n_groups; ++i) {
+    EntityId g = MustGet(
+        db.CreateEntity(music_groups, "group" + std::to_string(i)), "grp");
+    EntitySet crew;
+    int k = 2 + static_cast<int>(rng.Below(5));  // sizes 2..6
+    while (static_cast<int>(crew.size()) < k) {
+      crew.insert(musician_entities[rng.Below(musician_entities.size())]);
+    }
+    Must(db.SetMulti(g, members, crew), "members value");
+    Must(db.SetSingle(g, size_attr,
+                      db.InternInteger(static_cast<std::int64_t>(crew.size()))),
+         "size value");
+    AttributeId path[] = {members, plays, family};
+    Must(db.SetMulti(g, includes, db.EvaluateMap(g, path)), "includes");
+  }
+  return ws;
+}
+
+ScaledMusicHandles ResolveScaledMusic(const Workspace& ws) {
+  const Schema& s = ws.db().schema();
+  ScaledMusicHandles h;
+  h.musicians = s.FindClass("musicians").ValueOrDie();
+  h.instruments = s.FindClass("instruments").ValueOrDie();
+  h.music_groups = s.FindClass("music_groups").ValueOrDie();
+  h.families = s.FindClass("families").ValueOrDie();
+  h.plays = s.FindAttribute(h.musicians, "plays").ValueOrDie();
+  h.union_attr = s.FindAttribute(h.musicians, "union").ValueOrDie();
+  h.family = s.FindAttribute(h.instruments, "family").ValueOrDie();
+  h.popular = s.FindAttribute(h.instruments, "popular").ValueOrDie();
+  h.members = s.FindAttribute(h.music_groups, "members").ValueOrDie();
+  h.size = s.FindAttribute(h.music_groups, "size").ValueOrDie();
+  h.includes = s.FindAttribute(h.music_groups, "includes").ValueOrDie();
+  h.by_family = s.FindGrouping("by_family").ValueOrDie();
+  return h;
+}
+
+}  // namespace isis::datasets

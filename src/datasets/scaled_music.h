@@ -1,0 +1,38 @@
+/// \file scaled_music.h
+/// \brief A size-parameterized version of the paper's Instrumental_Music
+/// database, used by the quantitative benchmarks.
+///
+/// Shape matches §4.1 — musicians play instruments, instruments belong to
+/// families, music groups have members/size/includes — but with `scale`
+/// controlling cardinalities: ~16*scale musicians, 2*scale instruments,
+/// 3*scale groups, 8 families. Deterministic in (scale, seed).
+
+#ifndef ISIS_DATASETS_SCALED_MUSIC_H_
+#define ISIS_DATASETS_SCALED_MUSIC_H_
+
+#include <memory>
+
+#include "query/workspace.h"
+
+namespace isis::datasets {
+
+/// Resolved handles into a scaled music workspace.
+struct ScaledMusicHandles {
+  ClassId musicians, instruments, music_groups, families;
+  AttributeId plays, union_attr, family, popular, members, size, includes;
+  GroupingId by_family;
+};
+
+std::unique_ptr<query::Workspace> BuildScaledMusic(int scale,
+                                                   std::uint64_t seed = 7);
+
+/// Same content, custom database options (e.g. grouping maintenance
+/// strategy for the A1 ablation). Deterministic in (scale, seed).
+std::unique_ptr<query::Workspace> BuildScaledMusic(
+    int scale, std::uint64_t seed, sdm::Database::Options options);
+
+ScaledMusicHandles ResolveScaledMusic(const query::Workspace& ws);
+
+}  // namespace isis::datasets
+
+#endif  // ISIS_DATASETS_SCALED_MUSIC_H_

@@ -1,0 +1,137 @@
+#include "datasets/session_script.h"
+
+namespace isis::datasets {
+
+const std::vector<SessionFigure>& PaperSessionFigures() {
+  static const std::vector<SessionFigure> kFigures = {
+      {"figure1",
+       "The inheritance forest view with soloists as the schema selection",
+       "pick class:soloists\n"},
+
+      {"figure2",
+       "The semantic network view with instruments as the schema selection",
+       "cmd view associations\n"
+       "pick class:instruments\n"},
+
+      {"figure3",
+       "Selecting the entity oboe from the instruments class at the data "
+       "level",
+       "cmd pop\n"
+       "cmd view contents\n"
+       "pick member:flute\n"
+       "pick member:oboe\n"},
+
+      {"figure4",
+       "After following the family attribute for the entities flute and "
+       "oboe",
+       "cmd follow\n"
+       "pick attr:family\n"},
+
+      {"figure5",
+       "Updating the family attribute for both flute and oboe",
+       "pick member:brass\n"
+       "pick member:woodwind\n"
+       "cmd (re)assign att. value\n"},
+
+      {"figure6",
+       "The by_family grouping at the data level",
+       "cmd view forest\n"
+       "pick grouping:by_family\n"
+       "cmd display predicate\n"
+       "cmd view contents\n"
+       "pick member:percussion\n"},
+
+      {"figure7",
+       "After following percussion (from the by_family grouping) into the "
+       "instruments class",
+       "cmd follow\n"},
+
+      {"figure8",
+       "Creating a subclass of music_groups",
+       "cmd view forest\n"
+       "pick class:music_groups\n"
+       "cmd create subclass\n"
+       "type quartets\n"},
+
+      {"figure9",
+       "Constructing a predicate to define the membership of the quartets "
+       "class",
+       "cmd (re)define membership\n"
+       "# atom A: the size of the group is four\n"
+       "pick atom:A\n"
+       "pick clause:2\n"
+       "cmd edit\n"
+       "pick attr:size\n"
+       "pick op:=\n"
+       "cmd rhs constant\n"
+       "pick member:4\n"
+       "cmd accept constant\n"
+       "# atom E: at least one musician in the quartet plays the piano\n"
+       "pick atom:E\n"
+       "pick clause:1\n"
+       "cmd edit\n"
+       "pick attr:members\n"
+       "pick attr:plays\n"
+       "pick op:]=\n"
+       "cmd rhs constant\n"
+       "cmd members down\n"
+       "pick member:piano\n"
+       "cmd accept constant\n"
+       "cmd switch and/or\n"},
+
+      {"figure10",
+       "A completed derivation for the attribute all_inst in the quartets "
+       "class",
+       "cmd commit\n"
+       "cmd create attribute\n"
+       "type all_inst\n"
+       "cmd (re)specify value class\n"
+       "pick class:instruments\n"
+       "cmd (re)define derivation\n"
+       "cmd hand\n"
+       "pick attr:members\n"
+       "pick attr:plays\n"},
+
+      {"figure11",
+       "Changing the data selection",
+       "cmd commit\n"
+       "pick class:quartets\n"
+       "cmd view contents\n"
+       "pick member:LaBelle Quartet\n"
+       "cmd follow\n"
+       "pick attr:members\n"
+       "pick member:Karen\n"
+       "pick member:Lucy\n"
+       "pick member:Mark\n"},
+
+      {"figure12",
+       "The inheritance forest with the new user-defined subclass "
+       "edith_plays that was created at the data level",
+       "cmd follow\n"
+       "pick attr:plays\n"
+       "cmd make subclass\n"
+       "type edith_plays\n"
+       "cmd view forest\n"},
+  };
+  return kFigures;
+}
+
+std::string PaperSessionEpilogue() {
+  return
+      "cmd save\n"
+      "type entertainment\n"
+      "cmd stop\n";
+}
+
+std::string FullPaperSession() {
+  std::string out;
+  for (const SessionFigure& f : PaperSessionFigures()) {
+    out += "# --- " + f.name + ": " + f.caption + "\n";
+    out += f.script;
+  }
+  out += "# --- epilogue\n";
+  out += PaperSessionEpilogue();
+  return out;
+}
+
+}  // namespace isis::datasets

@@ -1,0 +1,37 @@
+/// \file session_script.h
+/// \brief The paper's sample session (§4.2) as a replayable event script.
+///
+/// The session is split into segments; after applying segment k to a fresh
+/// Instrumental_Music session, the rendered screen is the reproduction of
+/// the paper's figure named by that segment. Replaying all segments in
+/// order runs the complete session, ending with the database saved as
+/// `entertainment` (paper: "he saves this new database as entertainment").
+
+#ifndef ISIS_DATASETS_SESSION_SCRIPT_H_
+#define ISIS_DATASETS_SESSION_SCRIPT_H_
+
+#include <string>
+#include <vector>
+
+namespace isis::datasets {
+
+/// One figure of the paper: the script segment leading to it and a short
+/// caption (from the paper's figure captions).
+struct SessionFigure {
+  std::string name;     ///< "figure1" ... "figure12".
+  std::string caption;  ///< The paper's caption.
+  std::string script;   ///< Events to apply after the previous segment.
+};
+
+/// The twelve figure segments, in session order.
+const std::vector<SessionFigure>& PaperSessionFigures();
+
+/// The tail of the session after Figure 12 (save as `entertainment`, stop).
+std::string PaperSessionEpilogue();
+
+/// The whole session as one script.
+std::string FullPaperSession();
+
+}  // namespace isis::datasets
+
+#endif  // ISIS_DATASETS_SESSION_SCRIPT_H_

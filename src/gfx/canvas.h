@@ -1,0 +1,101 @@
+/// \file canvas.h
+/// \brief Deterministic character-cell canvas — the stand-in for the Apollo
+/// bitmap display driven by Brown's ASH graphics package.
+///
+/// Every visual element the paper describes maps onto cells with style
+/// bits: reverse video (baseclass name sections), bold (selected members,
+/// "highlighted with a large boldface type"), borders, characteristic fill
+/// patterns, and icons (the hand). A rendered screen serializes to a
+/// string, so Figures 1-12 are reproducible byte-for-byte and tests can
+/// assert on exact screens.
+
+#ifndef ISIS_GFX_CANVAS_H_
+#define ISIS_GFX_CANVAS_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace isis::gfx {
+
+/// Cell style bits.
+enum Style : std::uint8_t {
+  kPlain = 0,
+  kBold = 1 << 0,     ///< Selected members ("large boldface type").
+  kReverse = 1 << 1,  ///< Baseclass name sections ("in reverse video").
+  kDim = 1 << 2,      ///< De-emphasized chrome.
+};
+
+/// One character cell.
+struct Cell {
+  char ch = ' ';
+  std::uint8_t style = kPlain;
+};
+
+/// An axis-aligned rectangle in cell coordinates.
+struct Rect {
+  int x = 0;
+  int y = 0;
+  int w = 0;
+  int h = 0;
+
+  bool Contains(int px, int py) const {
+    return px >= x && px < x + w && py >= y && py < y + h;
+  }
+  bool Intersects(const Rect& o) const {
+    return x < o.x + o.w && o.x < x + w && y < o.y + o.h && o.y < y + h;
+  }
+  int right() const { return x + w; }
+  int bottom() const { return y + h; }
+};
+
+/// \brief A fixed-size grid of styled character cells.
+class Canvas {
+ public:
+  Canvas(int width, int height);
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+
+  void Clear(char ch = ' ');
+
+  /// Writes one cell; out-of-bounds writes are clipped silently.
+  void Put(int x, int y, char ch, std::uint8_t style = kPlain);
+
+  const Cell& At(int x, int y) const;
+
+  /// Writes a string starting at (x, y), clipped at the right edge.
+  void Text(int x, int y, std::string_view s, std::uint8_t style = kPlain);
+
+  /// Draws a single-line box (`+--+` corners, `|`/`-` edges).
+  void Box(const Rect& r, std::uint8_t style = kPlain);
+
+  /// Draws a double-struck box (`#` corners/edges) used for emphasis.
+  void HeavyBox(const Rect& r, std::uint8_t style = kPlain);
+
+  void HLine(int x, int y, int w, char ch = '-', std::uint8_t style = kPlain);
+  void VLine(int x, int y, int h, char ch = '|', std::uint8_t style = kPlain);
+
+  /// Fills a rect with one character.
+  void Fill(const Rect& r, char ch, std::uint8_t style = kPlain);
+
+  /// ORs `style` over every cell of the rect (e.g. bolding a region).
+  void AddStyle(const Rect& r, std::uint8_t style);
+
+  /// The characters only, one line per row, trailing spaces trimmed.
+  std::string ToString() const;
+
+  /// Per-cell style map aligned with ToString before trimming: ' ' plain,
+  /// 'b' bold, 'r' reverse, 'B' bold+reverse, 'd' dim.
+  std::string StyleString() const;
+
+ private:
+  int width_;
+  int height_;
+  std::vector<Cell> cells_;
+};
+
+}  // namespace isis::gfx
+
+#endif  // ISIS_GFX_CANVAS_H_

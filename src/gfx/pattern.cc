@@ -1,0 +1,72 @@
+#include "gfx/pattern.h"
+
+#include <cstdio>
+
+namespace isis::gfx {
+
+namespace {
+
+// Each pattern is a 2x4 tile of texture characters; 16 visually distinct
+// tiles before cycling.
+const char* const kTiles[kDistinctPatterns][2] = {
+    {"....", "...."},  // 0
+    {"::::", "::::"},  // 1
+    {"/// ", " ///"},  // 2
+    {"\\\\\\ ", " \\\\\\"},  // 3
+    {"xxxx", "xxxx"},  // 4
+    {"+-+-", "-+-+"},  // 5
+    {"%%%%", "%%%%"},  // 6
+    {"o.o.", ".o.o"},  // 7
+    {"====", "    "},  // 8
+    {"||||", "||||"},  // 9
+    {"^^^^", "vvvv"},  // 10
+    {"####", "####"},  // 11
+    {"~~~~", "~~~~"},  // 12
+    {"*  *", "  * "},  // 13
+    {"<><>", "><><"},  // 14
+    {"@@  ", "  @@"},  // 15
+};
+
+}  // namespace
+
+char PatternGlyph(int pattern, int x, int y) {
+  if (pattern < 0) pattern = 0;
+  const char* const* tile = kTiles[pattern % kDistinctPatterns];
+  return tile[(y % 2 + 2) % 2][(x % 4 + 4) % 4];
+}
+
+std::string PatternTag(int pattern) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "p%02d", pattern);
+  return buf;
+}
+
+void FillPattern(Canvas* canvas, const Rect& r, int pattern, bool set_border) {
+  Rect inner = r;
+  if (set_border) {
+    canvas->Fill(r, ' ');
+    inner = Rect{r.x + 1, r.y + 1, r.w - 2, r.h - 2};
+  }
+  for (int y = inner.y; y < inner.bottom(); ++y) {
+    for (int x = inner.x; x < inner.right(); ++x) {
+      canvas->Put(x, y, PatternGlyph(pattern, x - inner.x, y - inner.y));
+    }
+  }
+}
+
+void PatternSwatch(Canvas* canvas, int x, int y, int width, int pattern,
+                   bool set_border) {
+  int start = 0;
+  int end = width;
+  if (set_border && width >= 3) {
+    canvas->Put(x, y, ' ');
+    canvas->Put(x + width - 1, y, ' ');
+    start = 1;
+    end = width - 1;
+  }
+  for (int i = start; i < end; ++i) {
+    canvas->Put(x + i, y, PatternGlyph(pattern, i - start, 0));
+  }
+}
+
+}  // namespace isis::gfx

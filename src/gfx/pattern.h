@@ -1,0 +1,43 @@
+/// \file pattern.h
+/// \brief Characteristic fill patterns.
+///
+/// The paper (§3.2): every class carries "a characteristic fill pattern
+/// unique to the class, which is provided automatically by the system", and
+/// set-valued things (groupings, multivalued attribute swatches) show the
+/// pattern "with a white border to signify that the ... value is a set".
+/// Here a pattern index maps to a deterministic character texture; the
+/// engine guarantees uniqueness of indices, and this module guarantees the
+/// first kDistinctPatterns indices render distinguishably.
+
+#ifndef ISIS_GFX_PATTERN_H_
+#define ISIS_GFX_PATTERN_H_
+
+#include <string>
+
+#include "gfx/canvas.h"
+
+namespace isis::gfx {
+
+/// Number of visually distinct textures before indices cycle (cycled
+/// indices stay machine-distinguishable via PatternTag).
+inline constexpr int kDistinctPatterns = 16;
+
+/// The texture character of pattern `pattern` at cell (x, y).
+char PatternGlyph(int pattern, int x, int y);
+
+/// A short printable tag for a pattern, e.g. "p07", unique per index; used
+/// where a swatch is too small to distinguish textures.
+std::string PatternTag(int pattern);
+
+/// Fills `r` with pattern `pattern`. When `set_border` is true, a one-cell
+/// white (blank) border frames the pattern — the paper's set marker.
+void FillPattern(Canvas* canvas, const Rect& r, int pattern, bool set_border);
+
+/// Draws a small inline swatch of `width` cells at (x, y) — used in
+/// attribute rows to show the value class's pattern.
+void PatternSwatch(Canvas* canvas, int x, int y, int width, int pattern,
+                   bool set_border);
+
+}  // namespace isis::gfx
+
+#endif  // ISIS_GFX_PATTERN_H_

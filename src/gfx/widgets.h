@@ -1,0 +1,119 @@
+/// \file widgets.h
+/// \brief The view building blocks of §3: menus, text windows, and pannable
+/// windows over a logical plane.
+///
+/// "A view corresponds to an entire workstation screen. A view could
+/// contain (1) menus, (2) text windows, and/or (3) windows" — all disjoint
+/// rectangular areas within the view. Windows show a piece of the schema or
+/// data plane through a pan offset.
+
+#ifndef ISIS_GFX_WIDGETS_H_
+#define ISIS_GFX_WIDGETS_H_
+
+#include <string>
+#include <vector>
+
+#include "gfx/canvas.h"
+
+namespace isis::gfx {
+
+/// \brief A vertical command menu with optional function-key labels.
+///
+/// Commands are "standardized ... for each view" and "commands in different
+/// views with the same names have the same semantics"; rendering keeps one
+/// command per row so pick hit-testing is by row.
+class Menu {
+ public:
+  struct Item {
+    std::string command;   ///< Canonical command name, e.g. "view contents".
+    std::string key;       ///< Function key label, e.g. "F3"; may be empty.
+    bool enabled = true;
+  };
+
+  explicit Menu(std::string title) : title_(std::move(title)) {}
+
+  void Add(std::string command, std::string key = "", bool enabled = true) {
+    items_.push_back(Item{std::move(command), std::move(key), enabled});
+  }
+  const std::vector<Item>& items() const { return items_; }
+  const std::string& title() const { return title_; }
+
+  /// Renders into `r`; returns one hit rectangle per item (same order).
+  std::vector<Rect> Render(Canvas* canvas, const Rect& r) const;
+
+ private:
+  std::string title_;
+  std::vector<Item> items_;
+};
+
+/// \brief A text window: prompts, warnings and textual output (§3).
+class TextWindow {
+ public:
+  /// Replaces the contents with one message.
+  void Set(const std::string& text);
+  /// Appends a line, scrolling older lines away on render if needed.
+  void Append(const std::string& line);
+  void Clear() { lines_.clear(); }
+  const std::vector<std::string>& lines() const { return lines_; }
+
+  /// Renders the last lines that fit into `r` (boxed).
+  void Render(Canvas* canvas, const Rect& r) const;
+
+ private:
+  std::vector<std::string> lines_;
+};
+
+/// \brief A window: a clipped, pannable viewport onto a logical plane.
+///
+/// Drawing calls take logical coordinates; the window maps them through its
+/// pan offset into the screen rect, clipping at the edges. "Commands are
+/// always provided for manually changing the window position (e.g. panning
+/// commands)."
+class Window {
+ public:
+  Window(Canvas* canvas, const Rect& screen_rect)
+      : canvas_(canvas), rect_(screen_rect) {}
+
+  const Rect& rect() const { return rect_; }
+  int pan_x() const { return pan_x_; }
+  int pan_y() const { return pan_y_; }
+  void Pan(int dx, int dy) {
+    pan_x_ += dx;
+    pan_y_ += dy;
+  }
+  void SetPan(int x, int y) {
+    pan_x_ = x;
+    pan_y_ = y;
+  }
+
+  /// Pans so that the logical rect `target` is visible (minimal movement).
+  void EnsureVisible(const Rect& target);
+
+  // Logical-coordinate drawing (clipped to the window).
+  void Put(int lx, int ly, char ch, std::uint8_t style = kPlain);
+  void Text(int lx, int ly, std::string_view s, std::uint8_t style = kPlain);
+  void Box(const Rect& logical, std::uint8_t style = kPlain);
+  void HLine(int lx, int ly, int w, char ch = '-',
+             std::uint8_t style = kPlain);
+  void VLine(int lx, int ly, int h, char ch = '|',
+             std::uint8_t style = kPlain);
+  void AddStyle(const Rect& logical, std::uint8_t style);
+
+  /// Screen rect of a logical rect (possibly clipped to zero size); used to
+  /// register hit regions for picked objects.
+  Rect ToScreen(const Rect& logical) const;
+  /// Logical position of a screen cell.
+  void ToLogical(int sx, int sy, int* lx, int* ly) const;
+
+ private:
+  bool Map(int lx, int ly, int* sx, int* sy) const;
+
+  Canvas* canvas_;
+  Rect rect_;
+  int pan_x_ = 0;
+  int pan_y_ = 0;
+};
+
+}  // namespace isis::gfx
+
+#endif  // ISIS_GFX_WIDGETS_H_

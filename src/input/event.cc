@@ -1,0 +1,66 @@
+#include "input/event.h"
+
+#include "common/strings.h"
+
+namespace isis::input {
+
+std::string EventToString(const Event& e) {
+  if (const auto* p = std::get_if<PickEvent>(&e)) {
+    return "pick(" + std::to_string(p->x) + "," + std::to_string(p->y) + ")";
+  }
+  if (const auto* c = std::get_if<CommandEvent>(&e)) {
+    return "cmd[" + c->command + "]";
+  }
+  if (const auto* t = std::get_if<TextEvent>(&e)) {
+    return "type[" + t->text + "]";
+  }
+  const auto& n = std::get<NamedPickEvent>(e);
+  return "pick[" + n.target + "]";
+}
+
+Event EventQueue::Pop() {
+  Event e = std::move(events_.front());
+  events_.pop_front();
+  return e;
+}
+
+Result<std::vector<Event>> ParseScript(const std::string& script) {
+  std::vector<Event> out;
+  int line_no = 0;
+  for (const std::string& raw : Split(script, '\n')) {
+    ++line_no;
+    std::string_view line = Trim(raw);
+    if (line.empty() || line[0] == '#') continue;
+    size_t sp = line.find(' ');
+    std::string verb(line.substr(0, sp));
+    std::string arg =
+        sp == std::string_view::npos ? "" : std::string(Trim(line.substr(sp)));
+    auto bad = [&](const std::string& why) {
+      return Status::ParseError("script line " + std::to_string(line_no) +
+                                ": " + why);
+    };
+    if (verb == "pick") {
+      if (arg.empty()) return bad("pick needs a target name");
+      out.push_back(NamedPickEvent{arg});
+    } else if (verb == "pickat") {
+      std::vector<std::string> parts = Split(arg, ' ');
+      if (parts.size() != 2) return bad("pickat needs x and y");
+      char* end = nullptr;
+      int x = static_cast<int>(std::strtol(parts[0].c_str(), &end, 10));
+      if (*end != '\0') return bad("bad x coordinate");
+      int y = static_cast<int>(std::strtol(parts[1].c_str(), &end, 10));
+      if (*end != '\0') return bad("bad y coordinate");
+      out.push_back(PickEvent{x, y});
+    } else if (verb == "cmd") {
+      if (arg.empty()) return bad("cmd needs a command name");
+      out.push_back(CommandEvent{arg});
+    } else if (verb == "type") {
+      out.push_back(TextEvent{arg});
+    } else {
+      return bad("unknown verb '" + verb + "'");
+    }
+  }
+  return out;
+}
+
+}  // namespace isis::input

@@ -1,0 +1,79 @@
+/// \file event.h
+/// \brief Input events — the stand-in for Brown's APIO input package.
+///
+/// The paper's interaction grammar is small: the one-button mouse *picks*
+/// (click at a screen location), function keys fire commands (a "simple
+/// convenience, which greatly speeds up interaction"), and the keyboard
+/// enters text into prompts. Events arrive through a queue; a scriptable
+/// source replays sessions deterministically so every figure of the paper
+/// is a pure function of the script prefix.
+
+#ifndef ISIS_INPUT_EVENT_H_
+#define ISIS_INPUT_EVENT_H_
+
+#include <deque>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/result.h"
+
+namespace isis::input {
+
+/// Mouse pick at screen cell (x, y).
+struct PickEvent {
+  int x = 0;
+  int y = 0;
+};
+
+/// A function key or menu command by canonical name ("view contents",
+/// "follow", "undo", ...). Menus and function keys share semantics, so they
+/// share the event.
+struct CommandEvent {
+  std::string command;
+};
+
+/// A line of keyboard input answering the current prompt.
+struct TextEvent {
+  std::string text;
+};
+
+/// A named pick: "pick the object called X". The controller resolves the
+/// name against the current screen's hit regions and converts it to a
+/// PickEvent — scripts stay readable while exercising the same hit-testing
+/// path a raw coordinate pick uses.
+struct NamedPickEvent {
+  std::string target;
+};
+
+using Event =
+    std::variant<PickEvent, CommandEvent, TextEvent, NamedPickEvent>;
+
+/// Short display form for traces, e.g. `pick(12,3)` or `cmd[follow]`.
+std::string EventToString(const Event& e);
+
+/// \brief FIFO of pending events.
+class EventQueue {
+ public:
+  void Push(Event e) { events_.push_back(std::move(e)); }
+  bool empty() const { return events_.empty(); }
+  size_t size() const { return events_.size(); }
+  Event Pop();
+
+ private:
+  std::deque<Event> events_;
+};
+
+/// \brief Parses a textual session script into events.
+///
+/// One event per line; `#` starts a comment. Forms:
+///   pick <name>          named pick (resolved by the controller)
+///   pickat <x> <y>       raw coordinate pick
+///   cmd <command...>     function key / menu command
+///   type <text...>       keyboard input line
+/// Blank lines are ignored.
+Result<std::vector<Event>> ParseScript(const std::string& script);
+
+}  // namespace isis::input
+
+#endif  // ISIS_INPUT_EVENT_H_

@@ -1,0 +1,337 @@
+#include "query/parser.h"
+
+#include <cctype>
+#include <cstring>
+
+#include "query/eval.h"
+
+namespace isis::query {
+
+namespace {
+
+using sdm::Schema;
+
+/// Cursor over the input with position-carrying errors.
+class Cursor {
+ public:
+  explicit Cursor(const std::string& text) : text_(&text) {}
+
+  void SkipWs() {
+    while (pos_ < text_->size() &&
+           std::isspace(static_cast<unsigned char>((*text_)[pos_]))) {
+      ++pos_;
+    }
+  }
+  bool AtEnd() {
+    SkipWs();
+    return pos_ >= text_->size();
+  }
+  char Peek() {
+    SkipWs();
+    return pos_ < text_->size() ? (*text_)[pos_] : '\0';
+  }
+  bool Consume(char c) {
+    if (Peek() == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool ConsumeWord(const char* word) {
+    SkipWs();
+    size_t len = std::strlen(word);
+    if (text_->compare(pos_, len, word) != 0) return false;
+    // Must end at a word boundary.
+    size_t end = pos_ + len;
+    if (end < text_->size() &&
+        (std::isalnum(static_cast<unsigned char>((*text_)[end])) ||
+         (*text_)[end] == '_')) {
+      return false;
+    }
+    pos_ = end;
+    return true;
+  }
+
+  /// An identifier: letters, digits, '_' and '/' (for YES/NO).
+  Result<std::string> Identifier(const char* what) {
+    SkipWs();
+    size_t start = pos_;
+    while (pos_ < text_->size() &&
+           (std::isalnum(static_cast<unsigned char>((*text_)[pos_])) ||
+            (*text_)[pos_] == '_' || (*text_)[pos_] == '/')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      return Status::ParseError(std::string("expected ") + what + " at " +
+                                Here());
+    }
+    return text_->substr(start, pos_ - start);
+  }
+
+  /// A constant name inside braces: anything up to ',' or '}', trimmed
+  /// (entity names may contain spaces, e.g. "LaBelle Quartet").
+  Result<std::string> ConstantName() {
+    SkipWs();
+    size_t start = pos_;
+    while (pos_ < text_->size() && (*text_)[pos_] != ',' && (*text_)[pos_] != '}') {
+      ++pos_;
+    }
+    size_t end = pos_;
+    while (end > start &&
+           std::isspace(static_cast<unsigned char>((*text_)[end - 1]))) {
+      --end;
+    }
+    if (end == start) {
+      return Status::ParseError("empty constant name at " + Here());
+    }
+    return text_->substr(start, end - start);
+  }
+
+  std::string Here() const {
+    return "offset " + std::to_string(pos_) + " ('" +
+           text_->substr(pos_, 12) + "...')";
+  }
+
+ private:
+  const std::string* text_;
+  size_t pos_ = 0;
+};
+
+/// Resolves one map step by name at class `tip`: visible attributes first,
+/// then descendant-owned ones (the worksheet's descendant-step rule).
+Result<AttributeId> ResolveStep(const sdm::Database& db, ClassId tip,
+                                const std::string& name) {
+  Result<AttributeId> visible = db.schema().FindAttribute(tip, name);
+  if (visible.ok()) return visible;
+  for (ClassId d : db.schema().SelfAndDescendants(tip)) {
+    for (AttributeId a : db.schema().GetClass(d).own_attributes) {
+      if (db.schema().HasAttribute(a) &&
+          db.schema().GetAttribute(a).name == name) {
+        return a;
+      }
+    }
+  }
+  return Status::ParseError("no attribute '" + name + "' reachable from '" +
+                            db.schema().GetClass(tip).name + "'");
+}
+
+struct ParsedTerm {
+  Term term;
+  ClassId terminal;  ///< Schema class the map ends in (invalid: unknown).
+};
+
+/// Parses `e.path`, `x.path` or `Class.path`. `lhs_terminal` (when valid)
+/// is the class constants of a right-hand side resolve in.
+Result<ParsedTerm> ParseTermAt(Cursor* cur, const sdm::Database& db,
+                               ClassId candidate, std::optional<ClassId> self,
+                               ClassId lhs_terminal, bool allow_constants) {
+  ParsedTerm out;
+  ClassId tip;
+  if (cur->Peek() == '{') {
+    if (!allow_constants) {
+      return Status::ParseError(
+          "a constant set is not allowed here (the left side must be a map "
+          "from e or x)");
+    }
+    if (!lhs_terminal.valid()) {
+      return Status::ParseError(
+          "constants need an atom context (a left-hand side to terminate)");
+    }
+    cur->Consume('{');
+    sdm::EntitySet constants;
+    while (true) {
+      ISIS_ASSIGN_OR_RETURN(std::string name, cur->ConstantName());
+      ISIS_ASSIGN_OR_RETURN(EntityId e, db.FindMember(lhs_terminal, name));
+      constants.insert(e);
+      if (cur->Consume(',')) continue;
+      if (cur->Consume('}')) break;
+      return Status::ParseError("expected ',' or '}' at " + cur->Here());
+    }
+    out.term = Term::Constant(std::move(constants));
+    out.terminal = lhs_terminal;
+    return out;  // constants take no path (the worksheet's plain constant)
+  }
+  if (cur->ConsumeWord("e")) {
+    out.term = Term::Candidate();
+    tip = candidate;
+  } else if (cur->ConsumeWord("x")) {
+    if (!self.has_value()) {
+      return Status::ParseError(
+          "'x' (the owner entity) is only legal in derivation predicates");
+    }
+    out.term = Term::Self();
+    tip = *self;
+  } else {
+    ISIS_ASSIGN_OR_RETURN(std::string cls_name,
+                          cur->Identifier("a term ('e', 'x', a class name "
+                                          "or '{constants}')"));
+    Result<ClassId> cls = db.schema().FindClass(cls_name);
+    if (!cls.ok()) {
+      return Status::ParseError("unknown class '" + cls_name + "'");
+    }
+    out.term = Term::ClassExtent(*cls);
+    tip = *cls;
+  }
+  while (cur->Consume('.')) {
+    ISIS_ASSIGN_OR_RETURN(std::string attr_name,
+                          cur->Identifier("an attribute name"));
+    ISIS_ASSIGN_OR_RETURN(AttributeId attr, ResolveStep(db, tip, attr_name));
+    out.term.path.push_back(attr);
+    tip = db.schema().GetAttribute(attr).value_class;
+  }
+  out.terminal = tip;
+  return out;
+}
+
+Result<SetOp> ParseOp(Cursor* cur, bool* negated) {
+  *negated = cur->ConsumeWord("not");
+  cur->SkipWs();
+  struct OpSpec {
+    const char* text;
+    SetOp op;
+  };
+  // Longest match first.
+  static const OpSpec kOps[] = {
+      {"[=", SetOp::kSubset},  {"]=", SetOp::kSuperset},
+      {"<=", SetOp::kLessEqual}, {"[", SetOp::kProperSubset},
+      {"]", SetOp::kProperSuperset}, {"=", SetOp::kEqual},
+      {"~", SetOp::kWeakMatch}, {">", SetOp::kGreater},
+  };
+  for (const OpSpec& spec : kOps) {
+    bool matched = true;
+    // Try to consume spec.text character by character (no backtracking
+    // needed because prefixes are ordered longest first).
+    Cursor probe = *cur;
+    for (const char* c = spec.text; *c != '\0'; ++c) {
+      if (!probe.Consume(*c)) {
+        matched = false;
+        break;
+      }
+    }
+    if (matched) {
+      *cur = probe;
+      return spec.op;
+    }
+  }
+  return Status::ParseError("expected an operator at " + cur->Here());
+}
+
+Result<Atom> ParseAtom(Cursor* cur, const sdm::Database& db, ClassId candidate,
+                       std::optional<ClassId> self) {
+  Atom atom;
+  ISIS_ASSIGN_OR_RETURN(
+      ParsedTerm lhs,
+      ParseTermAt(cur, db, candidate, self, ClassId(),
+                  /*allow_constants=*/false));
+  atom.lhs = std::move(lhs.term);
+  ISIS_ASSIGN_OR_RETURN(atom.op, ParseOp(cur, &atom.negated));
+  ISIS_ASSIGN_OR_RETURN(
+      ParsedTerm rhs,
+      ParseTermAt(cur, db, candidate, self, lhs.terminal,
+                  /*allow_constants=*/true));
+  atom.rhs = std::move(rhs.term);
+  return atom;
+}
+
+}  // namespace
+
+Result<Predicate> ParsePredicate(const sdm::Database& db,
+                                 ClassId candidate_class,
+                                 std::optional<ClassId> self_class,
+                                 const std::string& text) {
+  if (!db.schema().HasClass(candidate_class)) {
+    return Status::NotFound("candidate class does not exist");
+  }
+  Cursor cur(text);
+  Predicate pred;
+  // outer: 0 unknown, 1 and (CNF), 2 or (DNF).
+  int outer = 0;
+  while (true) {
+    std::vector<int> clause;
+    if (cur.Consume('(')) {
+      int inner = 0;  // 1 and, 2 or
+      while (true) {
+        ISIS_ASSIGN_OR_RETURN(Atom atom,
+                              ParseAtom(&cur, db, candidate_class,
+                                        self_class));
+        pred.atoms.push_back(std::move(atom));
+        clause.push_back(static_cast<int>(pred.atoms.size()) - 1);
+        if (cur.Consume(')')) break;
+        int conn = cur.ConsumeWord("and") ? 1
+                   : cur.ConsumeWord("or") ? 2
+                                           : 0;
+        if (conn == 0) {
+          return Status::ParseError("expected 'and', 'or' or ')' at " +
+                                    cur.Here());
+        }
+        if (inner == 0) {
+          inner = conn;
+        } else if (inner != conn) {
+          return Status::ParseError(
+              "mixed connectives inside one clause; parenthesize");
+        }
+      }
+      // Inner connective must be the dual of the outer; record implied
+      // outer if still unknown (inner 'or' => CNF, inner 'and' => DNF).
+      if (inner != 0) {
+        int implied_outer = inner == 2 ? 1 : 2;
+        if (outer == 0) {
+          outer = implied_outer;
+        } else if (outer != implied_outer) {
+          return Status::ParseError(
+              "clause connective must be the dual of the top-level one "
+              "(CNF = and-of-ors, DNF = or-of-ands)");
+        }
+      }
+    } else {
+      ISIS_ASSIGN_OR_RETURN(
+          Atom atom, ParseAtom(&cur, db, candidate_class, self_class));
+      pred.atoms.push_back(std::move(atom));
+      clause.push_back(static_cast<int>(pred.atoms.size()) - 1);
+    }
+    pred.clauses.push_back(std::move(clause));
+    if (cur.AtEnd()) break;
+    int conn = cur.ConsumeWord("and") ? 1 : cur.ConsumeWord("or") ? 2 : 0;
+    if (conn == 0) {
+      return Status::ParseError("expected 'and' or 'or' at " + cur.Here());
+    }
+    if (outer == 0) {
+      outer = conn;
+    } else if (outer != conn) {
+      return Status::ParseError(
+          "mixed top-level connectives; parenthesize to disambiguate");
+    }
+  }
+  pred.form = outer == 2 ? NormalForm::kDisjunctive
+                         : NormalForm::kConjunctive;
+
+  // Commit-time type check, exactly like the worksheet.
+  Evaluator eval(db);
+  PredicateContext ctx;
+  ctx.candidate_class = candidate_class;
+  if (self_class.has_value()) ctx.self_class = self_class;
+  ISIS_RETURN_NOT_OK(eval.TypeCheck(pred, ctx));
+  return pred;
+}
+
+Result<Predicate> ParsePredicate(const sdm::Database& db,
+                                 ClassId candidate_class,
+                                 const std::string& text) {
+  return ParsePredicate(db, candidate_class, std::nullopt, text);
+}
+
+Result<Term> ParseTerm(const sdm::Database& db, ClassId candidate_class,
+                       std::optional<ClassId> self_class,
+                       const std::string& text) {
+  Cursor cur(text);
+  ISIS_ASSIGN_OR_RETURN(
+      ParsedTerm parsed,
+      ParseTermAt(&cur, db, candidate_class, self_class, ClassId(),
+                  /*allow_constants=*/false));
+  if (!cur.AtEnd()) {
+    return Status::ParseError("trailing input at " + cur.Here());
+  }
+  return parsed.term;
+}
+
+}  // namespace isis::query

@@ -1,0 +1,62 @@
+/// \file parser.h
+/// \brief A textual surface syntax for ISIS predicates.
+///
+/// The interface builds predicates graphically; this parser provides the
+/// equivalent textual form for programmatic use, the REPL, and tests. The
+/// syntax mirrors the worksheet's display format (TermToString /
+/// PredicateToString), so what the atom list shows is what you can parse
+/// back:
+///
+///   predicate := group (CONN group)*        CONN is 'and' or 'or', all the
+///                                           same at one level
+///   group     := '(' atom (DUAL atom)* ')'  DUAL is the other connective
+///              | atom
+///   atom      := term [not]OP term
+///   term      := 'e' path                   map from the candidate
+///              | 'x' path                   map from the owner (form (c))
+///              | '{' name (',' name)* '}'   constants (resolved in the
+///                                           left side's terminal class)
+///              | CLASSNAME path             class-extent map
+///   path      := ('.' ATTRIBUTE)*
+///   OP        := = | [= | ]= | [ | ] | ~ | <= | >
+///
+/// `e.size = {4} and e.members.plays ]= {piano}` parses to the paper's
+/// quartets predicate in conjunctive normal form; a top-level `or` chain
+/// yields disjunctive normal form. Attribute names resolve stepwise along
+/// the map; constant names resolve in the class the left-hand map
+/// terminates in (exactly the worksheet's "constant" flow, including
+/// lazily interning predefined values like `{4}`).
+
+#ifndef ISIS_QUERY_PARSER_H_
+#define ISIS_QUERY_PARSER_H_
+
+#include <optional>
+#include <string>
+
+#include "query/predicate.h"
+#include "sdm/database.h"
+
+namespace isis::query {
+
+/// Parses `text` into a predicate over candidates from `candidate_class`.
+/// `self_class` enables `x` terms (derived-attribute predicates). The
+/// result is type-checked; errors carry positions in their messages.
+Result<Predicate> ParsePredicate(const sdm::Database& db,
+                                 ClassId candidate_class,
+                                 std::optional<ClassId> self_class,
+                                 const std::string& text);
+
+/// Convenience overload without an owner class.
+Result<Predicate> ParsePredicate(const sdm::Database& db,
+                                 ClassId candidate_class,
+                                 const std::string& text);
+
+/// Parses a single term (no operator), e.g. a derivation map like
+/// `x.members.plays`. `start_hint` gives candidate class context.
+Result<Term> ParseTerm(const sdm::Database& db, ClassId candidate_class,
+                       std::optional<ClassId> self_class,
+                       const std::string& text);
+
+}  // namespace isis::query
+
+#endif  // ISIS_QUERY_PARSER_H_

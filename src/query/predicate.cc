@@ -1,0 +1,118 @@
+#include "query/predicate.h"
+
+#include "common/strings.h"
+
+namespace isis::query {
+
+const char* SetOpToString(SetOp op) {
+  switch (op) {
+    case SetOp::kEqual:
+      return "=";
+    case SetOp::kSubset:
+      return "[=";  // the worksheet's subset glyph
+    case SetOp::kSuperset:
+      return "]=";
+    case SetOp::kProperSubset:
+      return "[";
+    case SetOp::kProperSuperset:
+      return "]";
+    case SetOp::kWeakMatch:
+      return "~";
+    case SetOp::kLessEqual:
+      return "<=";
+    case SetOp::kGreater:
+      return ">";
+  }
+  return "?";
+}
+
+Status Predicate::ValidateStructure() const {
+  // Empty clauses are legal: they are unused clause windows on the
+  // worksheet and do not participate in evaluation.
+  for (size_t c = 0; c < clauses.size(); ++c) {
+    for (int idx : clauses[c]) {
+      if (idx < 0 || static_cast<size_t>(idx) >= atoms.size()) {
+        return Status::InvalidArgument("clause " + std::to_string(c + 1) +
+                                       " references a nonexistent atom");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+int Predicate::AddAtom(Atom atom, int clause) {
+  atoms.push_back(std::move(atom));
+  int index = static_cast<int>(atoms.size()) - 1;
+  if (clause >= 0) {
+    if (static_cast<size_t>(clause) >= clauses.size()) {
+      clauses.resize(clause + 1);
+    }
+    clauses[clause].push_back(index);
+  }
+  return index;
+}
+
+std::string TermToString(const sdm::Database& db, const Term& term) {
+  std::string out;
+  switch (term.origin) {
+    case Operand::kCandidate:
+      out = "e";
+      break;
+    case Operand::kSelf:
+      out = "x";
+      break;
+    case Operand::kConstant: {
+      out = "{";
+      bool first = true;
+      for (EntityId c : term.constants) {
+        if (!first) out += ", ";
+        first = false;
+        out += db.NameOf(c);
+      }
+      out += "}";
+      break;
+    }
+    case Operand::kClassExtent:
+      out = db.schema().HasClass(term.extent_class)
+                ? db.schema().GetClass(term.extent_class).name
+                : "?";
+      break;
+  }
+  for (AttributeId a : term.path) {
+    out += ".";
+    out += db.schema().HasAttribute(a) ? db.schema().GetAttribute(a).name
+                                       : "?";
+  }
+  return out;
+}
+
+std::string AtomToString(const sdm::Database& db, const Atom& atom) {
+  std::string out = TermToString(db, atom.lhs);
+  out += " ";
+  if (atom.negated) out += "not";
+  out += SetOpToString(atom.op);
+  out += " ";
+  out += TermToString(db, atom.rhs);
+  return out;
+}
+
+std::string PredicateToString(const sdm::Database& db, const Predicate& pred) {
+  const char* inner = pred.form == NormalForm::kConjunctive ? " or " : " and ";
+  const char* outer = pred.form == NormalForm::kConjunctive ? " and " : " or ";
+  std::string out;
+  for (size_t c = 0; c < pred.clauses.size(); ++c) {
+    if (c > 0) out += outer;
+    out += "(";
+    for (size_t i = 0; i < pred.clauses[c].size(); ++i) {
+      if (i > 0) out += inner;
+      out += AtomToString(db, pred.atoms[pred.clauses[c][i]]);
+    }
+    out += ")";
+  }
+  if (pred.clauses.empty()) {
+    out = pred.form == NormalForm::kConjunctive ? "(true)" : "(false)";
+  }
+  return out;
+}
+
+}  // namespace isis::query

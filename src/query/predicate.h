@@ -1,0 +1,167 @@
+/// \file predicate.h
+/// \brief The ISIS predicate language (paper §2, "Derived Subclass" /
+/// "Derived Attributes").
+///
+/// A query in ISIS is a stored predicate: a derived subclass
+/// S = { e in V | P(e) } or a derived attribute A(x) = { e in V | P_x(e) }.
+/// Predicates are boolean combinations (in conjunctive or disjunctive normal
+/// form — the worksheet's "switch and/or" button toggles which) of atoms:
+///
+///   (a) <map_V(e)> <op> <map_V(e)>
+///   (b) <map_V(e)> <op> <map_C(w)>,  w a constant subset of some class C
+///   (c) <map_V(e)> <op> <map_C(x)>   (derived attributes only; x the owner)
+///
+/// with set comparison operators =, subset, superset, proper variants, the
+/// weak match ~ (sets share an element), singleton ordering <=, >, and the
+/// negation of each. The unary "hand" operator assigns a map image directly
+/// as an attribute derivation.
+
+#ifndef ISIS_QUERY_PREDICATE_H_
+#define ISIS_QUERY_PREDICATE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "sdm/database.h"
+
+namespace isis::query {
+
+/// Set comparison operators of the atom grammar.
+enum class SetOp {
+  kEqual,           ///< =   set equality
+  kSubset,          ///< <=s subset-or-equal
+  kSuperset,        ///< >=s superset-or-equal
+  kProperSubset,    ///< <s  strict subset
+  kProperSuperset,  ///< >s  strict superset
+  kWeakMatch,       ///< ~   the two sets have a common element
+  kLessEqual,       ///< <=  singleton ordering
+  kGreater,         ///< >   singleton ordering
+};
+
+/// Display form, e.g. "=", "(=", "~", ">".
+const char* SetOpToString(SetOp op);
+
+/// What a term's map starts from.
+enum class Operand {
+  kCandidate,    ///< e — the entity being tested for membership in V.
+  kSelf,         ///< x — the owner entity (form (c), derived attributes only).
+  kConstant,     ///< A fixed set of entities picked at the data level.
+  kClassExtent,  ///< All current members of a class (the worksheet's "map
+                 ///< starting at class" with w = C; evaluated live).
+};
+
+/// \brief One side of an atom: a map applied to an operand.
+///
+/// The identity map (empty path) yields the operand itself; the paper's
+/// "constant" right-hand-side option is a kConstant term with an empty path.
+struct Term {
+  Operand origin = Operand::kCandidate;
+  /// Constant entities (used when origin == kConstant).
+  sdm::EntitySet constants;
+  /// The extent class (used when origin == kClassExtent).
+  ClassId extent_class;
+  /// The attribute composition A1 A2 ... An to apply.
+  std::vector<AttributeId> path;
+
+  static Term Candidate(std::vector<AttributeId> path = {}) {
+    return Term{Operand::kCandidate, {}, ClassId(), std::move(path)};
+  }
+  static Term Self(std::vector<AttributeId> path = {}) {
+    return Term{Operand::kSelf, {}, ClassId(), std::move(path)};
+  }
+  static Term Constant(sdm::EntitySet constants,
+                       std::vector<AttributeId> path = {}) {
+    return Term{Operand::kConstant, std::move(constants), ClassId(),
+                std::move(path)};
+  }
+  static Term ClassExtent(ClassId cls, std::vector<AttributeId> path = {}) {
+    return Term{Operand::kClassExtent, {}, cls, std::move(path)};
+  }
+};
+
+/// \brief One atom of a predicate.
+struct Atom {
+  Term lhs;
+  SetOp op = SetOp::kEqual;
+  /// The paper provides the negation of every operator.
+  bool negated = false;
+  Term rhs;
+};
+
+/// Normal form of the clause structure (worksheet "switch and/or").
+enum class NormalForm {
+  kConjunctive,  ///< AND over clauses of OR over atoms.
+  kDisjunctive,  ///< OR over clauses of AND over atoms.
+};
+
+/// \brief A stored predicate: an atom list plus clauses referencing atoms.
+///
+/// Mirrors the worksheet: atoms are built in the atom list window and placed
+/// into clause windows; an atom may appear in several clauses. Atoms not
+/// placed in any clause do not participate in evaluation.
+struct Predicate {
+  std::vector<Atom> atoms;
+  /// Each clause is a list of indices into `atoms`.
+  std::vector<std::vector<int>> clauses;
+  NormalForm form = NormalForm::kConjunctive;
+
+  /// True when no clause holds any atom. An empty conjunction is true (the
+  /// derived class equals its parent); an empty disjunction is false.
+  bool empty() const {
+    for (const std::vector<int>& c : clauses) {
+      if (!c.empty()) return false;
+    }
+    return true;
+  }
+
+  /// Structural sanity: every clause index in range. Empty clauses are
+  /// legal (unused worksheet windows) and skipped by evaluation.
+  Status ValidateStructure() const;
+
+  /// Convenience builder: appends `atom` and places it in clause `clause`
+  /// (clauses are created as needed). Returns the atom index.
+  int AddAtom(Atom atom, int clause);
+};
+
+/// \brief How a derived attribute computes its values.
+struct AttributeDerivation {
+  enum class Kind {
+    /// The hand icon: A(x) = map(x) directly.
+    kAssignment,
+    /// A(x) = { e in V | P_x(e) }.
+    kPredicate,
+  };
+  Kind kind = Kind::kAssignment;
+  /// kAssignment: the map applied to x (origin must be kSelf or kConstant).
+  Term assignment;
+  /// kPredicate: atoms may use kSelf terms (form (c)).
+  Predicate predicate;
+
+  static AttributeDerivation Assign(Term t) {
+    AttributeDerivation d;
+    d.kind = Kind::kAssignment;
+    d.assignment = std::move(t);
+    return d;
+  }
+  static AttributeDerivation FromPredicate(Predicate p) {
+    AttributeDerivation d;
+    d.kind = Kind::kPredicate;
+    d.predicate = std::move(p);
+    return d;
+  }
+};
+
+/// Renders a term as the worksheet displays it, e.g.
+/// "e.members.plays" or "{piano}" or "x.size".
+std::string TermToString(const sdm::Database& db, const Term& term);
+
+/// Renders one atom, e.g. "e.size = {4}".
+std::string AtomToString(const sdm::Database& db, const Atom& atom);
+
+/// Multi-line display of the full predicate, clause per line.
+std::string PredicateToString(const sdm::Database& db, const Predicate& pred);
+
+}  // namespace isis::query
+
+#endif  // ISIS_QUERY_PREDICATE_H_

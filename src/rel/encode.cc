@@ -1,0 +1,62 @@
+#include "rel/encode.h"
+
+namespace isis::rel {
+
+using sdm::AttributeDef;
+using sdm::ClassDef;
+using sdm::Database;
+using sdm::EntitySet;
+using sdm::Schema;
+
+Value EncodeEntity(const Database& db, EntityId e) {
+  const sdm::Entity& ent = db.GetEntity(e);
+  if (ent.has_value) return ent.value;
+  return Value::String(ent.name);
+}
+
+Result<Relation> EncodeClass(const Database& db, ClassId cls) {
+  if (!db.schema().HasClass(cls)) {
+    return Status::NotFound("class does not exist");
+  }
+  Relation out({"name"});
+  for (EntityId e : db.Members(cls)) {
+    ISIS_RETURN_NOT_OK(out.Insert({EncodeEntity(db, e)}));
+  }
+  return out;
+}
+
+Result<Relation> EncodeAttribute(const Database& db, AttributeId attr) {
+  if (!db.schema().HasAttribute(attr)) {
+    return Status::NotFound("attribute does not exist");
+  }
+  const AttributeDef& def = db.schema().GetAttribute(attr);
+  Relation out({"name", def.name});
+  for (EntityId e : db.Members(def.owner)) {
+    for (EntityId v : db.GetValueSet(e, attr)) {
+      ISIS_RETURN_NOT_OK(
+          out.Insert({EncodeEntity(db, e), EncodeEntity(db, v)}));
+    }
+  }
+  return out;
+}
+
+Result<RelDatabase> EncodeDatabase(const Database& db) {
+  RelDatabase out;
+  const Schema& schema = db.schema();
+  for (ClassId c : schema.AllClasses()) {
+    if (c.value() < 4) continue;  // predefined classes are unbounded
+    const ClassDef& cls = schema.GetClass(c);
+    ISIS_ASSIGN_OR_RETURN(Relation r, EncodeClass(db, c));
+    ISIS_RETURN_NOT_OK(out.AddRelation(cls.name, std::move(r)));
+    for (AttributeId a : cls.own_attributes) {
+      const AttributeDef& def = schema.GetAttribute(a);
+      if (def.naming) continue;  // identical to the class relation
+      ISIS_ASSIGN_OR_RETURN(Relation ar, EncodeAttribute(db, a));
+      ISIS_RETURN_NOT_OK(
+          out.AddRelation(cls.name + "_" + def.name, std::move(ar)));
+    }
+  }
+  return out;
+}
+
+}  // namespace isis::rel

@@ -1,0 +1,42 @@
+/// \file encode.h
+/// \brief The standard SDM -> relational encoding used by the baseline.
+///
+/// Each class C becomes a unary relation `C(name)`; each attribute A of C
+/// becomes a binary relation `C_A(name, A)` with one row per (entity, value)
+/// pair (singlevalued attributes contribute at most one row per entity;
+/// null values contribute none). Entities are encoded by name (unique per
+/// baseclass), values by their primitive value when predefined and by name
+/// otherwise. Groupings are derivable and not encoded.
+///
+/// This mirrors how a relational system (the QBE/CUPID world the paper
+/// compares against) would model the same application, and lets
+/// bench_relational_completeness check that ISIS derived classes compute
+/// exactly the relational answers.
+
+#ifndef ISIS_REL_ENCODE_H_
+#define ISIS_REL_ENCODE_H_
+
+#include "rel/relation.h"
+#include "sdm/database.h"
+
+namespace isis::rel {
+
+/// Encodes one class as a unary relation over entity names.
+Result<Relation> EncodeClass(const sdm::Database& db, ClassId cls);
+
+/// Encodes one attribute as a binary relation (name, value). The value
+/// column carries the primitive value for predefined value classes and the
+/// entity name otherwise. Rows exist only for members of the attribute's
+/// owner class.
+Result<Relation> EncodeAttribute(const sdm::Database& db, AttributeId attr);
+
+/// Encodes the entire database: every class and every (non-naming)
+/// attribute, with relation names `<class>` and `<class>_<attribute>`.
+Result<RelDatabase> EncodeDatabase(const sdm::Database& db);
+
+/// The relational cell encoding one entity (value or name).
+Value EncodeEntity(const sdm::Database& db, EntityId e);
+
+}  // namespace isis::rel
+
+#endif  // ISIS_REL_ENCODE_H_

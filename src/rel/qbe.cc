@@ -1,0 +1,96 @@
+#include "rel/qbe.h"
+
+#include <algorithm>
+#include <map>
+
+namespace isis::rel {
+
+int QbeQuery::FilledCellCount() const {
+  int n = 0;
+  for (const QbeRow& row : rows_) {
+    for (const QbeCell& cell : row.cells) {
+      if (cell.kind != QbeCell::Kind::kBlank) ++n;
+    }
+  }
+  return n;
+}
+
+Result<Relation> QbeQuery::Evaluate(const RelDatabase& db) const {
+  if (rows_.empty()) return Status::InvalidArgument("empty QBE query");
+
+  // Working relation: columns are variable names (plus synthetic names for
+  // anonymous constrained columns, which are filtered then dropped).
+  std::optional<Relation> acc;
+  std::vector<std::string> print_order;
+
+  for (size_t ri = 0; ri < rows_.size(); ++ri) {
+    const QbeRow& row = rows_[ri];
+    ISIS_ASSIGN_OR_RETURN(const Relation* base, db.Find(row.relation));
+    if (row.cells.size() != base->arity()) {
+      return Status::InvalidArgument("QBE row arity mismatch on '" +
+                                     row.relation + "'");
+    }
+    // Select on constants, then project+rename variable columns.
+    std::vector<Condition> conds;
+    std::vector<std::pair<size_t, std::string>> var_cols;  // col -> var
+    for (size_t ci = 0; ci < row.cells.size(); ++ci) {
+      const QbeCell& cell = row.cells[ci];
+      switch (cell.kind) {
+        case QbeCell::Kind::kBlank:
+          break;
+        case QbeCell::Kind::kConstant:
+          conds.push_back(Condition::WithConst(ci, cell.op, cell.constant));
+          break;
+        case QbeCell::Kind::kVariable:
+          var_cols.emplace_back(ci, cell.variable);
+          if (cell.print &&
+              std::find(print_order.begin(), print_order.end(),
+                        cell.variable) == print_order.end()) {
+            print_order.push_back(cell.variable);
+          }
+          break;
+      }
+    }
+    // A variable appearing twice in one row forces equality of the columns.
+    std::map<std::string, size_t> first_col;
+    for (const auto& [col, var] : var_cols) {
+      auto it = first_col.find(var);
+      if (it == first_col.end()) {
+        first_col[var] = col;
+      } else {
+        conds.push_back(Condition::WithColumn(col, CompareOp::kEq,
+                                              it->second));
+      }
+    }
+    ISIS_ASSIGN_OR_RETURN(Relation filtered, Select(*base, conds));
+    // Build the per-row relation with variable-named columns.
+    Relation row_rel([&] {
+      std::vector<std::string> cols;
+      for (const auto& [var, col] : first_col) {
+        (void)col;
+        cols.push_back(var);
+      }
+      return cols;
+    }());
+    for (const Tuple& t : filtered.tuples()) {
+      Tuple p;
+      for (const auto& [var, col] : first_col) {
+        (void)var;
+        p.push_back(t[col]);
+      }
+      ISIS_RETURN_NOT_OK(row_rel.Insert(std::move(p)));
+    }
+    if (!acc.has_value()) {
+      acc = std::move(row_rel);
+    } else {
+      ISIS_ASSIGN_OR_RETURN(*acc, NaturalJoin(*acc, row_rel));
+    }
+  }
+
+  if (print_order.empty()) {
+    return Status::InvalidArgument("QBE query prints nothing (no P. cells)");
+  }
+  return Project(*acc, print_order);
+}
+
+}  // namespace isis::rel

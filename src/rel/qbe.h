@@ -1,0 +1,81 @@
+/// \file qbe.h
+/// \brief A Query-by-Example evaluator: the visual-query baseline [Zl].
+///
+/// QBE queries are skeleton tables whose cells hold example elements
+/// (variables), constants with comparison operators, or print markers. Rows
+/// over different relations joined by shared variables express joins. This
+/// is the interaction model the paper contrasts ISIS with; the evaluator
+/// here is used (a) to cross-check ISIS query answers and (b) to count
+/// filled template cells for the interaction-effort comparison (bench
+/// C3/bench_interaction_steps).
+
+#ifndef ISIS_REL_QBE_H_
+#define ISIS_REL_QBE_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "rel/relation.h"
+
+namespace isis::rel {
+
+/// One cell of a QBE skeleton row.
+struct QbeCell {
+  enum class Kind {
+    kBlank,     ///< Unconstrained.
+    kConstant,  ///< Must compare to `constant` via `op`.
+    kVariable,  ///< Example element: equal cells bind the same value.
+  };
+  Kind kind = Kind::kBlank;
+  CompareOp op = CompareOp::kEq;  ///< For kConstant cells.
+  Value constant;
+  std::string variable;  ///< For kVariable cells (e.g. "_x").
+  bool print = false;    ///< P. marker — include this column in the answer.
+
+  static QbeCell Blank() { return QbeCell{}; }
+  static QbeCell Const(Value v, CompareOp op = CompareOp::kEq) {
+    QbeCell c;
+    c.kind = Kind::kConstant;
+    c.op = op;
+    c.constant = std::move(v);
+    return c;
+  }
+  static QbeCell Var(std::string name, bool print = false) {
+    QbeCell c;
+    c.kind = Kind::kVariable;
+    c.variable = std::move(name);
+    c.print = print;
+    return c;
+  }
+  static QbeCell Print(std::string var) { return Var(std::move(var), true); }
+};
+
+/// One skeleton row over a named relation: one cell per column.
+struct QbeRow {
+  std::string relation;
+  std::vector<QbeCell> cells;
+};
+
+/// \brief A QBE query: a set of skeleton rows joined on shared variables.
+class QbeQuery {
+ public:
+  void AddRow(QbeRow row) { rows_.push_back(std::move(row)); }
+  const std::vector<QbeRow>& rows() const { return rows_; }
+
+  /// Number of non-blank cells the user had to fill — the interaction-effort
+  /// metric of bench_interaction_steps.
+  int FilledCellCount() const;
+
+  /// Evaluates against `db`: joins rows on shared variables, applies
+  /// constant conditions, projects the printed variables (columns named by
+  /// their variables, in first-appearance order).
+  Result<Relation> Evaluate(const RelDatabase& db) const;
+
+ private:
+  std::vector<QbeRow> rows_;
+};
+
+}  // namespace isis::rel
+
+#endif  // ISIS_REL_QBE_H_

@@ -1,0 +1,262 @@
+#include "rel/relation.h"
+
+#include <algorithm>
+#include <optional>
+
+namespace isis::rel {
+
+using sdm::BaseKind;
+
+bool CompareValues(const Value& a, CompareOp op, const Value& b) {
+  // Numeric kinds interoperate.
+  auto numeric = [](const Value& v) -> std::optional<double> {
+    if (v.kind() == BaseKind::kInteger) {
+      return static_cast<double>(v.integer());
+    }
+    if (v.kind() == BaseKind::kReal) return v.real();
+    return std::nullopt;
+  };
+  std::optional<int> ord;  // -1 / 0 / +1 when comparable
+  std::optional<double> na = numeric(a), nb = numeric(b);
+  if (na && nb) {
+    ord = *na < *nb ? -1 : (*na > *nb ? 1 : 0);
+  } else if (a.kind() == b.kind()) {
+    if (a.kind() == BaseKind::kString) {
+      int c = a.str().compare(b.str());
+      ord = c < 0 ? -1 : (c > 0 ? 1 : 0);
+    } else if (a.kind() == BaseKind::kBoolean) {
+      ord = a.boolean() == b.boolean() ? 0 : (a.boolean() ? 1 : -1);
+    }
+  }
+  if (!ord.has_value()) {
+    // Incomparable kinds: only (in)equality is meaningful, and they are
+    // never equal.
+    return op == CompareOp::kNe;
+  }
+  switch (op) {
+    case CompareOp::kEq:
+      return *ord == 0;
+    case CompareOp::kNe:
+      return *ord != 0;
+    case CompareOp::kLt:
+      return *ord < 0;
+    case CompareOp::kLe:
+      return *ord <= 0;
+    case CompareOp::kGt:
+      return *ord > 0;
+    case CompareOp::kGe:
+      return *ord >= 0;
+  }
+  return false;
+}
+
+Result<size_t> Relation::ColumnIndex(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i] == name) return i;
+  }
+  return Status::NotFound("no column '" + name + "'");
+}
+
+Status Relation::Insert(Tuple t) {
+  if (t.size() != columns_.size()) {
+    return Status::InvalidArgument("tuple arity " + std::to_string(t.size()) +
+                                   " != relation arity " +
+                                   std::to_string(columns_.size()));
+  }
+  auto it = std::lower_bound(tuples_.begin(), tuples_.end(), t);
+  if (it != tuples_.end() && *it == t) return Status::OK();  // set semantics
+  tuples_.insert(it, std::move(t));
+  return Status::OK();
+}
+
+bool Relation::Contains(const Tuple& t) const {
+  return std::binary_search(tuples_.begin(), tuples_.end(), t);
+}
+
+Result<Relation> Select(const Relation& r,
+                        const std::vector<Condition>& conditions) {
+  for (const Condition& c : conditions) {
+    if (c.lhs_column >= r.arity()) {
+      return Status::InvalidArgument("condition column out of range");
+    }
+    if (std::holds_alternative<size_t>(c.rhs) &&
+        std::get<size_t>(c.rhs) >= r.arity()) {
+      return Status::InvalidArgument("condition rhs column out of range");
+    }
+  }
+  Relation out(r.columns());
+  for (const Tuple& t : r.tuples()) {
+    bool keep = true;
+    for (const Condition& c : conditions) {
+      const Value& lhs = t[c.lhs_column];
+      const Value& rhs = std::holds_alternative<Value>(c.rhs)
+                             ? std::get<Value>(c.rhs)
+                             : t[std::get<size_t>(c.rhs)];
+      if (!CompareValues(lhs, c.op, rhs)) {
+        keep = false;
+        break;
+      }
+    }
+    if (keep) (void)out.Insert(t);
+  }
+  return out;
+}
+
+Relation SelectWhere(const Relation& r,
+                     const std::function<bool(const Tuple&)>& pred) {
+  Relation out(r.columns());
+  for (const Tuple& t : r.tuples()) {
+    if (pred(t)) (void)out.Insert(t);
+  }
+  return out;
+}
+
+Result<Relation> Project(const Relation& r,
+                         const std::vector<std::string>& columns) {
+  std::vector<size_t> idx;
+  for (const std::string& c : columns) {
+    ISIS_ASSIGN_OR_RETURN(size_t i, r.ColumnIndex(c));
+    idx.push_back(i);
+  }
+  Relation out(columns);
+  for (const Tuple& t : r.tuples()) {
+    Tuple p;
+    p.reserve(idx.size());
+    for (size_t i : idx) p.push_back(t[i]);
+    (void)out.Insert(std::move(p));
+  }
+  return out;
+}
+
+Result<Relation> Rename(const Relation& r,
+                        const std::map<std::string, std::string>& renames) {
+  std::vector<std::string> cols = r.columns();
+  for (const auto& [from, to] : renames) {
+    bool found = false;
+    for (std::string& c : cols) {
+      if (c == from) {
+        c = to;
+        found = true;
+      }
+    }
+    if (!found) return Status::NotFound("no column '" + from + "' to rename");
+  }
+  Relation out(cols);
+  for (const Tuple& t : r.tuples()) (void)out.Insert(t);
+  return out;
+}
+
+Result<Relation> Product(const Relation& a, const Relation& b) {
+  std::vector<std::string> cols = a.columns();
+  for (const std::string& c : b.columns()) {
+    if (std::find(cols.begin(), cols.end(), c) != cols.end()) {
+      return Status::InvalidArgument("product column collision on '" + c +
+                                     "'; rename first");
+    }
+    cols.push_back(c);
+  }
+  Relation out(cols);
+  for (const Tuple& ta : a.tuples()) {
+    for (const Tuple& tb : b.tuples()) {
+      Tuple t = ta;
+      t.insert(t.end(), tb.begin(), tb.end());
+      (void)out.Insert(std::move(t));
+    }
+  }
+  return out;
+}
+
+Result<Relation> NaturalJoin(const Relation& a, const Relation& b) {
+  // Shared columns join; b's copies are dropped from the output.
+  std::vector<std::pair<size_t, size_t>> shared;  // (a index, b index)
+  std::vector<size_t> b_keep;
+  for (size_t j = 0; j < b.columns().size(); ++j) {
+    Result<size_t> i = a.ColumnIndex(b.columns()[j]);
+    if (i.ok()) {
+      shared.emplace_back(*i, j);
+    } else {
+      b_keep.push_back(j);
+    }
+  }
+  std::vector<std::string> cols = a.columns();
+  for (size_t j : b_keep) cols.push_back(b.columns()[j]);
+  Relation out(cols);
+  for (const Tuple& ta : a.tuples()) {
+    for (const Tuple& tb : b.tuples()) {
+      bool match = true;
+      for (auto [i, j] : shared) {
+        if (!(ta[i] == tb[j])) {
+          match = false;
+          break;
+        }
+      }
+      if (!match) continue;
+      Tuple t = ta;
+      for (size_t j : b_keep) t.push_back(tb[j]);
+      (void)out.Insert(std::move(t));
+    }
+  }
+  return out;
+}
+
+namespace {
+Status CheckSameSchema(const Relation& a, const Relation& b) {
+  if (a.columns() != b.columns()) {
+    return Status::TypeError("set operation on different schemas");
+  }
+  return Status::OK();
+}
+}  // namespace
+
+Result<Relation> Union(const Relation& a, const Relation& b) {
+  ISIS_RETURN_NOT_OK(CheckSameSchema(a, b));
+  Relation out(a.columns());
+  for (const Tuple& t : a.tuples()) (void)out.Insert(t);
+  for (const Tuple& t : b.tuples()) (void)out.Insert(t);
+  return out;
+}
+
+Result<Relation> Difference(const Relation& a, const Relation& b) {
+  ISIS_RETURN_NOT_OK(CheckSameSchema(a, b));
+  Relation out(a.columns());
+  for (const Tuple& t : a.tuples()) {
+    if (!b.Contains(t)) (void)out.Insert(t);
+  }
+  return out;
+}
+
+Result<Relation> Intersect(const Relation& a, const Relation& b) {
+  ISIS_RETURN_NOT_OK(CheckSameSchema(a, b));
+  Relation out(a.columns());
+  for (const Tuple& t : a.tuples()) {
+    if (b.Contains(t)) (void)out.Insert(t);
+  }
+  return out;
+}
+
+Status RelDatabase::AddRelation(const std::string& name, Relation r) {
+  if (relations_.count(name) > 0) {
+    return Status::AlreadyExists("relation '" + name + "' already exists");
+  }
+  relations_.emplace(name, std::move(r));
+  return Status::OK();
+}
+
+Result<const Relation*> RelDatabase::Find(const std::string& name) const {
+  auto it = relations_.find(name);
+  if (it == relations_.end()) {
+    return Status::NotFound("no relation '" + name + "'");
+  }
+  return &it->second;
+}
+
+std::vector<std::string> RelDatabase::RelationNames() const {
+  std::vector<std::string> out;
+  for (const auto& [name, r] : relations_) {
+    (void)r;
+    out.push_back(name);
+  }
+  return out;
+}
+
+}  // namespace isis::rel

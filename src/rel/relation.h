@@ -1,0 +1,130 @@
+/// \file relation.h
+/// \brief A small relational engine: the baseline ISIS is compared against.
+///
+/// The paper positions ISIS against relational visual query systems (QBE
+/// [Zl], CUPID [MS]) and claims its predicates "provide the full power of
+/// relational algebra". This module provides the comparator: typed
+/// relations with set semantics and the classical algebra
+/// (select/project/rename/product/join/union/difference/intersection), used
+/// by bench_relational_completeness to verify ISIS answers against
+/// relational evaluations of the same queries, and by the QBE baseline.
+
+#ifndef ISIS_REL_RELATION_H_
+#define ISIS_REL_RELATION_H_
+
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/result.h"
+#include "sdm/value.h"
+
+namespace isis::rel {
+
+/// Cell values reuse the SDM primitive value type.
+using Value = sdm::Value;
+
+/// One tuple (row).
+using Tuple = std::vector<Value>;
+
+/// Comparison operators for selection conditions.
+enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+/// Applies `op` to two values (numeric kinds interoperate; strings compare
+/// lexicographically; incomparable kinds are never equal and never ordered).
+bool CompareValues(const Value& a, CompareOp op, const Value& b);
+
+/// \brief A named-column relation with set semantics.
+///
+/// Tuples are kept sorted and deduplicated, so equality of relations is
+/// structural and results are deterministic.
+class Relation {
+ public:
+  Relation() = default;
+  explicit Relation(std::vector<std::string> columns)
+      : columns_(std::move(columns)) {}
+
+  const std::vector<std::string>& columns() const { return columns_; }
+  const std::vector<Tuple>& tuples() const { return tuples_; }
+  size_t arity() const { return columns_.size(); }
+  size_t size() const { return tuples_.size(); }
+  bool empty() const { return tuples_.empty(); }
+
+  /// Index of a column by name.
+  Result<size_t> ColumnIndex(const std::string& name) const;
+
+  /// Inserts a tuple (ignored if already present). Arity must match.
+  Status Insert(Tuple t);
+
+  bool Contains(const Tuple& t) const;
+
+  friend bool operator==(const Relation& a, const Relation& b) {
+    return a.columns_ == b.columns_ && a.tuples_ == b.tuples_;
+  }
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<Tuple> tuples_;  // sorted, unique
+};
+
+/// One conjunct of a selection: column-vs-constant or column-vs-column.
+struct Condition {
+  size_t lhs_column = 0;
+  CompareOp op = CompareOp::kEq;
+  std::variant<Value, size_t> rhs;  ///< constant or other column index
+
+  static Condition WithConst(size_t col, CompareOp op, Value v) {
+    return Condition{col, op, std::move(v)};
+  }
+  static Condition WithColumn(size_t col, CompareOp op, size_t other) {
+    return Condition{col, op, other};
+  }
+};
+
+// --- The algebra. All operators are pure; errors (unknown columns, arity
+// mismatches) surface as Status. ---
+
+/// sigma: tuples satisfying the conjunction of `conditions`.
+Result<Relation> Select(const Relation& r,
+                        const std::vector<Condition>& conditions);
+
+/// Selection with an arbitrary predicate (used by tests as an oracle).
+Relation SelectWhere(const Relation& r,
+                     const std::function<bool(const Tuple&)>& pred);
+
+/// pi: the named columns, in the given order; duplicates collapse.
+Result<Relation> Project(const Relation& r,
+                         const std::vector<std::string>& columns);
+
+/// rho: renames columns via an old-name -> new-name map.
+Result<Relation> Rename(const Relation& r,
+                        const std::map<std::string, std::string>& renames);
+
+/// Cartesian product; column names must be disjoint.
+Result<Relation> Product(const Relation& a, const Relation& b);
+
+/// Natural join on all shared column names (product if none).
+Result<Relation> NaturalJoin(const Relation& a, const Relation& b);
+
+/// Set union/difference/intersection; schemas must match exactly.
+Result<Relation> Union(const Relation& a, const Relation& b);
+Result<Relation> Difference(const Relation& a, const Relation& b);
+Result<Relation> Intersect(const Relation& a, const Relation& b);
+
+/// \brief A named collection of relations (the QBE target).
+class RelDatabase {
+ public:
+  Status AddRelation(const std::string& name, Relation r);
+  Result<const Relation*> Find(const std::string& name) const;
+  std::vector<std::string> RelationNames() const;
+
+ private:
+  std::map<std::string, Relation> relations_;
+};
+
+}  // namespace isis::rel
+
+#endif  // ISIS_REL_RELATION_H_

@@ -1,0 +1,69 @@
+/// \file consistency.h
+/// \brief Full schema/data consistency validation (paper §2, "Remark" on
+/// integrity).
+///
+/// The paper requires that "the data be consistent with the schema":
+///   1. each entity is in one baseclass only;
+///   2. each subclass is a subset of its parent;
+///   3. a singlevalued attribute defines a function (into its value class);
+///   4. each grouping is completely determined from its parent class and an
+///      attribute.
+/// The Database maintains these incrementally at mutation time ("low
+/// computational cost"); this checker re-derives them from scratch, serving
+/// as the oracle in tests and as the full-revalidation baseline in
+/// bench_integrity.
+
+#ifndef ISIS_SDM_CONSISTENCY_H_
+#define ISIS_SDM_CONSISTENCY_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "sdm/database.h"
+
+namespace isis::sdm {
+
+/// A single violated consistency rule, with a description naming the
+/// offending objects.
+struct Violation {
+  enum class Rule {
+    kSchemaStructure,     ///< Schema::Validate failed.
+    kBaseclassPartition,  ///< Entity in zero or several baseclasses.
+    kSubclassSubset,      ///< Subclass member missing from a parent.
+    kAttributeFunction,   ///< Value outside the value class / not single.
+    kNamingUniqueness,    ///< Duplicate entity names within a baseclass.
+    kGroupingDerivation,  ///< Grouping blocks differ from their derivation.
+  };
+  Rule rule;
+  std::string description;
+};
+
+const char* ViolationRuleToString(Violation::Rule r);
+
+/// \brief Re-derives all §2 consistency requirements from scratch.
+class ConsistencyChecker {
+ public:
+  explicit ConsistencyChecker(const Database& db) : db_(db) {}
+
+  /// Runs every rule; returns all violations found (empty == consistent).
+  std::vector<Violation> CheckAll() const;
+
+  /// Convenience: OK iff CheckAll() is empty; otherwise a Consistency error
+  /// naming the first violation and the total count.
+  Status Check() const;
+
+ private:
+  void CheckSchemaStructure(std::vector<Violation>* out) const;
+  void CheckBaseclassPartition(std::vector<Violation>* out) const;
+  void CheckSubclassSubsets(std::vector<Violation>* out) const;
+  void CheckAttributeFunctions(std::vector<Violation>* out) const;
+  void CheckNamingUniqueness(std::vector<Violation>* out) const;
+  void CheckGroupingDerivations(std::vector<Violation>* out) const;
+
+  const Database& db_;
+};
+
+}  // namespace isis::sdm
+
+#endif  // ISIS_SDM_CONSISTENCY_H_

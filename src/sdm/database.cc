@@ -1,0 +1,872 @@
+#include "sdm/database.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace isis::sdm {
+
+const EntitySet Database::kEmptySet;
+
+Database::Database() : Database(Options{}) {}
+
+Database::Database(Options options)
+    : schema_(options.schema), options_(options) {
+  // Slot 0 is the null entity: "a member of every class", never listed.
+  Entity null_entity;
+  null_entity.id = kNullEntity;
+  null_entity.name = "(null)";
+  entities_.push_back(std::move(null_entity));
+  entity_live_.push_back(true);
+}
+
+// --- Schema mutations. ---
+
+Result<ClassId> Database::CreateBaseclass(const std::string& name,
+                                          const std::string& naming_attribute) {
+  ISIS_ASSIGN_OR_RETURN(ClassId id,
+                        schema_.CreateBaseclass(name, naming_attribute));
+  members_[id.value()];  // ensure an (empty) member set exists
+  return id;
+}
+
+Result<ClassId> Database::CreateSubclass(const std::string& name,
+                                         ClassId parent,
+                                         Membership membership) {
+  ISIS_ASSIGN_OR_RETURN(ClassId id,
+                        schema_.CreateSubclass(name, parent, membership));
+  members_[id.value()];
+  return id;
+}
+
+Status Database::AddParent(ClassId cls, ClassId extra_parent) {
+  ISIS_RETURN_NOT_OK(schema_.AddParent(cls, extra_parent));
+  // Subset consistency: members of cls must belong to the new parent too.
+  for (EntityId e : Members(cls)) {
+    ISIS_RETURN_NOT_OK(AddToClassInternal(e, extra_parent,
+                                          /*allow_derived=*/true));
+  }
+  return Status::OK();
+}
+
+Status Database::DeleteClass(ClassId cls) {
+  ISIS_RETURN_NOT_OK(schema_.DeleteClass(cls));
+  members_.erase(cls.value());
+  return Status::OK();
+}
+
+Status Database::RenameClass(ClassId cls, const std::string& new_name) {
+  return schema_.RenameClass(cls, new_name);
+}
+
+Status Database::SetMembership(ClassId cls, Membership membership) {
+  return schema_.SetMembership(cls, membership);
+}
+
+Status Database::SetAttributeOrigin(AttributeId attr, AttrOrigin origin) {
+  return schema_.SetAttributeOrigin(attr, origin);
+}
+
+Result<AttributeId> Database::CreateAttribute(ClassId owner,
+                                              const std::string& name,
+                                              ClassId value_class,
+                                              bool multivalued,
+                                              AttrOrigin origin) {
+  return schema_.CreateAttribute(owner, name, value_class, multivalued,
+                                 origin);
+}
+
+Result<AttributeId> Database::CreateAttributeIntoGrouping(
+    ClassId owner, const std::string& name, GroupingId grouping) {
+  return schema_.CreateAttributeIntoGrouping(owner, name, grouping);
+}
+
+Status Database::SetValueClass(AttributeId attr, ClassId value_class) {
+  ISIS_RETURN_NOT_OK(schema_.SetValueClass(attr, value_class));
+  // Values outside the new value class reset to the defaults.
+  const AttributeDef& def = schema_.GetAttribute(attr);
+  if (!def.multivalued) {
+    auto it = single_.find(attr.value());
+    if (it != single_.end()) {
+      std::vector<EntityId> reset;
+      for (const auto& [e, v] : it->second) {
+        if (v != kNullEntity && !IsMember(v, value_class)) reset.push_back(e);
+      }
+      for (EntityId e : reset) it->second.erase(e);
+    }
+  } else {
+    auto it = multi_.find(attr.value());
+    if (it != multi_.end()) {
+      for (auto& [e, set] : it->second) {
+        for (auto vi = set.begin(); vi != set.end();) {
+          if (!IsMember(*vi, value_class)) {
+            vi = set.erase(vi);
+          } else {
+            ++vi;
+          }
+        }
+      }
+    }
+  }
+  MarkGroupingsDirtyOn(attr);
+  return Status::OK();
+}
+
+Status Database::DeleteAttribute(AttributeId attr) {
+  ISIS_RETURN_NOT_OK(schema_.DeleteAttribute(attr));
+  single_.erase(attr.value());
+  multi_.erase(attr.value());
+  return Status::OK();
+}
+
+Status Database::RenameAttribute(AttributeId attr,
+                                 const std::string& new_name) {
+  return schema_.RenameAttribute(attr, new_name);
+}
+
+Result<GroupingId> Database::CreateGrouping(const std::string& name,
+                                            ClassId parent,
+                                            AttributeId on_attribute) {
+  ISIS_ASSIGN_OR_RETURN(GroupingId g,
+                        schema_.CreateGrouping(name, parent, on_attribute));
+  grouping_cache_[g.value()];  // starts dirty
+  return g;
+}
+
+Status Database::DeleteGrouping(GroupingId g) {
+  ISIS_RETURN_NOT_OK(schema_.DeleteGrouping(g));
+  grouping_cache_.erase(g.value());
+  return Status::OK();
+}
+
+Status Database::RenameGrouping(GroupingId g, const std::string& new_name) {
+  return schema_.RenameGrouping(g, new_name);
+}
+
+// --- Entity lifecycle. ---
+
+Result<EntityId> Database::CreateEntity(ClassId base, const std::string& name) {
+  if (!schema_.HasClass(base)) {
+    return Status::NotFound("baseclass does not exist");
+  }
+  const ClassDef& def = schema_.GetClass(base);
+  if (!def.is_base()) {
+    return Status::Consistency(
+        "entities are created in baseclasses; use AddToClass for subclasses");
+  }
+  if (def.base_kind != BaseKind::kNone) {
+    return Status::Consistency(
+        "entities of predefined baseclasses are interned from values");
+  }
+  if (!IsValidName(name)) {
+    return Status::InvalidArgument("invalid entity name: '" + name + "'");
+  }
+  auto& names = by_name_[base.value()];
+  if (names.count(name) > 0) {
+    return Status::AlreadyExists("entity '" + name +
+                                 "' already exists in class '" + def.name +
+                                 "'");
+  }
+  Entity e;
+  e.id = EntityId(static_cast<std::int64_t>(entities_.size()));
+  e.baseclass = base;
+  e.name = name;
+  names[name] = e.id;
+  members_[base.value()].insert(e.id);
+  entities_.push_back(std::move(e));
+  entity_live_.push_back(true);
+  EntityId id = entities_.back().id;
+  OnMembershipChange(id, base, /*added=*/true);
+  return id;
+}
+
+Result<EntityId> Database::InternValue(const Value& v) const {
+  auto it = interned_.find(v);
+  if (it != interned_.end()) return it->second;
+  ClassId base = Schema::PredefinedClassFor(v.kind());
+  if (!base.valid()) {
+    return Status::InvalidArgument("cannot intern a value with no kind");
+  }
+  Entity e;
+  e.id = EntityId(static_cast<std::int64_t>(entities_.size()));
+  e.baseclass = base;
+  e.name = v.ToDisplayString();
+  e.value = v;
+  e.has_value = true;
+  interned_[v] = e.id;
+  by_name_[base.value()].emplace(e.name, e.id);
+  members_[base.value()].insert(e.id);
+  entities_.push_back(std::move(e));
+  entity_live_.push_back(true);
+  return entities_.back().id;
+}
+
+EntityId Database::InternInteger(std::int64_t v) const {
+  return InternValue(Value::Integer(v)).ValueOrDie();
+}
+EntityId Database::InternReal(double v) const {
+  return InternValue(Value::Real(v)).ValueOrDie();
+}
+EntityId Database::InternBoolean(bool v) const {
+  return InternValue(Value::Boolean(v)).ValueOrDie();
+}
+EntityId Database::InternString(const std::string& v) const {
+  return InternValue(Value::String(v)).ValueOrDie();
+}
+
+Result<EntityId> Database::FindEntity(ClassId base,
+                                      const std::string& name) const {
+  if (!schema_.HasClass(base)) {
+    return Status::NotFound("baseclass does not exist");
+  }
+  const ClassDef& def = schema_.GetClass(base);
+  if (def.base_kind != BaseKind::kNone) {
+    ISIS_ASSIGN_OR_RETURN(Value v, Value::Parse(def.base_kind, name));
+    return InternValue(v);
+  }
+  auto cit = by_name_.find(base.value());
+  if (cit != by_name_.end()) {
+    auto it = cit->second.find(name);
+    if (it != cit->second.end()) return it->second;
+  }
+  return Status::NotFound("no entity '" + name + "' in class '" + def.name +
+                          "'");
+}
+
+Result<EntityId> Database::FindMember(ClassId cls,
+                                      const std::string& name) const {
+  if (!schema_.HasClass(cls)) return Status::NotFound("class does not exist");
+  ISIS_ASSIGN_OR_RETURN(EntityId e,
+                        FindEntity(schema_.RootOf(cls), name));
+  if (!IsMember(e, cls)) {
+    return Status::NotFound("entity '" + name + "' is not a member of '" +
+                            schema_.GetClass(cls).name + "'");
+  }
+  return e;
+}
+
+Status Database::RenameEntity(EntityId e, const std::string& new_name) {
+  if (!HasEntity(e) || e == kNullEntity) {
+    return Status::NotFound("entity does not exist");
+  }
+  Entity& ent = entities_[e.value()];
+  if (ent.has_value) {
+    return Status::Consistency(
+        "entities of predefined baseclasses cannot be renamed");
+  }
+  if (ent.name == new_name) return Status::OK();
+  if (!IsValidName(new_name)) {
+    return Status::InvalidArgument("invalid entity name: '" + new_name + "'");
+  }
+  auto& names = by_name_[ent.baseclass.value()];
+  if (names.count(new_name) > 0) {
+    return Status::AlreadyExists("entity '" + new_name + "' already exists");
+  }
+  names.erase(ent.name);
+  ent.name = new_name;
+  names[new_name] = e;
+  return Status::OK();
+}
+
+Status Database::DeleteEntity(EntityId e) {
+  if (!HasEntity(e) || e == kNullEntity) {
+    return Status::NotFound("entity does not exist");
+  }
+  const Entity& ent = entities_[e.value()];
+  // Remove from every class (deepest first is unnecessary: we scrub after).
+  std::vector<ClassId> was_member;
+  for (ClassId c : schema_.SelfAndDescendants(ent.baseclass)) {
+    auto it = members_.find(c.value());
+    if (it != members_.end() && it->second.erase(e) > 0) {
+      was_member.push_back(c);
+      OnMembershipChange(e, c, /*added=*/false);
+    }
+  }
+  ScrubAllReferences(e);
+  // Drop the entity's own attribute rows.
+  for (auto& [attr, rows] : single_) {
+    (void)attr;
+    rows.erase(e);
+  }
+  for (auto& [attr, rows] : multi_) {
+    (void)attr;
+    rows.erase(e);
+  }
+  if (ent.has_value) {
+    interned_.erase(ent.value);
+  }
+  by_name_[ent.baseclass.value()].erase(ent.name);
+  entity_live_[e.value()] = false;
+  return Status::OK();
+}
+
+bool Database::HasEntity(EntityId e) const {
+  return e.valid() && static_cast<size_t>(e.value()) < entities_.size() &&
+         entity_live_[e.value()];
+}
+
+const Entity& Database::GetEntity(EntityId e) const {
+  return entities_[e.value()];
+}
+
+std::vector<EntityId> Database::AllEntities() const {
+  std::vector<EntityId> out;
+  for (size_t i = 1; i < entities_.size(); ++i) {
+    if (entity_live_[i]) out.push_back(EntityId(static_cast<std::int64_t>(i)));
+  }
+  return out;
+}
+
+const std::string& Database::NameOf(EntityId e) const {
+  static const std::string kUnknown = "(?)";
+  if (!e.valid() || static_cast<size_t>(e.value()) >= entities_.size()) {
+    return kUnknown;
+  }
+  return entities_[e.value()].name;
+}
+
+// --- Membership. ---
+
+Status Database::AddToClassInternal(EntityId e, ClassId cls,
+                                    bool allow_derived) {
+  if (!HasEntity(e) || e == kNullEntity) {
+    return Status::NotFound("entity does not exist");
+  }
+  if (!schema_.HasClass(cls)) return Status::NotFound("class does not exist");
+  const ClassDef& def = schema_.GetClass(cls);
+  if (def.is_base()) {
+    if (GetEntity(e).baseclass == cls) return Status::OK();  // already there
+    return Status::Consistency(
+        "an entity belongs to exactly one baseclass (paper: the entity "
+        "universe is partitioned into disjoint baseclasses)");
+  }
+  if (schema_.RootOf(cls) != GetEntity(e).baseclass) {
+    return Status::Consistency("entity '" + NameOf(e) +
+                               "' belongs to a different baseclass tree");
+  }
+  if (!allow_derived && def.membership == Membership::kDerived) {
+    return Status::Consistency(
+        "membership of a derived class is determined by its predicate");
+  }
+  if (IsMember(e, cls)) return Status::OK();
+  // The paper's insertion rule: inserting into a class requires inserting
+  // into its parent(s) as well; we propagate up the ancestor chain.
+  for (ClassId p : def.parents) {
+    ISIS_RETURN_NOT_OK(AddToClassInternal(e, p, /*allow_derived=*/true));
+  }
+  members_[cls.value()].insert(e);
+  OnMembershipChange(e, cls, /*added=*/true);
+  return Status::OK();
+}
+
+Status Database::AddToClass(EntityId e, ClassId cls) {
+  return AddToClassInternal(e, cls, /*allow_derived=*/false);
+}
+
+Status Database::AddToDerivedClass(EntityId e, ClassId cls) {
+  return AddToClassInternal(e, cls, /*allow_derived=*/true);
+}
+
+Status Database::RemoveFromClass(EntityId e, ClassId cls) {
+  if (!HasEntity(e) || e == kNullEntity) {
+    return Status::NotFound("entity does not exist");
+  }
+  if (!schema_.HasClass(cls)) return Status::NotFound("class does not exist");
+  if (schema_.GetClass(cls).is_base()) {
+    return Status::Consistency(
+        "removal from a baseclass deletes the entity; use DeleteEntity");
+  }
+  // Subset consistency: cascade removal to every descendant.
+  std::vector<ClassId> affected;
+  for (ClassId c : schema_.SelfAndDescendants(cls)) {
+    auto it = members_.find(c.value());
+    if (it != members_.end() && it->second.erase(e) > 0) {
+      affected.push_back(c);
+      OnMembershipChange(e, c, /*added=*/false);
+    }
+  }
+  ScrubReferences(e, affected);
+  // The entity's own rows for attributes defined on the classes it left are
+  // no longer meaningful; drop them so a later re-insertion starts from the
+  // defaults. (Grouping blocks were already fixed by the membership hooks.)
+  for (ClassId c : affected) {
+    for (AttributeId a : schema_.GetClass(c).own_attributes) {
+      auto sit = single_.find(a.value());
+      if (sit != single_.end()) sit->second.erase(e);
+      auto mit = multi_.find(a.value());
+      if (mit != multi_.end()) mit->second.erase(e);
+    }
+  }
+  return Status::OK();
+}
+
+Status Database::SetDerivedMembers(ClassId cls, const EntitySet& new_members) {
+  if (!schema_.HasClass(cls)) return Status::NotFound("class does not exist");
+  if (schema_.GetClass(cls).membership != Membership::kDerived) {
+    return Status::InvalidArgument("class is not derived");
+  }
+  EntitySet current = Members(cls);
+  for (EntityId e : current) {
+    if (new_members.count(e) == 0) {
+      ISIS_RETURN_NOT_OK(RemoveFromClass(e, cls));
+    }
+  }
+  for (EntityId e : new_members) {
+    if (current.count(e) == 0) {
+      ISIS_RETURN_NOT_OK(AddToDerivedClass(e, cls));
+    }
+  }
+  return Status::OK();
+}
+
+bool Database::IsMember(EntityId e, ClassId cls) const {
+  if (e == kNullEntity) return true;  // the null entity is in every class
+  if (!HasEntity(e) || !schema_.HasClass(cls)) return false;
+  const ClassDef& def = schema_.GetClass(cls);
+  if (def.is_base()) return GetEntity(e).baseclass == cls;
+  auto it = members_.find(cls.value());
+  return it != members_.end() && it->second.count(e) > 0;
+}
+
+const EntitySet& Database::Members(ClassId cls) const {
+  auto it = members_.find(cls.value());
+  return it == members_.end() ? kEmptySet : it->second;
+}
+
+// --- Attribute values. ---
+
+Status Database::CheckAttributeApplies(EntityId e, AttributeId attr,
+                                       bool want_multivalued) const {
+  if (!HasEntity(e) || e == kNullEntity) {
+    return Status::NotFound("entity does not exist");
+  }
+  if (!schema_.HasAttribute(attr)) {
+    return Status::NotFound("attribute does not exist");
+  }
+  const AttributeDef& def = schema_.GetAttribute(attr);
+  if (def.multivalued != want_multivalued) {
+    return Status::TypeError(std::string("attribute '") + def.name + "' is " +
+                             (def.multivalued ? "multivalued" : "singlevalued"));
+  }
+  if (!IsMember(e, def.owner)) {
+    return Status::Consistency("entity '" + NameOf(e) +
+                               "' is not a member of class '" +
+                               schema_.GetClass(def.owner).name +
+                               "' defining attribute '" + def.name + "'");
+  }
+  return Status::OK();
+}
+
+Status Database::CheckValueAllowed(AttributeId attr, EntityId value) const {
+  if (value == kNullEntity) return Status::OK();
+  if (!HasEntity(value)) return Status::NotFound("value entity does not exist");
+  const AttributeDef& def = schema_.GetAttribute(attr);
+  if (!IsMember(value, def.value_class)) {
+    return Status::Consistency("entity '" + NameOf(value) +
+                               "' is not a member of value class '" +
+                               schema_.GetClass(def.value_class).name + "'");
+  }
+  return Status::OK();
+}
+
+Status Database::SetSingle(EntityId e, AttributeId attr, EntityId value) {
+  ISIS_RETURN_NOT_OK(CheckAttributeApplies(e, attr, /*want_multivalued=*/false));
+  const AttributeDef& def = schema_.GetAttribute(attr);
+  if (def.naming) {
+    // Assigning the naming attribute renames the entity.
+    if (value == kNullEntity || !HasEntity(value) ||
+        !GetEntity(value).has_value ||
+        GetEntity(value).value.kind() != BaseKind::kString) {
+      return Status::Consistency("naming attribute values must be strings");
+    }
+    return RenameEntity(e, GetEntity(value).value.str());
+  }
+  ISIS_RETURN_NOT_OK(CheckValueAllowed(attr, value));
+  EntitySet before = GetValueSet(e, attr);
+  auto& rows = single_[attr.value()];
+  if (value == kNullEntity) {
+    rows.erase(e);
+  } else {
+    rows[e] = value;
+  }
+  OnAttributeValueChange(e, attr, before, GetValueSet(e, attr));
+  return Status::OK();
+}
+
+Status Database::AddToMulti(EntityId e, AttributeId attr, EntityId value) {
+  ISIS_RETURN_NOT_OK(CheckAttributeApplies(e, attr, /*want_multivalued=*/true));
+  if (value == kNullEntity) {
+    return Status::InvalidArgument(
+        "the null entity cannot be added to a multivalued attribute");
+  }
+  ISIS_RETURN_NOT_OK(CheckValueAllowed(attr, value));
+  EntitySet before = GetValueSet(e, attr);
+  multi_[attr.value()][e].insert(value);
+  OnAttributeValueChange(e, attr, before, GetValueSet(e, attr));
+  return Status::OK();
+}
+
+Status Database::RemoveFromMulti(EntityId e, AttributeId attr,
+                                 EntityId value) {
+  ISIS_RETURN_NOT_OK(CheckAttributeApplies(e, attr, /*want_multivalued=*/true));
+  EntitySet before = GetValueSet(e, attr);
+  auto it = multi_.find(attr.value());
+  if (it != multi_.end()) {
+    auto row = it->second.find(e);
+    if (row != it->second.end()) row->second.erase(value);
+  }
+  OnAttributeValueChange(e, attr, before, GetValueSet(e, attr));
+  return Status::OK();
+}
+
+Status Database::SetMulti(EntityId e, AttributeId attr,
+                          const EntitySet& values) {
+  ISIS_RETURN_NOT_OK(CheckAttributeApplies(e, attr, /*want_multivalued=*/true));
+  for (EntityId v : values) {
+    if (v == kNullEntity) {
+      return Status::InvalidArgument(
+          "the null entity cannot be a member of a multivalued attribute");
+    }
+    ISIS_RETURN_NOT_OK(CheckValueAllowed(attr, v));
+  }
+  EntitySet before = GetValueSet(e, attr);
+  multi_[attr.value()][e] = values;
+  OnAttributeValueChange(e, attr, before, GetValueSet(e, attr));
+  return Status::OK();
+}
+
+EntityId Database::GetSingle(EntityId e, AttributeId attr) const {
+  if (!schema_.HasAttribute(attr)) return kNullEntity;
+  const AttributeDef& def = schema_.GetAttribute(attr);
+  if (def.naming) {
+    if (!HasEntity(e) || e == kNullEntity) return kNullEntity;
+    return InternString(NameOf(e));
+  }
+  auto it = single_.find(attr.value());
+  if (it == single_.end()) return kNullEntity;
+  auto row = it->second.find(e);
+  return row == it->second.end() ? kNullEntity : row->second;
+}
+
+const EntitySet& Database::GetMulti(EntityId e, AttributeId attr) const {
+  auto it = multi_.find(attr.value());
+  if (it == multi_.end()) return kEmptySet;
+  auto row = it->second.find(e);
+  return row == it->second.end() ? kEmptySet : row->second;
+}
+
+EntitySet Database::GetValueSet(EntityId e, AttributeId attr) const {
+  if (!schema_.HasAttribute(attr)) return {};
+  const AttributeDef& def = schema_.GetAttribute(attr);
+  if (def.multivalued) return GetMulti(e, attr);
+  EntityId v = GetSingle(e, attr);
+  if (v == kNullEntity) return {};
+  return {v};
+}
+
+// --- Maps. ---
+
+EntitySet Database::EvaluateMap(const EntitySet& start,
+                                std::span<const AttributeId> path) const {
+  EntitySet frontier;
+  for (EntityId e : start) {
+    if (e != kNullEntity && HasEntity(e)) frontier.insert(e);
+  }
+  for (AttributeId attr : path) {
+    if (!schema_.HasAttribute(attr)) return {};
+    const AttributeDef& def = schema_.GetAttribute(attr);
+    EntitySet next;
+    for (EntityId e : frontier) {
+      if (!IsMember(e, def.owner)) continue;
+      for (EntityId v : GetValueSet(e, attr)) {
+        if (v != kNullEntity) next.insert(v);
+      }
+    }
+    frontier = std::move(next);
+  }
+  return frontier;
+}
+
+EntitySet Database::EvaluateMap(EntityId start,
+                                std::span<const AttributeId> path) const {
+  return EvaluateMap(EntitySet{start}, path);
+}
+
+Result<ClassId> Database::MapTerminalClass(
+    ClassId from, std::span<const AttributeId> path) const {
+  if (!schema_.HasClass(from)) return Status::NotFound("class does not exist");
+  ClassId cur = from;
+  for (AttributeId attr : path) {
+    if (!schema_.HasAttribute(attr)) {
+      return Status::NotFound("attribute on map path does not exist");
+    }
+    if (!schema_.AttributeVisibleOn(cur, attr)) {
+      return Status::TypeError("attribute '" +
+                               schema_.GetAttribute(attr).name +
+                               "' is not visible on class '" +
+                               schema_.GetClass(cur).name + "'");
+    }
+    cur = schema_.GetAttribute(attr).value_class;
+  }
+  return cur;
+}
+
+// --- Groupings as data. ---
+
+const std::vector<GroupingBlock>& Database::GroupingBlocks(GroupingId g) const {
+  GroupingCache& cache = grouping_cache_[g.value()];
+  if (cache.dirty) RebuildGrouping(g, &cache);
+  return cache.blocks;
+}
+
+EntitySet Database::GetGroupingBlock(GroupingId g, EntityId index) const {
+  const std::vector<GroupingBlock>& blocks = GroupingBlocks(g);
+  GroupingCache& cache = grouping_cache_[g.value()];
+  auto it = cache.block_of_index.find(index);
+  if (it == cache.block_of_index.end()) return {};
+  return blocks[it->second].members;
+}
+
+void Database::RebuildGrouping(GroupingId g, GroupingCache* cache) const {
+  cache->blocks.clear();
+  cache->block_of_index.clear();
+  if (!schema_.HasGrouping(g)) {
+    cache->dirty = false;
+    return;
+  }
+  const GroupingDef& def = schema_.GetGrouping(g);
+  // Deterministic: iterate members in id order; blocks sorted by index id.
+  std::map<EntityId, EntitySet> acc;
+  for (EntityId x : Members(def.parent)) {
+    for (EntityId v : GetValueSet(x, def.on_attribute)) {
+      acc[v].insert(x);
+    }
+  }
+  for (auto& [index, set] : acc) {
+    cache->block_of_index[index] = cache->blocks.size();
+    cache->blocks.push_back(GroupingBlock{index, std::move(set)});
+  }
+  cache->dirty = false;
+  ++stats_.grouping_rebuilds;
+}
+
+void Database::GroupingInsert(GroupingCache* cache, EntityId index,
+                              EntityId member) {
+  auto it = cache->block_of_index.find(index);
+  if (it == cache->block_of_index.end()) {
+    // Insert the new block keeping blocks sorted by index id.
+    size_t pos = 0;
+    while (pos < cache->blocks.size() && cache->blocks[pos].index < index) {
+      ++pos;
+    }
+    cache->blocks.insert(cache->blocks.begin() + pos,
+                         GroupingBlock{index, {member}});
+    for (auto& [idx, p] : cache->block_of_index) {
+      (void)idx;
+      if (p >= pos) ++p;
+    }
+    cache->block_of_index[index] = pos;
+  } else {
+    cache->blocks[it->second].members.insert(member);
+  }
+}
+
+void Database::GroupingErase(GroupingCache* cache, EntityId index,
+                             EntityId member) {
+  auto it = cache->block_of_index.find(index);
+  if (it == cache->block_of_index.end()) return;
+  size_t pos = it->second;
+  cache->blocks[pos].members.erase(member);
+  if (cache->blocks[pos].members.empty()) {
+    cache->blocks.erase(cache->blocks.begin() + pos);
+    cache->block_of_index.erase(it);
+    for (auto& [idx, p] : cache->block_of_index) {
+      (void)idx;
+      if (p > pos) --p;
+    }
+  }
+}
+
+void Database::IncrementalGroupingUpdate(GroupingId g, EntityId e,
+                                         const EntitySet& before,
+                                         const EntitySet& after) {
+  GroupingCache& cache = grouping_cache_[g.value()];
+  if (cache.dirty) return;  // will rebuild at next read anyway
+  for (EntityId v : before) {
+    if (after.count(v) == 0) GroupingErase(&cache, v, e);
+  }
+  for (EntityId v : after) {
+    if (before.count(v) == 0) GroupingInsert(&cache, v, e);
+  }
+  ++stats_.grouping_incremental_updates;
+}
+
+void Database::OnAttributeValueChange(EntityId e, AttributeId attr,
+                                      const EntitySet& before,
+                                      const EntitySet& after) {
+  if (before == after) return;
+  for (GroupingId g : schema_.AllGroupings()) {
+    const GroupingDef& def = schema_.GetGrouping(g);
+    if (def.on_attribute != attr) continue;
+    if (!IsMember(e, def.parent)) continue;
+    if (options_.incremental_groupings) {
+      IncrementalGroupingUpdate(g, e, before, after);
+    } else {
+      grouping_cache_[g.value()].dirty = true;
+    }
+  }
+}
+
+void Database::OnMembershipChange(EntityId e, ClassId cls, bool added) {
+  for (GroupingId g : schema_.AllGroupings()) {
+    const GroupingDef& def = schema_.GetGrouping(g);
+    if (def.parent != cls) continue;
+    if (options_.incremental_groupings) {
+      GroupingCache& cache = grouping_cache_[g.value()];
+      if (cache.dirty) continue;
+      EntitySet values = GetValueSet(e, def.on_attribute);
+      for (EntityId v : values) {
+        if (added) {
+          GroupingInsert(&cache, v, e);
+        } else {
+          GroupingErase(&cache, v, e);
+        }
+      }
+      ++stats_.grouping_incremental_updates;
+    } else {
+      grouping_cache_[g.value()].dirty = true;
+    }
+  }
+}
+
+void Database::MarkGroupingsDirtyOn(AttributeId attr) {
+  for (GroupingId g : schema_.AllGroupings()) {
+    if (schema_.GetGrouping(g).on_attribute == attr) {
+      grouping_cache_[g.value()].dirty = true;
+    }
+  }
+}
+
+// --- Restore API. ---
+
+Status Database::RestoreEntity(const Entity& e) {
+  if (!e.id.valid() || static_cast<size_t>(e.id.value()) < entities_.size()) {
+    return Status::ParseError("entity id collides with an existing slot");
+  }
+  if (!schema_.HasClass(e.baseclass) ||
+      !schema_.GetClass(e.baseclass).is_base()) {
+    return Status::ParseError("restored entity has no valid baseclass");
+  }
+  auto& names = by_name_[e.baseclass.value()];
+  if (names.count(e.name) > 0) {
+    return Status::ParseError("duplicate entity name on restore: '" + e.name +
+                              "'");
+  }
+  while (entities_.size() < static_cast<size_t>(e.id.value())) {
+    Entity dead;
+    dead.id = EntityId(static_cast<std::int64_t>(entities_.size()));
+    entities_.push_back(std::move(dead));
+    entity_live_.push_back(false);
+  }
+  names[e.name] = e.id;
+  if (e.has_value) interned_[e.value] = e.id;
+  members_[e.baseclass.value()].insert(e.id);
+  entities_.push_back(e);
+  entity_live_.push_back(true);
+  return Status::OK();
+}
+
+Status Database::RestoreMembers(ClassId cls, EntitySet members) {
+  if (!schema_.HasClass(cls)) {
+    return Status::ParseError("restored membership for a dead class");
+  }
+  if (schema_.GetClass(cls).is_base()) {
+    return Status::ParseError(
+        "baseclass membership is restored entity by entity");
+  }
+  members_[cls.value()] = std::move(members);
+  return Status::OK();
+}
+
+Status Database::RestoreSingle(AttributeId attr, EntityId e, EntityId value) {
+  if (!schema_.HasAttribute(attr) || schema_.GetAttribute(attr).multivalued) {
+    return Status::ParseError("bad singlevalued attribute slot on restore");
+  }
+  if (value != kNullEntity) single_[attr.value()][e] = value;
+  return Status::OK();
+}
+
+Status Database::RestoreMulti(AttributeId attr, EntityId e, EntitySet values) {
+  if (!schema_.HasAttribute(attr) || !schema_.GetAttribute(attr).multivalued) {
+    return Status::ParseError("bad multivalued attribute slot on restore");
+  }
+  if (!values.empty()) multi_[attr.value()][e] = std::move(values);
+  return Status::OK();
+}
+
+// --- Reference scrubbing. ---
+
+void Database::ScrubReferences(EntityId e, const std::vector<ClassId>& classes) {
+  if (classes.empty()) return;
+  for (ClassId vc : classes) {
+    for (const Schema::NetworkArc& arc :
+         schema_.IncomingArcs(SchemaNode::Class(vc))) {
+      const AttributeDef& def = schema_.GetAttribute(arc.attribute);
+      // The entity may still be a member via some other class in rare
+      // multi-parent layouts; re-check before scrubbing.
+      if (IsMember(e, def.value_class)) continue;
+      if (!def.multivalued) {
+        auto it = single_.find(def.id.value());
+        if (it == single_.end()) continue;
+        std::vector<EntityId> owners;
+        for (const auto& [owner, v] : it->second) {
+          if (v == e) owners.push_back(owner);
+        }
+        for (EntityId owner : owners) {
+          EntitySet before{e};
+          it->second.erase(owner);
+          OnAttributeValueChange(owner, def.id, before, {});
+        }
+      } else {
+        auto it = multi_.find(def.id.value());
+        if (it == multi_.end()) continue;
+        for (auto& [owner, set] : it->second) {
+          if (set.erase(e) > 0) {
+            EntitySet after = set;
+            EntitySet before = after;
+            before.insert(e);
+            OnAttributeValueChange(owner, def.id, before, after);
+          }
+        }
+      }
+    }
+  }
+}
+
+void Database::ScrubAllReferences(EntityId e) {
+  for (auto& [attr_raw, rows] : single_) {
+    AttributeId attr(attr_raw);
+    std::vector<EntityId> owners;
+    for (const auto& [owner, v] : rows) {
+      if (v == e) owners.push_back(owner);
+    }
+    for (EntityId owner : owners) {
+      EntitySet before{e};
+      rows.erase(owner);
+      OnAttributeValueChange(owner, attr, before, {});
+    }
+  }
+  for (auto& [attr_raw, rows] : multi_) {
+    AttributeId attr(attr_raw);
+    for (auto& [owner, set] : rows) {
+      if (set.erase(e) > 0) {
+        EntitySet after = set;
+        EntitySet before = after;
+        before.insert(e);
+        OnAttributeValueChange(owner, attr, before, after);
+      }
+    }
+  }
+}
+
+}  // namespace isis::sdm

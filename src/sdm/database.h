@@ -1,0 +1,301 @@
+/// \file database.h
+/// \brief The data level: entities, class membership, attribute values,
+/// groupings-as-data, and attribute-map evaluation (paper §2, "Data").
+///
+/// A Database owns a Schema and the data associated with it, and keeps the
+/// data consistent with the schema under every mutation:
+///   * each entity is in one baseclass only;
+///   * each subclass is a subset of its parent (insertions propagate up the
+///     ancestor chain; removals cascade down to descendants);
+///   * a singlevalued attribute defines a function (default: the null
+///     entity); a multivalued attribute defaults to the empty set;
+///   * each grouping is completely determined by its parent class and
+///     attribute (maintained incrementally, see GroupingBlocks).
+///
+/// The null entity is "a member of every class" (paper §2); it never appears
+/// in member listings or map images.
+
+#ifndef ISIS_SDM_DATABASE_H_
+#define ISIS_SDM_DATABASE_H_
+
+#include <map>
+#include <set>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/result.h"
+#include "sdm/schema.h"
+#include "sdm/value.h"
+
+namespace isis::sdm {
+
+/// The distinguished null entity (default value of unassigned singlevalued
+/// attributes).
+inline constexpr EntityId kNullEntity = EntityId(0);
+
+/// \brief One entity of the universe.
+struct Entity {
+  EntityId id;
+  /// The unique baseclass holding the entity (invalid for the null entity).
+  ClassId baseclass;
+  /// Unique name within the baseclass; for predefined baseclasses this is
+  /// the display form of `value`.
+  std::string name;
+  /// Identity value for entities of predefined baseclasses.
+  Value value;
+  bool has_value = false;
+};
+
+/// A deterministic ordered set of entities (creation order == id order).
+using EntitySet = std::set<EntityId>;
+
+/// One block of a grouping: the set of parent-class entities sharing the
+/// index entity as an attribute value.
+struct GroupingBlock {
+  EntityId index;      ///< The shared attribute value naming the block.
+  EntitySet members;   ///< { x in parent(G) | index in A(x) }.
+};
+
+/// \brief Database = schema + data + consistency-preserving mutations.
+class Database {
+ public:
+  struct Options {
+    Schema::Options schema;
+    /// Maintain grouping blocks incrementally on each mutation. When false,
+    /// groupings are recomputed from scratch at each read after a mutation
+    /// (the ablation benchmarked by bench_groupings).
+    bool incremental_groupings = true;
+  };
+
+  Database();
+  explicit Database(Options options);
+
+  const Schema& schema() const { return schema_; }
+  const Options& options() const { return options_; }
+
+  // --- Schema mutations (delegate to Schema, then fix up data). ---
+
+  Result<ClassId> CreateBaseclass(const std::string& name,
+                                  const std::string& naming_attribute);
+  Result<ClassId> CreateSubclass(const std::string& name, ClassId parent,
+                                 Membership membership);
+  Status AddParent(ClassId cls, ClassId extra_parent);
+  /// Deletes a class; in addition to Schema's preconditions, membership data
+  /// and grouping caches are dropped.
+  Status DeleteClass(ClassId cls);
+  Status RenameClass(ClassId cls, const std::string& new_name);
+  /// Switches a subclass between enumerated and derived membership.
+  Status SetMembership(ClassId cls, Membership membership);
+  /// Marks an attribute stored/derived (query layer bookkeeping).
+  Status SetAttributeOrigin(AttributeId attr, AttrOrigin origin);
+
+  Result<AttributeId> CreateAttribute(ClassId owner, const std::string& name,
+                                      ClassId value_class, bool multivalued,
+                                      AttrOrigin origin = AttrOrigin::kStored);
+  Result<AttributeId> CreateAttributeIntoGrouping(ClassId owner,
+                                                  const std::string& name,
+                                                  GroupingId grouping);
+  /// Changes the value class (UI: (re)specify value class); values that are
+  /// no longer members of the new value class are reset to the defaults.
+  Status SetValueClass(AttributeId attr, ClassId value_class);
+  Status DeleteAttribute(AttributeId attr);
+  Status RenameAttribute(AttributeId attr, const std::string& new_name);
+
+  Result<GroupingId> CreateGrouping(const std::string& name, ClassId parent,
+                                    AttributeId on_attribute);
+  Status DeleteGrouping(GroupingId g);
+  Status RenameGrouping(GroupingId g, const std::string& new_name);
+
+  // --- Entity lifecycle. ---
+
+  /// Creates an entity named `name` in user baseclass `base`. Names are
+  /// unique within a baseclass (paper: "each entity has a unique name").
+  Result<EntityId> CreateEntity(ClassId base, const std::string& name);
+
+  /// Returns the entity of a predefined baseclass with identity `v`,
+  /// creating ("interning") it on first reference — the predefined classes
+  /// "contain as data all integers, booleans, reals and strings of
+  /// interest".
+  Result<EntityId> InternValue(const Value& v) const;
+
+  /// Convenience interners.
+  EntityId InternInteger(std::int64_t v) const;
+  EntityId InternReal(double v) const;
+  EntityId InternBoolean(bool v) const;
+  EntityId InternString(const std::string& v) const;
+
+  /// Finds an entity by name within a baseclass (parses the name as a value
+  /// for predefined baseclasses, interning it).
+  Result<EntityId> FindEntity(ClassId base, const std::string& name) const;
+
+  /// Looks up an entity by name in `cls` (any class: resolves via the root
+  /// baseclass, then checks membership).
+  Result<EntityId> FindMember(ClassId cls, const std::string& name) const;
+
+  Status RenameEntity(EntityId e, const std::string& new_name);
+
+  /// Deletes an entity: removes it from every class and scrubs every
+  /// attribute slot referring to it (singlevalued slots become null,
+  /// multivalued sets drop it).
+  Status DeleteEntity(EntityId e);
+
+  bool HasEntity(EntityId e) const;
+  const Entity& GetEntity(EntityId e) const;
+  /// All live entities in id (creation) order, excluding the null entity.
+  std::vector<EntityId> AllEntities() const;
+  /// Display name ("(null)" for the null entity).
+  const std::string& NameOf(EntityId e) const;
+
+  // --- Class membership. ---
+
+  /// Adds `e` to subclass `cls` and, transitively, to every ancestor between
+  /// `cls` and `e`'s baseclass (the paper's insertion rule). Fails if the
+  /// class is derived (derived membership comes from its predicate) or if
+  /// `e`'s baseclass is not the root of `cls`.
+  Status AddToClass(EntityId e, ClassId cls);
+
+  /// Variant used by the query layer when materializing a derived subclass.
+  Status AddToDerivedClass(EntityId e, ClassId cls);
+
+  /// Removes `e` from `cls` and from every descendant of `cls`, then scrubs
+  /// attribute slots whose value class no longer contains `e`.
+  Status RemoveFromClass(EntityId e, ClassId cls);
+
+  /// Replaces the whole membership of a derived class (query layer commit).
+  Status SetDerivedMembers(ClassId cls, const EntitySet& members);
+
+  /// True if `e` is a member of `cls`. The null entity is a member of every
+  /// class.
+  bool IsMember(EntityId e, ClassId cls) const;
+
+  /// Members of `cls` in id (creation) order; excludes the null entity.
+  const EntitySet& Members(ClassId cls) const;
+
+  // --- Attribute values. ---
+
+  /// Sets a singlevalued attribute (UI: (re)assign att. value). Preconditions:
+  /// `attr` is singlevalued and visible on a class containing `e`; `value`
+  /// is null or a member of the value class. Setting the naming attribute
+  /// renames the entity.
+  Status SetSingle(EntityId e, AttributeId attr, EntityId value);
+
+  Status AddToMulti(EntityId e, AttributeId attr, EntityId value);
+  Status RemoveFromMulti(EntityId e, AttributeId attr, EntityId value);
+  /// Replaces a multivalued attribute's set wholesale.
+  Status SetMulti(EntityId e, AttributeId attr, const EntitySet& values);
+
+  /// Singlevalued read; kNullEntity when unassigned. For a naming attribute
+  /// this is the interned string entity of the entity's name.
+  EntityId GetSingle(EntityId e, AttributeId attr) const;
+
+  /// Multivalued read; empty set when unassigned.
+  const EntitySet& GetMulti(EntityId e, AttributeId attr) const;
+
+  /// Uniform read used by map evaluation: singleton for an assigned
+  /// singlevalued attribute, empty for null, the set for multivalued.
+  EntitySet GetValueSet(EntityId e, AttributeId attr) const;
+
+  // --- Maps (paper §2, "Map"). ---
+
+  /// Image of `start` under the composition A1 A2 ... An. n == 0 yields
+  /// `start` (the identity map). The null entity never enters the image.
+  EntitySet EvaluateMap(const EntitySet& start,
+                        std::span<const AttributeId> path) const;
+  EntitySet EvaluateMap(EntityId start,
+                        std::span<const AttributeId> path) const;
+
+  /// Checks a map is well formed from `from`: each step visible on the
+  /// reached class. Returns the class the map terminates in.
+  Result<ClassId> MapTerminalClass(ClassId from,
+                                   std::span<const AttributeId> path) const;
+
+  // --- Groupings as data. ---
+
+  /// The blocks of `g`, ordered by index-entity id. Recomputed or
+  /// incrementally maintained per Options::incremental_groupings.
+  const std::vector<GroupingBlock>& GroupingBlocks(GroupingId g) const;
+
+  /// The block of `g` indexed by `index` (empty if none).
+  EntitySet GetGroupingBlock(GroupingId g, EntityId index) const;
+
+  // --- Restore API (store/ deserialization only). ---
+  //
+  // Direct state reconstruction bypassing the mutation checks; the loader
+  // validates with ConsistencyChecker afterwards. mutable_schema() exposes
+  // the schema's own restore API during loading.
+
+  Schema& mutable_schema() { return schema_; }
+  /// Restores an entity at its original id (gaps become dead slots).
+  Status RestoreEntity(const Entity& e);
+  /// Restores the membership set of a subclass wholesale.
+  Status RestoreMembers(ClassId cls, EntitySet members);
+  /// Restores a singlevalued attribute slot.
+  Status RestoreSingle(AttributeId attr, EntityId e, EntityId value);
+  /// Restores a multivalued attribute slot.
+  Status RestoreMulti(AttributeId attr, EntityId e, EntitySet values);
+
+  /// Statistics for benchmarking.
+  struct Stats {
+    std::int64_t grouping_rebuilds = 0;
+    std::int64_t grouping_incremental_updates = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct GroupingCache {
+    bool dirty = true;
+    std::vector<GroupingBlock> blocks;
+    std::map<EntityId, size_t> block_of_index;
+  };
+
+  Status CheckAttributeApplies(EntityId e, AttributeId attr,
+                               bool want_multivalued) const;
+  Status CheckValueAllowed(AttributeId attr, EntityId value) const;
+  Status AddToClassInternal(EntityId e, ClassId cls, bool allow_derived);
+  /// Scrubs attribute slots whose value class is in `classes` and whose
+  /// value is `e`.
+  void ScrubReferences(EntityId e, const std::vector<ClassId>& classes);
+  void ScrubAllReferences(EntityId e);
+
+  /// Grouping maintenance hooks.
+  void OnAttributeValueChange(EntityId e, AttributeId attr,
+                              const EntitySet& before, const EntitySet& after);
+  void OnMembershipChange(EntityId e, ClassId cls, bool added);
+  void MarkGroupingsDirtyOn(AttributeId attr);
+  void RebuildGrouping(GroupingId g, GroupingCache* cache) const;
+  void IncrementalGroupingUpdate(GroupingId g, EntityId e,
+                                 const EntitySet& before,
+                                 const EntitySet& after);
+  void GroupingInsert(GroupingCache* cache, EntityId index, EntityId member);
+  void GroupingErase(GroupingCache* cache, EntityId index, EntityId member);
+
+  Schema schema_;
+  Options options_;
+
+  // Entity universe. Interning predefined-class entities is logically const
+  // (the classes "contain all values of interest"), hence mutable.
+  mutable std::vector<Entity> entities_;
+  mutable std::vector<bool> entity_live_;
+  mutable std::unordered_map<std::int64_t,
+                             std::unordered_map<std::string, EntityId>>
+      by_name_;                                      // baseclass -> name -> id
+  mutable std::map<Value, EntityId> interned_;       // predefined identities
+  mutable std::unordered_map<std::int64_t, EntitySet> members_;  // class -> set
+
+  // Attribute value stores.
+  std::unordered_map<std::int64_t, std::unordered_map<EntityId, EntityId>>
+      single_;
+  std::unordered_map<std::int64_t, std::unordered_map<EntityId, EntitySet>>
+      multi_;
+
+  mutable std::unordered_map<std::int64_t, GroupingCache> grouping_cache_;
+  mutable Stats stats_;
+  static const EntitySet kEmptySet;
+};
+
+}  // namespace isis::sdm
+
+#endif  // ISIS_SDM_DATABASE_H_

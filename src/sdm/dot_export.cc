@@ -1,0 +1,120 @@
+#include "sdm/dot_export.h"
+
+#include <set>
+#include <sstream>
+
+namespace isis::sdm {
+
+namespace {
+
+std::string Quote(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  out += "\"";
+  return out;
+}
+
+std::string ClassNode(const Schema& schema, ClassId c) {
+  return Quote(schema.GetClass(c).name);
+}
+
+std::string GroupingNode(const Schema& schema, GroupingId g) {
+  return Quote(schema.GetGrouping(g).name);
+}
+
+}  // namespace
+
+std::string ExportDot(const Schema& schema, DotGraph which) {
+  bool forest = which != DotGraph::kSemanticNetwork;
+  bool network = which != DotGraph::kInheritanceForest;
+  std::ostringstream out;
+  out << "digraph isis {\n";
+  out << "  rankdir=TB;\n  node [shape=box, fontname=\"monospace\"];\n";
+
+  // Which predefined classes are referenced by emitted attribute arcs.
+  std::set<std::int64_t> referenced_predefined;
+  if (network) {
+    for (ClassId c : schema.AllClasses()) {
+      if (c.value() < 4) continue;
+      for (AttributeId a : schema.GetClass(c).own_attributes) {
+        const AttributeDef& def = schema.GetAttribute(a);
+        if (def.naming || def.value_grouping.valid()) continue;
+        if (def.value_class.value() < 4) {
+          referenced_predefined.insert(def.value_class.value());
+        }
+      }
+    }
+  }
+
+  // Nodes.
+  for (ClassId c : schema.AllClasses()) {
+    if (c.value() < 4 &&
+        referenced_predefined.count(c.value()) == 0) {
+      continue;
+    }
+    const ClassDef& def = schema.GetClass(c);
+    out << "  " << ClassNode(schema, c) << " [";
+    if (def.is_base()) {
+      out << "style=\"filled\", fillcolor=\"lightgray\", ";
+    } else if (def.membership == Membership::kDerived) {
+      out << "style=\"rounded\", ";
+    }
+    out << "label=" << Quote(def.name) << "];\n";
+  }
+  for (GroupingId g : schema.AllGroupings()) {
+    // Groupings are set nodes: dashed, per the paper's white set border.
+    out << "  " << GroupingNode(schema, g) << " [style=\"dashed\"];\n";
+  }
+
+  if (forest) {
+    for (ClassId c : schema.AllClasses()) {
+      const ClassDef& def = schema.GetClass(c);
+      for (ClassId p : def.parents) {
+        out << "  " << ClassNode(schema, p) << " -> "
+            << ClassNode(schema, c) << " [arrowhead=empty];\n";
+      }
+    }
+    for (GroupingId g : schema.AllGroupings()) {
+      const GroupingDef& def = schema.GetGrouping(g);
+      out << "  " << ClassNode(schema, def.parent) << " -> "
+          << GroupingNode(schema, g) << " [style=dotted, label="
+          << Quote("on " + schema.GetAttribute(def.on_attribute).name)
+          << "];\n";
+    }
+  }
+
+  if (network) {
+    for (ClassId c : schema.AllClasses()) {
+      if (c.value() < 4) continue;
+      for (AttributeId a : schema.GetClass(c).own_attributes) {
+        const AttributeDef& def = schema.GetAttribute(a);
+        if (def.naming) continue;
+        std::string target =
+            def.value_grouping.valid()
+                ? GroupingNode(schema, def.value_grouping)
+                : ClassNode(schema, def.value_class);
+        // "a single arrow for singlevalued and a double one for
+        // multivalued" — DOT's closest analogue is a parallel-line color
+        // list; in overlay mode attribute arcs are blue to separate them
+        // from inheritance edges.
+        const char* base_color = which == DotGraph::kBoth ? "blue" : "black";
+        std::string color = def.multivalued
+                                ? std::string(base_color) + ":" + base_color
+                                : base_color;
+        out << "  " << ClassNode(schema, c) << " -> " << target
+            << " [label=" << Quote(def.name) << ", color=" << Quote(color);
+        if (def.multivalued) out << ", style=bold";
+        if (which == DotGraph::kBoth) out << ", fontcolor=blue";
+        out << "];\n";
+      }
+    }
+  }
+
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace isis::sdm

@@ -1,0 +1,36 @@
+/// \file dot_export.h
+/// \brief Graphviz (DOT) export of the paper's two schema graphs.
+///
+/// The paper defines the *inheritance forest* and the *semantic network*
+/// over the same nodes (§2). ISIS renders them as interactive views; for
+/// offline documentation and tooling this module exports either graph (or
+/// both overlaid) as DOT, preserving the paper's visual conventions where
+/// DOT can express them: baseclasses as emphasized nodes, groupings as
+/// dashed (set) nodes, singlevalued attribute arcs as plain edges and
+/// multivalued ones as double-line (bold) edges labeled with the attribute
+/// name.
+
+#ifndef ISIS_SDM_DOT_EXPORT_H_
+#define ISIS_SDM_DOT_EXPORT_H_
+
+#include <string>
+
+#include "sdm/schema.h"
+
+namespace isis::sdm {
+
+/// Which arcs to include.
+enum class DotGraph {
+  kInheritanceForest,  ///< parent(C) edges and grouping attachments.
+  kSemanticNetwork,    ///< attribute arcs (own attributes; inherited arcs
+                       ///< are derivable and omitted to keep graphs small).
+  kBoth,               ///< Overlay: inheritance solid, attributes colored.
+};
+
+/// Serializes the chosen graph(s) as a DOT digraph named "isis".
+/// Predefined baseclasses appear only when referenced by an attribute arc.
+std::string ExportDot(const Schema& schema, DotGraph which);
+
+}  // namespace isis::sdm
+
+#endif  // ISIS_SDM_DOT_EXPORT_H_

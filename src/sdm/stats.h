@@ -1,0 +1,82 @@
+/// \file stats.h
+/// \brief Database statistics and schema-design advisories — the paper's §5
+/// wish to "add features to assist users in the process of designing their
+/// schemas" [RBBCFKLR].
+///
+/// ComputeStats summarizes the database (per-class cardinalities, per-
+/// attribute fill ratios and distinct-value counts, per-grouping block
+/// shapes); DesignAdvisories turns the summary into actionable findings
+/// (never-assigned attributes, empty classes, degenerate groupings,
+/// subclasses equal to their parents) of the kind a design workbench would
+/// surface.
+
+#ifndef ISIS_SDM_STATS_H_
+#define ISIS_SDM_STATS_H_
+
+#include <string>
+#include <vector>
+
+#include "sdm/database.h"
+
+namespace isis::sdm {
+
+/// Cardinality summary of one class.
+struct ClassStats {
+  ClassId cls;
+  std::string name;
+  size_t members = 0;
+  bool is_base = false;
+  Membership membership = Membership::kEnumerated;
+};
+
+/// Value summary of one attribute over its owner's members.
+struct AttributeStats {
+  AttributeId attr;
+  std::string name;       ///< Qualified "<owner>.<attr>".
+  size_t owner_members = 0;
+  size_t assigned = 0;     ///< Owners with a non-default value.
+  size_t distinct_values = 0;
+  double avg_set_size = 0.0;  ///< Multivalued: mean set size over assigned.
+  bool multivalued = false;
+
+  double fill_ratio() const {
+    return owner_members == 0
+               ? 0.0
+               : static_cast<double>(assigned) / owner_members;
+  }
+};
+
+/// Shape summary of one grouping.
+struct GroupingStats {
+  GroupingId grouping;
+  std::string name;
+  size_t blocks = 0;
+  size_t largest_block = 0;
+  size_t covered_members = 0;  ///< Parent members appearing in some block.
+};
+
+/// Whole-database summary.
+struct DatabaseStats {
+  size_t classes = 0;     ///< User classes (predefined excluded).
+  size_t attributes = 0;  ///< Non-naming attributes.
+  size_t groupings = 0;
+  size_t entities = 0;    ///< Live entities excluding interned values.
+  std::vector<ClassStats> per_class;
+  std::vector<AttributeStats> per_attribute;
+  std::vector<GroupingStats> per_grouping;
+};
+
+/// Computes the full summary (linear in data size).
+DatabaseStats ComputeStats(const Database& db);
+
+/// Schema-design findings derived from the statistics, one human-readable
+/// sentence each. Empty means nothing noteworthy.
+std::vector<std::string> DesignAdvisories(const Database& db,
+                                          const DatabaseStats& stats);
+
+/// A printable multi-line report (the `statistics` command's long form).
+std::string RenderStatsReport(const DatabaseStats& stats);
+
+}  // namespace isis::sdm
+
+#endif  // ISIS_SDM_STATS_H_

@@ -1,0 +1,77 @@
+#include "sdm/value.h"
+
+#include <cstdlib>
+
+#include "common/strings.h"
+
+namespace isis::sdm {
+
+const char* BaseKindToString(BaseKind k) {
+  switch (k) {
+    case BaseKind::kNone:
+      return "none";
+    case BaseKind::kInteger:
+      return "INTEGER";
+    case BaseKind::kReal:
+      return "REAL";
+    case BaseKind::kBoolean:
+      return "YES/NO";
+    case BaseKind::kString:
+      return "STRING";
+  }
+  return "?";
+}
+
+std::string Value::ToDisplayString() const {
+  switch (kind()) {
+    case BaseKind::kInteger:
+      return std::to_string(integer());
+    case BaseKind::kReal:
+      return FormatReal(real());
+    case BaseKind::kBoolean:
+      return boolean() ? "YES" : "NO";
+    case BaseKind::kString:
+      return str();
+    case BaseKind::kNone:
+      break;
+  }
+  return "?";
+}
+
+Result<Value> Value::Parse(BaseKind kind, const std::string& text) {
+  switch (kind) {
+    case BaseKind::kInteger: {
+      char* end = nullptr;
+      long long v = std::strtoll(text.c_str(), &end, 10);
+      if (end == text.c_str() || *end != '\0') {
+        return Status::ParseError("not an integer: '" + text + "'");
+      }
+      return Value::Integer(v);
+    }
+    case BaseKind::kReal: {
+      char* end = nullptr;
+      double v = std::strtod(text.c_str(), &end);
+      if (end == text.c_str() || *end != '\0') {
+        return Status::ParseError("not a real: '" + text + "'");
+      }
+      return Value::Real(v);
+    }
+    case BaseKind::kBoolean: {
+      std::string lower = ToLower(text);
+      if (lower == "yes" || lower == "true" || lower == "y") {
+        return Value::Boolean(true);
+      }
+      if (lower == "no" || lower == "false" || lower == "n") {
+        return Value::Boolean(false);
+      }
+      return Status::ParseError("not a YES/NO value: '" + text + "'");
+    }
+    case BaseKind::kString:
+      return Value::String(text);
+    case BaseKind::kNone:
+      break;
+  }
+  return Status::InvalidArgument("cannot parse value for user baseclass");
+}
+
+}  // namespace isis::sdm

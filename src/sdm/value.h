@@ -1,0 +1,87 @@
+/// \file value.h
+/// \brief Primitive values of the four predefined baseclasses.
+///
+/// The paper (§2) fixes four predefined baseclasses — the Integers, the
+/// Reals, the Booleans (Yes/No), and the Strings — and assumes they "contain
+/// as data all integers, booleans, reals and strings of interest". In the
+/// engine, entities of these classes are interned lazily: referencing the
+/// integer 4 creates (once) an entity whose identity is the value 4.
+
+#ifndef ISIS_SDM_VALUE_H_
+#define ISIS_SDM_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "common/result.h"
+
+namespace isis::sdm {
+
+/// Which predefined baseclass a value belongs to.
+enum class BaseKind {
+  kNone = 0,  ///< A user-defined baseclass (entities are named objects).
+  kInteger,
+  kReal,
+  kBoolean,
+  kString,
+};
+
+const char* BaseKindToString(BaseKind k);
+
+/// \brief A primitive value: int64, double, bool or string.
+///
+/// Identity of predefined-baseclass entities. Ordering is defined within a
+/// kind only (the paper's ordering operators <=, > apply to singleton sets
+/// of comparable entities).
+class Value {
+ public:
+  Value() : repr_(std::int64_t{0}) {}
+  static Value Integer(std::int64_t v) { return Value(Repr(v)); }
+  static Value Real(double v) { return Value(Repr(v)); }
+  static Value Boolean(bool v) { return Value(Repr(v)); }
+  static Value String(std::string v) { return Value(Repr(std::move(v))); }
+
+  BaseKind kind() const {
+    switch (repr_.index()) {
+      case 0:
+        return BaseKind::kInteger;
+      case 1:
+        return BaseKind::kReal;
+      case 2:
+        return BaseKind::kBoolean;
+      default:
+        return BaseKind::kString;
+    }
+  }
+
+  std::int64_t integer() const { return std::get<std::int64_t>(repr_); }
+  double real() const { return std::get<double>(repr_); }
+  bool boolean() const { return std::get<bool>(repr_); }
+  const std::string& str() const { return std::get<std::string>(repr_); }
+
+  /// Display form; for Booleans the paper's YES/NO.
+  std::string ToDisplayString() const;
+
+  /// Parses `text` as a value of baseclass kind `kind`.
+  static Result<Value> Parse(BaseKind kind, const std::string& text);
+
+  /// Total order within a kind; cross-kind compares by kind index (used only
+  /// for deterministic container ordering, never exposed as a comparison
+  /// result to the query language).
+  friend bool operator<(const Value& a, const Value& b) {
+    return a.repr_ < b.repr_;
+  }
+  friend bool operator==(const Value& a, const Value& b) {
+    return a.repr_ == b.repr_;
+  }
+
+ private:
+  using Repr = std::variant<std::int64_t, double, bool, std::string>;
+  explicit Value(Repr r) : repr_(std::move(r)) {}
+  Repr repr_;
+};
+
+}  // namespace isis::sdm
+
+#endif  // ISIS_SDM_VALUE_H_

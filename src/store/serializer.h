@@ -1,0 +1,59 @@
+/// \file serializer.h
+/// \brief Versioned text serialization of a Workspace (schema + data +
+/// stored queries).
+///
+/// The paper's sample session ends with the user saving the modified
+/// database under a new name ("he saves this new database as
+/// entertainment"). This module implements that capability: a whole
+/// Workspace round-trips through a line-oriented, escaped, versioned text
+/// format. Loading re-validates the result with the full ConsistencyChecker
+/// so a corrupted file can never produce an inconsistent database.
+///
+/// Format sketch (one record per line, fields separated by `|`, names
+/// escaped):
+///
+///   ISIS|1
+///   name|Instrumental_Music
+///   options|incremental_groupings|allow_multiple_parents
+///   class|id|name|membership|base_kind|fill|parents|own_attrs
+///   attr|id|name|owner|value_class|grouping|multi|naming|origin
+///   grouping|id|name|parent|attr|fill
+///   entity|id|base|kind|text          (kind 0 = named, else value kind)
+///   members|class|e1,e2,...
+///   single|attr|e|v
+///   multi|attr|e|v1,v2,...
+///   subpred|class|<predicate>
+///   attrderiv|attr|assign|<term>   or   attrderiv|attr|pred|<predicate>
+///   end
+///
+/// Ids are preserved exactly (deletion gaps become dead slots on load), so
+/// stored predicates' constant sets and map paths stay valid.
+
+#ifndef ISIS_STORE_SERIALIZER_H_
+#define ISIS_STORE_SERIALIZER_H_
+
+#include <memory>
+#include <string>
+
+#include "query/workspace.h"
+
+namespace isis::store {
+
+/// Current file format version.
+inline constexpr int kFormatVersion = 1;
+
+/// Serializes the whole workspace to the text format.
+std::string Save(const query::Workspace& ws);
+
+/// Parses a serialized workspace. Fails with ParseError on malformed input
+/// and with Consistency if the decoded database violates the §2 rules.
+Result<std::unique_ptr<query::Workspace>> Load(const std::string& text);
+
+/// File convenience wrappers.
+Status SaveToFile(const query::Workspace& ws, const std::string& path);
+Result<std::unique_ptr<query::Workspace>> LoadFromFile(
+    const std::string& path);
+
+}  // namespace isis::store
+
+#endif  // ISIS_STORE_SERIALIZER_H_

@@ -1,0 +1,146 @@
+/// \file controller.h
+/// \brief The ISIS session controller: dispatches input events to the
+/// current view's semantics and drives the Diagram 1 state machine.
+///
+/// The controller owns the Workspace and the SessionState, renders the
+/// current view on demand, hit-tests picks against the last rendered
+/// screen, and implements every menu/function-key command of §3 and §4:
+/// navigation (view associations / view contents / pop / follow), schema
+/// editing (create subclass/attribute/grouping, (re)name, delete, undo,
+/// redo), data editing (select/reject, (re)assign att. value, create
+/// entity, make subclass), the whole predicate-worksheet interaction, and
+/// save/load.
+///
+/// Undo/redo snapshot the entire workspace through the store serializer —
+/// every command that mutates the database is undoable, matching the
+/// editing menu of the paper's forest view.
+
+#ifndef ISIS_UI_CONTROLLER_H_
+#define ISIS_UI_CONTROLLER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "input/event.h"
+#include "query/workspace.h"
+#include "ui/journal.h"
+#include "ui/screen.h"
+#include "ui/state.h"
+#include "ui/views.h"
+
+namespace isis::ui {
+
+/// \brief Owns a Workspace and a SessionState and interprets events.
+class SessionController {
+ public:
+  /// Starts a session over `ws` (takes ownership) at the inheritance forest
+  /// with no schema selection, as on database load.
+  explicit SessionController(std::unique_ptr<query::Workspace> ws);
+
+  const query::Workspace& workspace() const { return *ws_; }
+  query::Workspace& workspace() { return *ws_; }
+  const SessionState& state() const { return state_; }
+  /// The status/prompt line shown in the bottom text window.
+  const std::string& message() const { return message_; }
+  bool stopped() const { return state_.stopped; }
+
+  /// Renders the current view (also refreshes the pick hit-map).
+  const Screen& Render();
+
+  /// Interprets one event. Unknown targets and illegal commands set an
+  /// error message (shown in the text window) and return the error; the
+  /// session keeps running either way, like the real interface.
+  Status HandleEvent(const input::Event& event);
+
+  /// Parses and replays a session script (see input::ParseScript). Stops at
+  /// the first error when `stop_on_error`. Every event re-renders, so the
+  /// screen after any prefix equals the interactive result.
+  Status RunScript(const std::string& script, bool stop_on_error = true);
+
+  /// Saves the workspace to `<dir>/<name>.isis` (the `save` command uses
+  /// the current database name; `type` beforehand answers the name prompt).
+  Status SaveAs(const std::string& path) const;
+
+  /// Undo/redo depth available (for tests).
+  size_t undo_depth() const { return undo_.size(); }
+  size_t redo_depth() const { return redo_.size(); }
+
+  /// The session's design journal (§5: "keep track of the history of a
+  /// database design"). Records every successful design action; not rolled
+  /// back by undo (the undo itself is recorded).
+  const DesignJournal& journal() const { return journal_; }
+
+ private:
+  // Event handlers.
+  Status HandlePick(int x, int y);
+  Status HandleNamedPick(const std::string& target);
+  Status HandleCommand(const std::string& command);
+  Status HandleText(const std::string& text);
+
+  // Pick dispatch per target namespace.
+  Status PickClass(const std::string& name);
+  Status PickGrouping(const std::string& name);
+  Status PickAttribute(const std::string& name);
+  Status PickMember(const std::string& name);
+  Status PickWorksheetTarget(const std::string& ns, const std::string& rest);
+
+  // Commands.
+  Status CmdViewAssociations();
+  Status CmdViewContents();
+  Status CmdViewForest();
+  Status CmdPop();
+  Status CmdFollow();
+  Status CmdCreateSubclass();
+  Status CmdCreateAttribute();
+  Status CmdCreateGrouping();
+  Status CmdDefineMembership();
+  Status CmdDefineDerivation();
+  Status CmdDefineConstraint();
+  Status CmdCheckConstraints();
+  Status CmdDisplayPredicate();
+  Status CmdDelete();
+  Status CmdRename();
+  Status CmdAssignAttrValue();
+  Status CmdMakeSubclass();
+  Status CmdCreateEntity();
+  Status CmdDeleteEntity();
+  Status CmdWorksheet(const std::string& command);
+  Status CmdCommit();
+  Status CmdAbort();
+  Status CmdAcceptConstant();
+  Status CmdUndo();
+  Status CmdRedo();
+  Status CmdSave();
+  Status CmdPan(int dx, int dy);
+  Status CmdMembersPan(int delta);
+
+  // Worksheet helpers.
+  query::Term* FocusedTerm();
+  ClassId FocusedTermStart() const;
+  ClassId CandidateClass() const;
+  ClassId SelfClass() const;
+
+  // State helpers.
+  void EnterDataLevel(const SchemaSelection& node);
+  void BeginTempVisit(TempVisit kind, Level target_level);
+  void EndTempVisit();
+  void PushUndoSnapshot();
+  Status Fail(const Status& st);
+  void Say(const std::string& msg);
+  /// Records a successful design action in the journal.
+  void Journal(const std::string& action, const std::string& detail);
+
+  std::unique_ptr<query::Workspace> ws_;
+  SessionState state_;
+  std::string message_;
+  Screen screen_;
+  bool screen_valid_ = false;
+  std::vector<std::string> undo_;
+  std::vector<std::string> redo_;
+  DesignJournal journal_;
+};
+
+}  // namespace isis::ui
+
+#endif  // ISIS_UI_CONTROLLER_H_

@@ -1,0 +1,219 @@
+/// \file data_view.cc
+/// \brief The data level (paper §3.2, Figures 3-7, 11).
+///
+/// "The view here contains a number of overlapping pages. The top page
+/// contains the schema selection ... and the data selection, some of its
+/// members. Each page contains a class, with all of its attributes
+/// including inherited ones, or a grouping. To the right of each class or
+/// grouping is a pannable list of its members. Selected members are
+/// highlighted with bold text."
+///
+/// Pages cascade right-and-down; following an attribute pushes a page, pop
+/// goes backwards. Only the top page is interactive (its members and
+/// attribute rows register hit regions).
+
+#include <algorithm>
+
+#include "gfx/pattern.h"
+#include "ui/render_util.h"
+#include "ui/views.h"
+
+namespace isis::ui {
+
+using gfx::Menu;
+using gfx::Rect;
+using gfx::Window;
+using sdm::EntitySet;
+using sdm::Schema;
+
+namespace {
+
+constexpr int kPageDx = 7;    // cascade offset per page
+constexpr int kPageDy = 2;
+constexpr int kListRows = 14;  // member rows visible before panning
+constexpr int kNameColumn = 24;
+constexpr int kListWidth = 22;
+
+std::vector<Menu::Item> DataMenu(const RenderContext& ctx) {
+  std::vector<Menu::Item> items;
+  auto add = [&items](const char* cmd, const char* key = "") {
+    items.push_back(Menu::Item{cmd, key, true});
+  };
+  if (ctx.st.temp_visit == TempVisit::kConstantSelection) {
+    add("accept constant");
+    add("create constant");
+    add("abort");
+    add("members up");
+    add("members down");
+    return items;
+  }
+  add("follow", "F5");
+  add("pop", "F0");
+  add("select/reject");
+  add("(re)assign att. value");
+  add("make subclass", "F6");
+  add("create entity");
+  add("delete entity");
+  add("members up");
+  add("members down");
+  add("view forest", "F1");
+  add("save");
+  add("stop");
+  return items;
+}
+
+/// Members listed on a page: entities of a class, or the block indices of a
+/// grouping ("each page contains ... a grouping" whose members are sets).
+std::vector<EntityId> PageMembers(const query::Workspace& ws,
+                                  const DataPage& page) {
+  std::vector<EntityId> out;
+  if (page.is_grouping) {
+    for (const sdm::GroupingBlock& b :
+         ws.db().GroupingBlocks(page.grouping)) {
+      out.push_back(b.index);
+    }
+  } else {
+    const EntitySet& m = ws.db().Members(page.cls);
+    out.assign(m.begin(), m.end());
+  }
+  return out;
+}
+
+}  // namespace
+
+Screen RenderDataView(const RenderContext& ctx) {
+  Screen screen;
+  const char* view_name = ctx.st.temp_visit == TempVisit::kConstantSelection
+                              ? "data level (select constant)"
+                              : "data level";
+  Rect content = DrawChrome(&screen, ctx.ws.name(), view_name, DataMenu(ctx),
+                            ctx.message);
+  Window win(&screen.canvas, content);
+
+  const Schema& schema = ctx.ws.db().schema();
+  const sdm::Database& db = ctx.ws.db();
+
+  for (size_t pi = 0; pi < ctx.st.pages.size(); ++pi) {
+    const DataPage& page = ctx.st.pages[pi];
+    bool top = (pi + 1 == ctx.st.pages.size());
+    int px = 2 + static_cast<int>(pi) * kPageDx;
+    int py = 1 + static_cast<int>(pi) * kPageDy;
+
+    std::string title;
+    std::vector<AttributeId> attrs;
+    int pattern;
+    if (page.is_grouping) {
+      const sdm::GroupingDef& def = schema.GetGrouping(page.grouping);
+      title = def.name;
+      pattern = def.fill_pattern;
+    } else {
+      const sdm::ClassDef& def = schema.GetClass(page.cls);
+      title = def.name;
+      pattern = def.fill_pattern;
+      attrs = schema.AllAttributesOf(page.cls);
+    }
+
+    std::vector<EntityId> members = PageMembers(ctx.ws, page);
+    int shown = std::min<int>(kListRows, static_cast<int>(members.size()) -
+                                             page.member_pan);
+    shown = std::max(shown, 0);
+    int body_rows = std::max({static_cast<int>(attrs.size()) + 1, shown, 3});
+    int w = kNameColumn + kListWidth + 3;
+    int h = body_rows + 3;
+    Rect box{px, py, w, h};
+    win.Box(box);
+    if (top) {
+      // The page region goes in first so the attribute and member rows
+      // registered below shadow it in hit-testing.
+      Rect hit = win.ToScreen(box);
+      if (hit.w > 0) screen.hits.push_back(HitRegion{hit, "page:" + title});
+    }
+    // Header: page title over the characteristic pattern.
+    win.Text(px + 2, py, "[ " + title + " ]",
+             page.is_grouping ? gfx::kPlain : gfx::kPlain);
+    for (int i = 0; i < 4; ++i) {
+      win.Put(px + 2 + static_cast<int>(title.size()) + 5 + i, py,
+              gfx::PatternGlyph(pattern, i, 0));
+    }
+    win.VLine(px + kNameColumn + 1, py + 1, h - 2, '|');
+    // Attribute section (classes only; groupings have none).
+    int row = py + 1;
+    for (AttributeId a : attrs) {
+      const sdm::AttributeDef& def = schema.GetAttribute(a);
+      std::string label = def.name;
+      label.resize(kNameColumn - 7, ' ');
+      bool followed = page.followed == a;
+      win.Text(px + 1, row, label, followed ? gfx::kBold : gfx::kPlain);
+      for (int i = 0; i < 5; ++i) {
+        bool border = def.multivalued && (i == 0 || i == 4);
+        int vp = def.value_grouping.valid()
+                     ? schema.GetGrouping(def.value_grouping).fill_pattern
+                     : schema.GetClass(def.value_class).fill_pattern;
+        win.Put(px + kNameColumn - 5 + i, row,
+                border ? ' ' : gfx::PatternGlyph(vp, i, 0));
+      }
+      if (followed) win.Text(px + kNameColumn - 6, row, ">", gfx::kBold);
+      if (top) {
+        Rect hit = win.ToScreen(Rect{px + 1, row, kNameColumn, 1});
+        if (hit.w > 0) {
+          screen.hits.push_back(HitRegion{hit, "attr:" + def.name});
+        }
+      }
+      ++row;
+    }
+    if (page.is_grouping) {
+      win.Text(px + 1, py + 1, "(grouping: sets of", gfx::kDim);
+      win.Text(px + 1, py + 2,
+               " " + schema.GetClass(
+                         schema.GetGrouping(page.grouping).parent)
+                         .name +
+                   ")",
+               gfx::kDim);
+    }
+    // Member list (pannable).
+    std::string header = page.is_grouping ? "blocks" : "members";
+    if (page.member_pan > 0) header += " ^";
+    if (page.member_pan + shown < static_cast<int>(members.size())) {
+      header += " v";
+    }
+    win.Text(px + kNameColumn + 3, py + 1, header, gfx::kDim);
+    for (int i = 0; i < shown; ++i) {
+      EntityId e = members[page.member_pan + i];
+      bool selected = page.selected.count(e) > 0;
+      std::string name = db.NameOf(e);
+      if (page.is_grouping) {
+        name += " {" + std::to_string(db.GetGroupingBlock(page.grouping, e)
+                                          .size()) +
+                "}";
+      }
+      name = name.substr(0, kListWidth - 2);
+      win.Text(px + kNameColumn + 3, py + 2 + i,
+               (selected ? "*" : " ") + name,
+               selected ? gfx::kBold : gfx::kPlain);
+      if (top) {
+        Rect hit =
+            win.ToScreen(Rect{px + kNameColumn + 2, py + 2 + i,
+                              kListWidth, 1});
+        if (hit.w > 0) {
+          screen.hits.push_back(HitRegion{hit, "member:" + db.NameOf(e)});
+        }
+      }
+    }
+    // Follow arrow into the next page.
+    if (pi + 1 < ctx.st.pages.size() && page.followed.valid() &&
+        schema.HasAttribute(page.followed)) {
+      std::string label =
+          "==[" + schema.GetAttribute(page.followed).name + "]==>";
+      win.Text(px + kPageDx, py + h, label, gfx::kBold);
+    } else if (pi + 1 < ctx.st.pages.size() && page.is_grouping) {
+      win.Text(px + kPageDx, py + h, "==[follow set]==>", gfx::kBold);
+    }
+  }
+
+  if (ctx.st.pages.empty()) {
+    win.Text(2, 2, "no data page: pick 'view contents' on a class first");
+  }
+  return screen;
+}
+
+}  // namespace isis::ui

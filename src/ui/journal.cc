@@ -1,0 +1,37 @@
+#include "ui/journal.h"
+
+namespace isis::ui {
+
+int DesignJournal::Record(std::string action, std::string detail) {
+  JournalEntry entry;
+  entry.seq = next_seq_++;
+  entry.action = std::move(action);
+  entry.detail = std::move(detail);
+  entries_.push_back(std::move(entry));
+  return entries_.back().seq;
+}
+
+std::string DesignJournal::Render(size_t n) const {
+  std::string out;
+  size_t first = entries_.size() > n ? entries_.size() - n : 0;
+  for (size_t i = first; i < entries_.size(); ++i) {
+    if (!out.empty()) out += "\n";
+    out += "#" + std::to_string(entries_[i].seq) + " " + entries_[i].action;
+    if (!entries_[i].detail.empty()) out += ": " + entries_[i].detail;
+  }
+  return out;
+}
+
+std::vector<JournalEntry> DesignJournal::Find(
+    const std::string& needle) const {
+  std::vector<JournalEntry> out;
+  for (const JournalEntry& e : entries_) {
+    if (e.action.find(needle) != std::string::npos ||
+        e.detail.find(needle) != std::string::npos) {
+      out.push_back(e);
+    }
+  }
+  return out;
+}
+
+}  // namespace isis::ui

@@ -1,0 +1,54 @@
+/// \file journal.h
+/// \brief The design journal — the paper's §5 future work #3.
+///
+/// "Third, we would like to add features to assist users in the process of
+/// designing their schemas ... it would be useful to be able to keep track
+/// of the history of a database design."
+///
+/// The journal records every successful design action of a session (schema
+/// and data edits, query definitions, undo/redo, saves) with a logical
+/// sequence number. It lives in the controller — deliberately *outside*
+/// the undo snapshot, so undoing an edit appends an `undo` entry rather
+/// than erasing the record of the edit: the history is the history.
+
+#ifndef ISIS_UI_JOURNAL_H_
+#define ISIS_UI_JOURNAL_H_
+
+#include <string>
+#include <vector>
+
+namespace isis::ui {
+
+/// One recorded design action.
+struct JournalEntry {
+  int seq = 0;               ///< Logical timestamp (1-based, monotonic).
+  std::string action;        ///< Canonical action name ("create subclass").
+  std::string detail;        ///< Human-readable specifics.
+};
+
+/// \brief Append-only log of design actions.
+class DesignJournal {
+ public:
+  /// Appends an entry and returns its sequence number.
+  int Record(std::string action, std::string detail);
+
+  const std::vector<JournalEntry>& entries() const { return entries_; }
+  size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  /// The last `n` entries, oldest first, one per line:
+  /// `#seq action: detail`. Empty string when nothing is recorded.
+  std::string Render(size_t n) const;
+
+  /// Entries whose action or detail contains `needle` (design archaeology:
+  /// "when did quartets appear?").
+  std::vector<JournalEntry> Find(const std::string& needle) const;
+
+ private:
+  std::vector<JournalEntry> entries_;
+  int next_seq_ = 1;
+};
+
+}  // namespace isis::ui
+
+#endif  // ISIS_UI_JOURNAL_H_

@@ -1,0 +1,188 @@
+/// \file state.h
+/// \brief The ISIS session state — Diagram 1 of the paper.
+///
+/// "The state of ISIS consists of a schema selection (the class, attribute,
+/// or grouping being examined) and a data selection." The session moves
+/// between the schema level (inheritance forest, semantic network,
+/// predicate worksheet) and the data level; temporary visits (selecting a
+/// constant from the worksheet, naming a subclass created at the data
+/// level) preserve both selections on return.
+
+#ifndef ISIS_UI_STATE_H_
+#define ISIS_UI_STATE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "query/predicate.h"
+#include "sdm/database.h"
+
+namespace isis::ui {
+
+/// Which view fills the screen (Diagram 1's boxes).
+enum class Level {
+  kInheritanceForest,
+  kSemanticNetwork,
+  kPredicateWorksheet,
+  kDataLevel,
+};
+
+const char* LevelToString(Level level);
+
+/// S — the schema selection.
+struct SchemaSelection {
+  enum class Kind { kNone, kClass, kGrouping, kAttribute };
+  Kind kind = Kind::kNone;
+  ClassId cls;            ///< kClass, or the owner context for kAttribute.
+  GroupingId grouping;    ///< kGrouping.
+  AttributeId attribute;  ///< kAttribute.
+
+  static SchemaSelection None() { return SchemaSelection{}; }
+  static SchemaSelection Class(ClassId c) {
+    SchemaSelection s;
+    s.kind = Kind::kClass;
+    s.cls = c;
+    return s;
+  }
+  static SchemaSelection Grouping(GroupingId g) {
+    SchemaSelection s;
+    s.kind = Kind::kGrouping;
+    s.grouping = g;
+    return s;
+  }
+  static SchemaSelection Attribute(ClassId owner_view, AttributeId a) {
+    SchemaSelection s;
+    s.kind = Kind::kAttribute;
+    s.cls = owner_view;
+    s.attribute = a;
+    return s;
+  }
+
+  friend bool operator==(const SchemaSelection& a, const SchemaSelection& b) {
+    return a.kind == b.kind && a.cls == b.cls && a.grouping == b.grouping &&
+           a.attribute == b.attribute;
+  }
+};
+
+/// One page of the data level. "The view here contains a number of
+/// overlapping pages. ... Each page contains a class, with all of its
+/// attributes including inherited ones, or a grouping. To the right of each
+/// class or grouping is a pannable list of its members."
+struct DataPage {
+  bool is_grouping = false;
+  ClassId cls;
+  GroupingId grouping;
+  /// The data selection on this page: highlighted members (entities for a
+  /// class page, block-index entities for a grouping page).
+  sdm::EntitySet selected;
+  /// The attribute followed *from* this page (draws the arrow to the next
+  /// page); invalid when this is the top page.
+  AttributeId followed;
+  /// Pan offset of the member list.
+  int member_pan = 0;
+};
+
+/// The predicate worksheet's editing state.
+struct WorksheetState {
+  /// What the committed predicate will define.
+  enum class Target { kNone, kMembership, kDerivation, kConstraint };
+  Target target = Target::kNone;
+  ClassId target_class;       ///< kMembership/kConstraint: the class.
+  AttributeId target_attr;    ///< kDerivation: the derived attribute.
+  std::string constraint_name;  ///< kConstraint: the constraint's name.
+
+  query::Predicate pred;
+  /// Assignment-style derivation under construction (the hand operator);
+  /// meaningful only for kDerivation when `use_hand` is set.
+  bool use_hand = false;
+  query::Term hand_term;
+
+  /// Index of the atom being edited; -1 when none.
+  int current_atom = -1;
+  /// Which side of the atom picks of attributes extend.
+  enum class Focus { kLhs, kRhs } focus = Focus::kLhs;
+  /// A pending right-hand-side option that needs a class pick first
+  /// ("... starting at class" options choose from the class list window).
+  enum class RhsPending { kNone, kConstantClass, kMapClass } rhs_pending =
+      RhsPending::kNone;
+
+  /// Number of atom slots shown in the atom list window (the paper's
+  /// figures label them A..E).
+  static constexpr int kAtomSlots = 5;
+  /// Number of clause windows.
+  static constexpr int kClauseWindows = 3;
+};
+
+/// Temporary-visit bookkeeping (the loop arrows of Diagram 1).
+enum class TempVisit {
+  kNone,
+  /// Worksheet -> data level to select or create a constant.
+  kConstantSelection,
+  /// Data level -> inheritance forest to name/position a new subclass.
+  kSubclassPlacement,
+};
+
+/// What the next TextEvent answers.
+enum class Prompt {
+  kNone,
+  kBaseclassName,     ///< Name for "create baseclass".
+  kNamingAttrName,    ///< Naming-attribute name (second step of the above).
+  kSubclassName,      ///< Name for "create subclass" / "make subclass".
+  kAttributeName,     ///< Name for "create attribute".
+  kGroupingName,      ///< Name for "create grouping".
+  kEntityName,        ///< Name for "create entity" (data level).
+  kRename,            ///< New name for the schema selection.
+  kSaveName,          ///< Database name for "save".
+  kLoadName,          ///< Database name for "load".
+  kConstraintName,    ///< Name for "define constraint".
+  kDropConstraint,    ///< Name for "drop constraint".
+  kConstantText,      ///< Typed constant (e.g. `4`) during kConstantSelection
+                      ///< in a predefined baseclass.
+};
+
+/// Pending pick-target mode: the previous command asked the user to pick
+/// something specific next.
+enum class PickMode {
+  kNormal,
+  kFollowAttribute,    ///< After `follow` on a class page: pick an attribute.
+  kAssignAttribute,    ///< After `(re)assign att. value`: pick the attribute.
+  kValueClass,         ///< After `(re)specify value class`: pick a class.
+  kAddParent,          ///< After `add parent` (multiple-inheritance mode):
+                       ///< pick the extra parent class.
+};
+
+/// \brief The complete mutable session state.
+struct SessionState {
+  Level level = Level::kInheritanceForest;
+  SchemaSelection selection;              // S
+  std::vector<DataPage> pages;            // data level page stack; D = top
+  WorksheetState worksheet;
+  TempVisit temp_visit = TempVisit::kNone;
+  Prompt prompt = Prompt::kNone;
+  PickMode pick_mode = PickMode::kNormal;
+  /// Scratch for two-step prompts (e.g. baseclass name, then its naming
+  /// attribute's name).
+  std::string pending_text;
+
+  /// Saved state for returning from a temporary visit.
+  Level saved_level = Level::kInheritanceForest;
+  SchemaSelection saved_selection;
+  std::vector<DataPage> saved_pages;
+
+  /// Forest/network window pan.
+  int pan_x = 0;
+  int pan_y = 0;
+
+  /// True once `stop` was picked; the session loop exits.
+  bool stopped = false;
+
+  const DataPage* top_page() const {
+    return pages.empty() ? nullptr : &pages.back();
+  }
+  DataPage* top_page() { return pages.empty() ? nullptr : &pages.back(); }
+};
+
+}  // namespace isis::ui
+
+#endif  // ISIS_UI_STATE_H_

@@ -1,0 +1,33 @@
+#include "ui/views.h"
+
+namespace isis::ui {
+
+const char* LevelToString(Level level) {
+  switch (level) {
+    case Level::kInheritanceForest:
+      return "inheritance forest";
+    case Level::kSemanticNetwork:
+      return "semantic network";
+    case Level::kPredicateWorksheet:
+      return "predicate worksheet";
+    case Level::kDataLevel:
+      return "data level";
+  }
+  return "?";
+}
+
+Screen RenderCurrent(const RenderContext& ctx) {
+  switch (ctx.st.level) {
+    case Level::kInheritanceForest:
+      return RenderForestView(ctx);
+    case Level::kSemanticNetwork:
+      return RenderNetworkView(ctx);
+    case Level::kPredicateWorksheet:
+      return RenderWorksheetView(ctx);
+    case Level::kDataLevel:
+      return RenderDataView(ctx);
+  }
+  return Screen();
+}
+
+}  // namespace isis::ui

@@ -1,0 +1,89 @@
+/// \file dot_export_test.cpp
+/// \brief Tests for the Graphviz export of the two schema graphs.
+
+#include <gtest/gtest.h>
+
+#include "datasets/instrumental_music.h"
+#include "sdm/dot_export.h"
+
+namespace isis::sdm {
+namespace {
+
+class DotExportTest : public ::testing::Test {
+ protected:
+  DotExportTest() : ws_(datasets::BuildInstrumentalMusic()) {}
+  const Schema& schema() { return ws_->db().schema(); }
+  std::unique_ptr<query::Workspace> ws_;
+};
+
+TEST_F(DotExportTest, ForestHasInheritanceAndGroupingEdges) {
+  std::string dot = ExportDot(schema(), DotGraph::kInheritanceForest);
+  EXPECT_NE(dot.find("digraph isis {"), std::string::npos);
+  // parent -> child with the empty arrowhead.
+  EXPECT_NE(dot.find("\"musicians\" -> \"play_strings\" [arrowhead=empty]"),
+            std::string::npos);
+  EXPECT_NE(dot.find("\"musicians\" -> \"soloists\""), std::string::npos);
+  // grouping attachment, dotted and labeled with its attribute.
+  EXPECT_NE(dot.find("\"instruments\" -> \"by_family\" [style=dotted, "
+                     "label=\"on family\"]"),
+            std::string::npos);
+  // No attribute arcs in the forest view.
+  EXPECT_EQ(dot.find("label=\"plays\""), std::string::npos);
+  // Predefined classes stay out when unreferenced.
+  EXPECT_EQ(dot.find("\"INTEGER\""), std::string::npos);
+}
+
+TEST_F(DotExportTest, NetworkHasAttributeArcsWithArity) {
+  std::string dot = ExportDot(schema(), DotGraph::kSemanticNetwork);
+  // Multivalued: bold double line.
+  EXPECT_NE(dot.find("\"musicians\" -> \"instruments\" [label=\"plays\", "
+                     "color=\"black:black\", style=bold]"),
+            std::string::npos);
+  // Singlevalued: plain.
+  EXPECT_NE(dot.find("\"instruments\" -> \"families\" [label=\"family\", "
+                     "color=\"black\"]"),
+            std::string::npos);
+  // Referenced predefined classes appear.
+  EXPECT_NE(dot.find("\"INTEGER\""), std::string::npos);  // size
+  EXPECT_NE(dot.find("\"YES/NO\""), std::string::npos);   // union, popular
+  // No inheritance edges here.
+  EXPECT_EQ(dot.find("arrowhead=empty"), std::string::npos);
+}
+
+TEST_F(DotExportTest, NodesCarryTheirRoles) {
+  std::string dot = ExportDot(schema(), DotGraph::kBoth);
+  // Baseclasses filled, derived subclasses rounded, groupings dashed.
+  EXPECT_NE(dot.find("\"musicians\" [style=\"filled\""), std::string::npos);
+  EXPECT_NE(dot.find("\"play_strings\" [style=\"rounded\""),
+            std::string::npos);
+  EXPECT_NE(dot.find("\"by_family\" [style=\"dashed\"]"), std::string::npos);
+  // Overlay mode colors attribute arcs blue.
+  EXPECT_NE(dot.find("color=\"blue:blue\""), std::string::npos);
+  EXPECT_NE(dot.find("arrowhead=empty"), std::string::npos);
+}
+
+TEST_F(DotExportTest, AttributeIntoGroupingTargetsTheGroupingNode) {
+  sdm::Database& db = ws_->db();
+  ClassId venues = *db.CreateBaseclass("venues", "name");
+  GroupingId by_family = *db.schema().FindGrouping("by_family");
+  ASSERT_TRUE(
+      db.CreateAttributeIntoGrouping(venues, "sections", by_family).ok());
+  std::string dot = ExportDot(db.schema(), DotGraph::kSemanticNetwork);
+  EXPECT_NE(dot.find("\"venues\" -> \"by_family\" [label=\"sections\""),
+            std::string::npos);
+}
+
+TEST_F(DotExportTest, NamesWithQuotesAreEscaped) {
+  sdm::Database& db = ws_->db();
+  ASSERT_TRUE(db.CreateBaseclass("odd \"name\"", "name").ok());
+  std::string dot = ExportDot(db.schema(), DotGraph::kBoth);
+  EXPECT_NE(dot.find("\"odd \\\"name\\\"\""), std::string::npos);
+}
+
+TEST_F(DotExportTest, OutputIsDeterministic) {
+  EXPECT_EQ(ExportDot(schema(), DotGraph::kBoth),
+            ExportDot(schema(), DotGraph::kBoth));
+}
+
+}  // namespace
+}  // namespace isis::sdm

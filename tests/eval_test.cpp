@@ -1,0 +1,332 @@
+/// \file eval_test.cpp
+/// \brief Tests for predicate type checking and evaluation: the operator
+/// semantics of §2 and the worksheet's commit-time checks.
+
+#include <gtest/gtest.h>
+
+#include "datasets/instrumental_music.h"
+#include "query/eval.h"
+
+namespace isis::query {
+namespace {
+
+using sdm::EntitySet;
+using sdm::Schema;
+
+Predicate MakePredicate(Atom atom) {
+  Predicate p;
+  p.AddAtom(std::move(atom), 0);
+  return p;
+}
+
+class EvalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ws_ = datasets::BuildInstrumentalMusic();
+    db_ = &ws_->db();
+    const Schema& s = db_->schema();
+    musicians_ = *s.FindClass("musicians");
+    instruments_ = *s.FindClass("instruments");
+    music_groups_ = *s.FindClass("music_groups");
+    families_ = *s.FindClass("families");
+    plays_ = *s.FindAttribute(musicians_, "plays");
+    family_ = *s.FindAttribute(instruments_, "family");
+    members_ = *s.FindAttribute(music_groups_, "members");
+    size_ = *s.FindAttribute(music_groups_, "size");
+    union_ = *s.FindAttribute(musicians_, "union");
+  }
+
+  EntityId E(ClassId cls, const char* name) {
+    return *db_->FindEntity(cls, name);
+  }
+  Evaluator Eval() { return Evaluator(*db_); }
+  PredicateContext Ctx(ClassId v) {
+    PredicateContext ctx;
+    ctx.candidate_class = v;
+    return ctx;
+  }
+
+  std::unique_ptr<Workspace> ws_;
+  sdm::Database* db_ = nullptr;
+  ClassId musicians_, instruments_, music_groups_, families_;
+  AttributeId plays_, family_, members_, size_, union_;
+};
+
+// --- Set comparison operator semantics. ---
+
+TEST_F(EvalTest, CompareOperators) {
+  Evaluator eval = Eval();
+  EntityId a = db_->InternInteger(1);
+  EntityId b = db_->InternInteger(2);
+  EntityId c = db_->InternInteger(3);
+  EntitySet ab{a, b}, abc{a, b, c}, bc{b, c}, empty;
+
+  EXPECT_TRUE(eval.Compare(ab, SetOp::kEqual, ab));
+  EXPECT_FALSE(eval.Compare(ab, SetOp::kEqual, abc));
+
+  EXPECT_TRUE(eval.Compare(ab, SetOp::kSubset, abc));
+  EXPECT_TRUE(eval.Compare(ab, SetOp::kSubset, ab));
+  EXPECT_FALSE(eval.Compare(abc, SetOp::kSubset, ab));
+
+  EXPECT_TRUE(eval.Compare(abc, SetOp::kSuperset, ab));
+  EXPECT_TRUE(eval.Compare(ab, SetOp::kSuperset, ab));
+
+  EXPECT_TRUE(eval.Compare(ab, SetOp::kProperSubset, abc));
+  EXPECT_FALSE(eval.Compare(ab, SetOp::kProperSubset, ab));
+  EXPECT_TRUE(eval.Compare(abc, SetOp::kProperSuperset, bc));
+  EXPECT_FALSE(eval.Compare(bc, SetOp::kProperSuperset, bc));
+
+  // "a weak match operator (~) to determine if two sets have a common
+  // element".
+  EXPECT_TRUE(eval.Compare(ab, SetOp::kWeakMatch, bc));
+  EXPECT_FALSE(eval.Compare(EntitySet{a}, SetOp::kWeakMatch, EntitySet{c}));
+  EXPECT_FALSE(eval.Compare(empty, SetOp::kWeakMatch, abc));
+
+  // Empty-set edge cases.
+  EXPECT_TRUE(eval.Compare(empty, SetOp::kSubset, ab));
+  EXPECT_TRUE(eval.Compare(empty, SetOp::kEqual, empty));
+}
+
+TEST_F(EvalTest, OrderingOperatorsAreSingletonOnly) {
+  Evaluator eval = Eval();
+  EntitySet one{db_->InternInteger(1)};
+  EntitySet two{db_->InternInteger(2)};
+  EntitySet both{db_->InternInteger(1), db_->InternInteger(2)};
+  EXPECT_TRUE(eval.Compare(one, SetOp::kLessEqual, two));
+  EXPECT_TRUE(eval.Compare(one, SetOp::kLessEqual, one));
+  EXPECT_FALSE(eval.Compare(two, SetOp::kLessEqual, one));
+  EXPECT_TRUE(eval.Compare(two, SetOp::kGreater, one));
+  // Non-singletons never order.
+  EXPECT_FALSE(eval.Compare(both, SetOp::kLessEqual, two));
+  EXPECT_FALSE(eval.Compare(one, SetOp::kGreater, EntitySet{}));
+}
+
+TEST_F(EvalTest, OrderingInteroperatesIntegerReal) {
+  Evaluator eval = Eval();
+  EXPECT_TRUE(eval.Compare({db_->InternInteger(2)}, SetOp::kLessEqual,
+                           {db_->InternReal(2.5)}));
+  EXPECT_TRUE(eval.Compare({db_->InternReal(3.5)}, SetOp::kGreater,
+                           {db_->InternInteger(3)}));
+}
+
+TEST_F(EvalTest, OrderingOnStrings) {
+  Evaluator eval = Eval();
+  EXPECT_TRUE(eval.Compare({db_->InternString("abc")}, SetOp::kLessEqual,
+                           {db_->InternString("abd")}));
+}
+
+// --- Atom evaluation (the paper's atom forms). ---
+
+TEST_F(EvalTest, FormB_MapAgainstConstant) {
+  // e.plays.family ~ {stringed} — the play_strings predicate.
+  Atom atom;
+  atom.lhs = Term::Candidate({plays_, family_});
+  atom.op = SetOp::kWeakMatch;
+  atom.rhs = Term::Constant({E(families_, "stringed")});
+  Evaluator eval = Eval();
+  EXPECT_TRUE(eval.EvalAtom(atom, E(musicians_, "Edith"), sdm::kNullEntity));
+  EXPECT_FALSE(eval.EvalAtom(atom, E(musicians_, "Ray"), sdm::kNullEntity));
+}
+
+TEST_F(EvalTest, FormA_MapAgainstMap) {
+  // Musicians whose plays-families set equals exactly {stringed}:
+  // e.plays.family = e.plays.family is trivially true; compare two
+  // different maps instead: union members vs plays non-emptiness via ~.
+  Atom atom;
+  atom.lhs = Term::Candidate({plays_});
+  atom.op = SetOp::kWeakMatch;
+  atom.rhs = Term::Candidate({plays_});
+  Evaluator eval = Eval();
+  // True whenever the set is nonempty (shares an element with itself).
+  EXPECT_TRUE(eval.EvalAtom(atom, E(musicians_, "Edith"), sdm::kNullEntity));
+}
+
+TEST_F(EvalTest, NegationFlipsTruth) {
+  Atom atom;
+  atom.lhs = Term::Candidate({plays_, family_});
+  atom.op = SetOp::kWeakMatch;
+  atom.rhs = Term::Constant({E(families_, "stringed")});
+  atom.negated = true;
+  Evaluator eval = Eval();
+  EXPECT_FALSE(eval.EvalAtom(atom, E(musicians_, "Edith"), sdm::kNullEntity));
+  EXPECT_TRUE(eval.EvalAtom(atom, E(musicians_, "Ray"), sdm::kNullEntity));
+}
+
+TEST_F(EvalTest, ClassExtentTerm) {
+  // e.plays = instruments  (plays everything? nobody does)
+  Atom atom;
+  atom.lhs = Term::Candidate({plays_});
+  atom.op = SetOp::kSuperset;
+  atom.rhs = Term::ClassExtent(instruments_);
+  Evaluator eval = Eval();
+  EXPECT_TRUE(eval.EvaluateSubclass(MakePredicate(atom), musicians_).empty());
+}
+
+// --- Normal forms. ---
+
+TEST_F(EvalTest, CnfAndDnfEvaluation) {
+  Atom size4;
+  size4.lhs = Term::Candidate({size_});
+  size4.op = SetOp::kEqual;
+  size4.rhs = Term::Constant({db_->InternInteger(4)});
+  Atom size2;
+  size2.lhs = Term::Candidate({size_});
+  size2.op = SetOp::kEqual;
+  size2.rhs = Term::Constant({db_->InternInteger(2)});
+
+  // DNF, atoms in different clauses: size==4 OR size==2.
+  Predicate dnf;
+  dnf.AddAtom(size4, 0);
+  dnf.AddAtom(size2, 1);
+  dnf.form = NormalForm::kDisjunctive;
+  Evaluator eval = Eval();
+  EXPECT_EQ(eval.EvaluateSubclass(dnf, music_groups_).size(), 3u);
+
+  // CNF with the same clause structure: size==4 AND size==2 — impossible.
+  Predicate cnf = dnf;
+  cnf.form = NormalForm::kConjunctive;
+  EXPECT_TRUE(eval.EvaluateSubclass(cnf, music_groups_).empty());
+
+  // CNF with both atoms in ONE clause: OR within the clause.
+  Predicate cnf_one;
+  cnf_one.AddAtom(size4, 0);
+  cnf_one.AddAtom(size2, 0);
+  cnf_one.form = NormalForm::kConjunctive;
+  EXPECT_EQ(eval.EvaluateSubclass(cnf_one, music_groups_).size(), 3u);
+}
+
+TEST_F(EvalTest, EmptyNormalFormSemantics) {
+  Evaluator eval = Eval();
+  Predicate empty_cnf;  // empty conjunction = true
+  EXPECT_EQ(eval.EvaluateSubclass(empty_cnf, music_groups_).size(),
+            db_->Members(music_groups_).size());
+  Predicate empty_dnf;
+  empty_dnf.form = NormalForm::kDisjunctive;  // empty disjunction = false
+  EXPECT_TRUE(eval.EvaluateSubclass(empty_dnf, music_groups_).empty());
+  // Unused (empty) clause windows are skipped, not treated as false.
+  Predicate with_window;
+  Atom a;
+  a.lhs = Term::Candidate({size_});
+  a.op = SetOp::kGreater;
+  a.rhs = Term::Constant({db_->InternInteger(0)});
+  with_window.AddAtom(a, 1);  // clause 0 stays empty
+  with_window.form = NormalForm::kConjunctive;
+  EXPECT_EQ(eval.EvaluateSubclass(with_window, music_groups_).size(),
+            db_->Members(music_groups_).size());
+}
+
+// --- Type checking. ---
+
+TEST_F(EvalTest, TypeCheckAcceptsThePaperPredicate) {
+  Atom size4;
+  size4.lhs = Term::Candidate({size_});
+  size4.op = SetOp::kEqual;
+  size4.rhs = Term::Constant({db_->InternInteger(4)});
+  Atom piano;
+  piano.lhs = Term::Candidate({members_, plays_});
+  piano.op = SetOp::kSuperset;
+  piano.rhs = Term::Constant({E(instruments_, "piano")});
+  Predicate p;
+  p.AddAtom(piano, 0);
+  p.AddAtom(size4, 1);
+  Status st = Eval().TypeCheck(p, Ctx(music_groups_));
+  EXPECT_TRUE(st.ok()) << st.ToString();
+}
+
+TEST_F(EvalTest, TypeCheckRejectsCrossTreeComparison) {
+  Atom atom;
+  atom.lhs = Term::Candidate({size_});  // terminates in INTEGER
+  atom.op = SetOp::kEqual;
+  atom.rhs = Term::Constant({E(families_, "brass")});  // families tree
+  EXPECT_TRUE(Eval().TypeCheckAtom(atom, Ctx(music_groups_)).IsTypeError());
+}
+
+TEST_F(EvalTest, TypeCheckRejectsOrderingOnUnorderedKinds) {
+  Atom atom;
+  atom.lhs = Term::Candidate({union_});  // YES/NO
+  atom.op = SetOp::kGreater;
+  atom.rhs = Term::Constant({db_->InternBoolean(false)});
+  EXPECT_TRUE(Eval().TypeCheckAtom(atom, Ctx(musicians_)).IsTypeError());
+  // Ordering on user-class terminals is rejected too.
+  Atom atom2;
+  atom2.lhs = Term::Candidate({plays_});
+  atom2.op = SetOp::kGreater;
+  atom2.rhs = Term::Constant({E(instruments_, "piano")});
+  EXPECT_TRUE(Eval().TypeCheckAtom(atom2, Ctx(musicians_)).IsTypeError());
+}
+
+TEST_F(EvalTest, TypeCheckRejectsInapplicableMapStep) {
+  Atom atom;
+  atom.lhs = Term::Candidate({plays_, plays_});  // plays not on instruments
+  atom.op = SetOp::kEqual;
+  atom.rhs = Term::Constant({E(instruments_, "piano")});
+  EXPECT_TRUE(Eval().TypeCheckAtom(atom, Ctx(musicians_)).IsTypeError());
+}
+
+TEST_F(EvalTest, TypeCheckRejectsSelfOutsideDerivation) {
+  Atom atom;
+  atom.lhs = Term::Candidate({size_});
+  atom.op = SetOp::kEqual;
+  atom.rhs = Term::Self();
+  EXPECT_TRUE(Eval().TypeCheckAtom(atom, Ctx(music_groups_)).IsTypeError());
+}
+
+TEST_F(EvalTest, TypeCheckRejectsConstantLhs) {
+  Atom atom;
+  atom.lhs = Term::Constant({db_->InternInteger(4)});
+  atom.op = SetOp::kEqual;
+  atom.rhs = Term::Candidate({size_});
+  EXPECT_TRUE(Eval().TypeCheckAtom(atom, Ctx(music_groups_)).IsTypeError());
+}
+
+TEST_F(EvalTest, TypeCheckMixedBaseclassConstants) {
+  Atom atom;
+  atom.lhs = Term::Candidate({size_});
+  atom.op = SetOp::kEqual;
+  atom.rhs = Term::Constant(
+      {db_->InternInteger(4), db_->InternString("four")});
+  EXPECT_TRUE(Eval().TypeCheckAtom(atom, Ctx(music_groups_)).IsTypeError());
+}
+
+TEST_F(EvalTest, TypeCheckAllowsDescendantStep) {
+  // A step owned by a descendant of the reached class is allowed; entities
+  // outside the descendant simply drop out at evaluation.
+  ClassId play_strings = *db_->schema().FindClass("play_strings");
+  AttributeId in_group =
+      *db_->schema().FindAttribute(play_strings, "in_group");
+  Atom atom;
+  atom.lhs = Term::Candidate({in_group});  // in_group lives on play_strings
+  atom.op = SetOp::kEqual;
+  atom.rhs = Term::Constant({db_->InternBoolean(true)});
+  Status st = Eval().TypeCheckAtom(atom, Ctx(musicians_));
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  // Ray (no strings) drops out; Edith (string player in a group) matches.
+  Evaluator eval = Eval();
+  EXPECT_TRUE(eval.EvalAtom(atom, E(musicians_, "Edith"), sdm::kNullEntity));
+  EXPECT_FALSE(eval.EvalAtom(atom, E(musicians_, "Ray"), sdm::kNullEntity));
+}
+
+TEST_F(EvalTest, AttributePredicateFormC) {
+  // A(x) = { e in musicians | e.plays ~ x.plays } — "plays an instrument in
+  // common with x".
+  Atom atom;
+  atom.lhs = Term::Candidate({plays_});
+  atom.op = SetOp::kWeakMatch;
+  atom.rhs = Term::Self({plays_});
+  Predicate p;
+  p.AddAtom(atom, 0);
+  PredicateContext ctx;
+  ctx.candidate_class = musicians_;
+  ctx.self_class = musicians_;
+  ASSERT_TRUE(Eval().TypeCheck(p, ctx).ok());
+  Evaluator eval = Eval();
+  EntitySet shared =
+      eval.EvaluateAttributeFor(p, musicians_, E(musicians_, "Edith"));
+  // Edith (viola, violin) shares the violin with Lucy and herself.
+  EXPECT_TRUE(shared.count(E(musicians_, "Edith")) > 0);
+  EXPECT_TRUE(shared.count(E(musicians_, "Lucy")) > 0);
+  EXPECT_FALSE(shared.count(E(musicians_, "Ray")) > 0);
+}
+
+}  // namespace
+}  // namespace isis::query

@@ -1,0 +1,80 @@
+/// \file event_test.cpp
+/// \brief Tests for input events, the queue and the session-script parser.
+
+#include <gtest/gtest.h>
+
+#include "input/event.h"
+
+namespace isis::input {
+namespace {
+
+TEST(EventQueueTest, Fifo) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  q.Push(CommandEvent{"follow"});
+  q.Push(TextEvent{"quartets"});
+  EXPECT_EQ(q.size(), 2u);
+  Event first = q.Pop();
+  EXPECT_EQ(std::get<CommandEvent>(first).command, "follow");
+  Event second = q.Pop();
+  EXPECT_EQ(std::get<TextEvent>(second).text, "quartets");
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventToStringTest, AllForms) {
+  EXPECT_EQ(EventToString(PickEvent{12, 3}), "pick(12,3)");
+  EXPECT_EQ(EventToString(CommandEvent{"undo"}), "cmd[undo]");
+  EXPECT_EQ(EventToString(TextEvent{"hi"}), "type[hi]");
+  EXPECT_EQ(EventToString(NamedPickEvent{"class:soloists"}),
+            "pick[class:soloists]");
+}
+
+TEST(ParseScriptTest, AllVerbs) {
+  Result<std::vector<Event>> events = ParseScript(
+      "# a comment\n"
+      "pick class:soloists\n"
+      "\n"
+      "pickat 10 20\n"
+      "cmd view contents\n"
+      "type LaBelle Quartet\n");
+  ASSERT_TRUE(events.ok()) << events.status().ToString();
+  ASSERT_EQ(events->size(), 4u);
+  EXPECT_EQ(std::get<NamedPickEvent>((*events)[0]).target, "class:soloists");
+  EXPECT_EQ(std::get<PickEvent>((*events)[1]).x, 10);
+  EXPECT_EQ(std::get<PickEvent>((*events)[1]).y, 20);
+  EXPECT_EQ(std::get<CommandEvent>((*events)[2]).command, "view contents");
+  EXPECT_EQ(std::get<TextEvent>((*events)[3]).text, "LaBelle Quartet");
+}
+
+TEST(ParseScriptTest, WhitespaceTolerant) {
+  Result<std::vector<Event>> events =
+      ParseScript("   pick   member:flute   \n");
+  ASSERT_TRUE(events.ok());
+  EXPECT_EQ(std::get<NamedPickEvent>((*events)[0]).target, "member:flute");
+}
+
+TEST(ParseScriptTest, EmptyTypeAllowed) {
+  // `type` with no argument answers a prompt with the empty string.
+  Result<std::vector<Event>> events = ParseScript("type\n");
+  ASSERT_TRUE(events.ok());
+  EXPECT_EQ(std::get<TextEvent>((*events)[0]).text, "");
+}
+
+TEST(ParseScriptTest, ErrorsNameTheLine) {
+  Status st = ParseScript("pick a\nwiggle b\n").status();
+  EXPECT_TRUE(st.IsParseError());
+  EXPECT_NE(st.message().find("line 2"), std::string::npos);
+  EXPECT_TRUE(ParseScript("pick\n").status().IsParseError());
+  EXPECT_TRUE(ParseScript("pickat 1\n").status().IsParseError());
+  EXPECT_TRUE(ParseScript("pickat x y\n").status().IsParseError());
+  EXPECT_TRUE(ParseScript("cmd\n").status().IsParseError());
+}
+
+TEST(ParseScriptTest, EmptyScriptYieldsNoEvents) {
+  Result<std::vector<Event>> events = ParseScript("# only comments\n\n");
+  ASSERT_TRUE(events.ok());
+  EXPECT_TRUE(events->empty());
+}
+
+}  // namespace
+}  // namespace isis::input

@@ -1,0 +1,79 @@
+/// \file figure_golden_test.cpp
+/// \brief Golden-screen tests: each of the paper's twelve figures must
+/// reproduce byte-for-byte against the checked-in golden rendering
+/// (tests/goldens/figureN.txt).
+///
+/// If a deliberate rendering change alters the screens, regenerate with:
+///   ./build/examples/instrumental_music --figures-only
+/// and split the output back into the golden files (see
+/// tests/goldens/README note in DESIGN.md).
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "datasets/instrumental_music.h"
+#include "datasets/session_script.h"
+#include "ui/controller.h"
+
+#ifndef ISIS_GOLDEN_DIR
+#define ISIS_GOLDEN_DIR "tests/goldens"
+#endif
+
+namespace isis::ui {
+namespace {
+
+Result<std::string> ReadGolden(const std::string& name) {
+  std::string path = std::string(ISIS_GOLDEN_DIR) + "/" + name + ".txt";
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open golden '" + path + "'");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+class FigureGoldenTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FigureGoldenTest, ScreenMatchesGolden) {
+  int figure = GetParam();
+  const auto& figs = datasets::PaperSessionFigures();
+  SessionController session(datasets::BuildInstrumentalMusic());
+  for (int i = 0; i < figure; ++i) {
+    ASSERT_TRUE(session.RunScript(figs[i].script).ok()) << figs[i].name;
+  }
+  Result<std::string> golden = ReadGolden(figs[figure - 1].name);
+  ASSERT_TRUE(golden.ok()) << golden.status().ToString();
+  EXPECT_EQ(session.Render().canvas.ToString(), *golden)
+      << "figure " << figure
+      << " diverged from the golden screen; if the change is intentional, "
+         "regenerate tests/goldens/ from "
+         "`instrumental_music --figures-only`";
+}
+
+TEST_P(FigureGoldenTest, StyleMapMatchesGolden) {
+  // The paper's visual conventions (reverse-video baseclass names, bold
+  // selections, dim chrome) are pinned per cell alongside the characters.
+  int figure = GetParam();
+  const auto& figs = datasets::PaperSessionFigures();
+  SessionController session(datasets::BuildInstrumentalMusic());
+  for (int i = 0; i < figure; ++i) {
+    ASSERT_TRUE(session.RunScript(figs[i].script).ok()) << figs[i].name;
+  }
+  Result<std::string> golden =
+      ReadGolden(figs[figure - 1].name + ".style");
+  ASSERT_TRUE(golden.ok()) << golden.status().ToString();
+  EXPECT_EQ(session.Render().canvas.StyleString(), *golden)
+      << "figure " << figure
+      << " style map diverged; regenerate tests/goldens/ from "
+         "`instrumental_music --styles-only` if intentional";
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTwelve, FigureGoldenTest,
+                         ::testing::Range(1, 13),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return "figure" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace isis::ui

@@ -1,0 +1,185 @@
+/// \file grouping_test.cpp
+/// \brief Unit + property tests for groupings-as-data: block derivation and
+/// the incremental maintenance vs full recomputation equivalence.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "sdm/consistency.h"
+#include "sdm/database.h"
+
+namespace isis::sdm {
+namespace {
+
+class GroupingTest : public ::testing::TestWithParam<bool> {
+ protected:
+  GroupingTest() : db_(MakeOptions(GetParam())) {}
+
+  static Database::Options MakeOptions(bool incremental) {
+    Database::Options o;
+    o.incremental_groupings = incremental;
+    return o;
+  }
+
+  void SetUp() override {
+    instruments_ = *db_.CreateBaseclass("instruments", "name");
+    families_ = *db_.CreateBaseclass("families", "name");
+    family_ = *db_.CreateAttribute(instruments_, "family", families_, false);
+    tags_ = *db_.CreateAttribute(instruments_, "tags", Schema::kStrings(),
+                                 true);
+    by_family_ = *db_.CreateGrouping("by_family", instruments_, family_);
+    strings_ = *db_.CreateEntity(families_, "strings");
+    brass_ = *db_.CreateEntity(families_, "brass");
+    violin_ = *db_.CreateEntity(instruments_, "violin");
+    cello_ = *db_.CreateEntity(instruments_, "cello");
+    tuba_ = *db_.CreateEntity(instruments_, "tuba");
+    EXPECT_TRUE(db_.SetSingle(violin_, family_, strings_).ok());
+    EXPECT_TRUE(db_.SetSingle(cello_, family_, strings_).ok());
+    EXPECT_TRUE(db_.SetSingle(tuba_, family_, brass_).ok());
+  }
+
+  Database db_;
+  ClassId instruments_, families_;
+  AttributeId family_, tags_;
+  GroupingId by_family_;
+  EntityId strings_, brass_, violin_, cello_, tuba_;
+};
+
+TEST_P(GroupingTest, BlocksMatchDerivation) {
+  // G = { S_e | e in V }, S_e = { x | e in A(x) } (paper §2).
+  const std::vector<GroupingBlock>& blocks = db_.GroupingBlocks(by_family_);
+  ASSERT_EQ(blocks.size(), 2u);
+  EXPECT_EQ(blocks[0].index, strings_);  // ordered by index entity id
+  EXPECT_EQ(blocks[0].members, (EntitySet{violin_, cello_}));
+  EXPECT_EQ(blocks[1].index, brass_);
+  EXPECT_EQ(blocks[1].members, EntitySet{tuba_});
+  EXPECT_EQ(db_.GetGroupingBlock(by_family_, strings_),
+            (EntitySet{violin_, cello_}));
+  EXPECT_TRUE(db_.GetGroupingBlock(by_family_, EntityId(9999)).empty());
+}
+
+TEST_P(GroupingTest, NullValuedEntitiesAppearInNoBlock) {
+  EntityId drum = *db_.CreateEntity(instruments_, "drum");
+  (void)drum;  // family unassigned
+  size_t total = 0;
+  for (const GroupingBlock& b : db_.GroupingBlocks(by_family_)) {
+    total += b.members.size();
+  }
+  EXPECT_EQ(total, 3u);
+}
+
+TEST_P(GroupingTest, UpdateMovesEntityBetweenBlocks) {
+  ASSERT_TRUE(db_.SetSingle(cello_, family_, brass_).ok());
+  EXPECT_EQ(db_.GetGroupingBlock(by_family_, strings_), EntitySet{violin_});
+  EXPECT_EQ(db_.GetGroupingBlock(by_family_, brass_),
+            (EntitySet{cello_, tuba_}));
+  EXPECT_TRUE(ConsistencyChecker(db_).Check().ok());
+}
+
+TEST_P(GroupingTest, EmptyBlocksDisappear) {
+  ASSERT_TRUE(db_.SetSingle(tuba_, family_, strings_).ok());
+  EXPECT_EQ(db_.GroupingBlocks(by_family_).size(), 1u);
+}
+
+TEST_P(GroupingTest, DeleteEntityLeavesBlocksConsistent) {
+  // Deleting an index entity dissolves its block; deleting a member drops
+  // it from its block.
+  ASSERT_TRUE(db_.DeleteEntity(violin_).ok());
+  EXPECT_EQ(db_.GetGroupingBlock(by_family_, strings_), EntitySet{cello_});
+  ASSERT_TRUE(db_.DeleteEntity(brass_).ok());
+  EXPECT_EQ(db_.GroupingBlocks(by_family_).size(), 1u);
+  EXPECT_TRUE(ConsistencyChecker(db_).Check().ok());
+}
+
+TEST_P(GroupingTest, GroupingOnMultivaluedAttributeCovers) {
+  // A grouping on a multivalued attribute is a cover, not a partition: an
+  // entity appears in one block per value.
+  GroupingId by_tag = *db_.CreateGrouping("by_tag", instruments_, tags_);
+  EntityId old_tag = db_.InternString("old");
+  EntityId rare = db_.InternString("rare");
+  ASSERT_TRUE(db_.AddToMulti(violin_, tags_, old_tag).ok());
+  ASSERT_TRUE(db_.AddToMulti(violin_, tags_, rare).ok());
+  ASSERT_TRUE(db_.AddToMulti(tuba_, tags_, rare).ok());
+  EXPECT_EQ(db_.GetGroupingBlock(by_tag, old_tag), EntitySet{violin_});
+  EXPECT_EQ(db_.GetGroupingBlock(by_tag, rare), (EntitySet{violin_, tuba_}));
+  ASSERT_TRUE(db_.RemoveFromMulti(violin_, tags_, rare).ok());
+  EXPECT_EQ(db_.GetGroupingBlock(by_tag, rare), EntitySet{tuba_});
+  EXPECT_TRUE(ConsistencyChecker(db_).Check().ok());
+}
+
+TEST_P(GroupingTest, GroupingOnSubclassSeesOnlySubclassMembers) {
+  ClassId vintage =
+      *db_.CreateSubclass("vintage", instruments_, Membership::kEnumerated);
+  GroupingId g = *db_.CreateGrouping("vintage_by_family", vintage, family_);
+  ASSERT_TRUE(db_.AddToClass(violin_, vintage).ok());
+  EXPECT_EQ(db_.GetGroupingBlock(g, strings_), EntitySet{violin_});
+  // Membership changes update the grouping.
+  ASSERT_TRUE(db_.AddToClass(cello_, vintage).ok());
+  EXPECT_EQ(db_.GetGroupingBlock(g, strings_), (EntitySet{violin_, cello_}));
+  ASSERT_TRUE(db_.RemoveFromClass(violin_, vintage).ok());
+  EXPECT_EQ(db_.GetGroupingBlock(g, strings_), EntitySet{cello_});
+  EXPECT_TRUE(ConsistencyChecker(db_).Check().ok());
+}
+
+TEST_P(GroupingTest, StatsDistinguishMaintenanceStrategies) {
+  (void)db_.GroupingBlocks(by_family_);  // force initial build
+  std::int64_t builds_before = db_.stats().grouping_rebuilds;
+  ASSERT_TRUE(db_.SetSingle(cello_, family_, brass_).ok());
+  (void)db_.GroupingBlocks(by_family_);
+  if (GetParam()) {
+    // Incremental: no rebuild needed after the mutation.
+    EXPECT_EQ(db_.stats().grouping_rebuilds, builds_before);
+    EXPECT_GT(db_.stats().grouping_incremental_updates, 0);
+  } else {
+    EXPECT_GT(db_.stats().grouping_rebuilds, builds_before);
+  }
+}
+
+TEST_P(GroupingTest, RandomMutationSequenceMatchesOracle) {
+  // Property: after any mutation sequence, blocks equal the from-scratch
+  // derivation (the consistency checker is the oracle).
+  Rng rng(2024);
+  std::vector<EntityId> insts = {violin_, cello_, tuba_};
+  std::vector<EntityId> fams = {strings_, brass_, kNullEntity};
+  for (int step = 0; step < 300; ++step) {
+    switch (rng.Below(4)) {
+      case 0: {
+        EntityId x = insts[rng.Below(insts.size())];
+        EXPECT_TRUE(
+            db_.SetSingle(x, family_, fams[rng.Below(fams.size())]).ok());
+        break;
+      }
+      case 1: {
+        EntityId e = *db_.CreateEntity(
+            instruments_, "i" + std::to_string(step));
+        insts.push_back(e);
+        break;
+      }
+      case 2: {
+        if (insts.size() > 2) {
+          size_t i = rng.Below(insts.size());
+          EXPECT_TRUE(db_.DeleteEntity(insts[i]).ok());
+          insts.erase(insts.begin() + static_cast<long>(i));
+        }
+        break;
+      }
+      case 3:
+        (void)db_.GroupingBlocks(by_family_);  // interleave reads
+        break;
+    }
+    if (step % 37 == 0) {
+      Status st = ConsistencyChecker(db_).Check();
+      ASSERT_TRUE(st.ok()) << "step " << step << ": " << st.ToString();
+    }
+  }
+  EXPECT_TRUE(ConsistencyChecker(db_).Check().ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(MaintenanceStrategies, GroupingTest,
+                         ::testing::Values(true, false),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "Incremental" : "Recompute";
+                         });
+
+}  // namespace
+}  // namespace isis::sdm

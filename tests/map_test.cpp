@@ -1,0 +1,133 @@
+/// \file map_test.cpp
+/// \brief Tests for attribute-map evaluation (paper §2, "Map") on the
+/// Instrumental_Music database.
+
+#include <gtest/gtest.h>
+
+#include "datasets/instrumental_music.h"
+#include "sdm/database.h"
+
+namespace isis::sdm {
+namespace {
+
+class MapTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ws_ = datasets::BuildInstrumentalMusic();
+    db_ = &ws_->db();
+    const Schema& s = db_->schema();
+    musicians_ = *s.FindClass("musicians");
+    instruments_ = *s.FindClass("instruments");
+    music_groups_ = *s.FindClass("music_groups");
+    families_ = *s.FindClass("families");
+    plays_ = *s.FindAttribute(musicians_, "plays");
+    family_ = *s.FindAttribute(instruments_, "family");
+    members_ = *s.FindAttribute(music_groups_, "members");
+  }
+
+  EntityId E(ClassId cls, const char* name) {
+    return *db_->FindEntity(cls, name);
+  }
+  std::string Names(const EntitySet& set) {
+    std::string out;
+    for (EntityId e : set) {
+      if (!out.empty()) out += " ";
+      out += db_->NameOf(e);
+    }
+    return out;
+  }
+
+  std::unique_ptr<query::Workspace> ws_;
+  sdm::Database* db_ = nullptr;
+  ClassId musicians_, instruments_, music_groups_, families_;
+  AttributeId plays_, family_, members_;
+};
+
+TEST_F(MapTest, SingleStepMultivalued) {
+  AttributeId path[] = {plays_};
+  EXPECT_EQ(Names(db_->EvaluateMap(E(musicians_, "Edith"), path)),
+            "violin viola");
+}
+
+TEST_F(MapTest, TwoStepComposition) {
+  // Edith.plays.family: viola and violin are both stringed.
+  AttributeId path[] = {plays_, family_};
+  EXPECT_EQ(Names(db_->EvaluateMap(E(musicians_, "Edith"), path)),
+            "stringed");
+}
+
+TEST_F(MapTest, ThreeStepUnionSemantics) {
+  // LaBelle Quartet.members.plays: union of four musicians' instruments.
+  AttributeId path[] = {members_, plays_};
+  EntitySet insts =
+      db_->EvaluateMap(E(music_groups_, "LaBelle Quartet"), path);
+  EXPECT_EQ(insts.size(), 6u);  // violin viola cello harp piano organ
+  EXPECT_TRUE(insts.count(E(instruments_, "piano")) > 0);
+  EXPECT_FALSE(insts.count(E(instruments_, "tuba")) > 0);
+}
+
+TEST_F(MapTest, MapOverSetUnionsImages) {
+  AttributeId path[] = {family_};
+  EntitySet start = {E(instruments_, "violin"), E(instruments_, "tuba")};
+  EXPECT_EQ(Names(db_->EvaluateMap(start, path)), "stringed brass");
+}
+
+TEST_F(MapTest, IdentityMap) {
+  // "For n = 0 we have the identity map."
+  EntityId edith = E(musicians_, "Edith");
+  EXPECT_EQ(db_->EvaluateMap(edith, {}), EntitySet{edith});
+}
+
+TEST_F(MapTest, NullAndNonMembersDropOut) {
+  // A musician entity cannot follow `family` (an instruments attribute):
+  // the frontier drops non-members, yielding the empty set.
+  AttributeId path[] = {family_};
+  EXPECT_TRUE(db_->EvaluateMap(E(musicians_, "Edith"), path).empty());
+  // The null entity never enters a map image.
+  EXPECT_TRUE(db_->EvaluateMap(kNullEntity, {}).empty());
+}
+
+TEST_F(MapTest, MapThroughNamingAttribute) {
+  AttributeId naming = db_->schema().GetClass(musicians_).own_attributes[0];
+  AttributeId path[] = {naming};
+  EntitySet names = db_->EvaluateMap(E(musicians_, "Edith"), path);
+  ASSERT_EQ(names.size(), 1u);
+  EXPECT_EQ(db_->NameOf(*names.begin()), "Edith");
+  EXPECT_EQ(db_->GetEntity(*names.begin()).baseclass, Schema::kStrings());
+}
+
+TEST_F(MapTest, TerminalClassWalksTheNetwork) {
+  AttributeId path[] = {members_, plays_, family_};
+  EXPECT_EQ(*db_->MapTerminalClass(music_groups_, path), families_);
+  // A step not visible on the reached class is a type error.
+  AttributeId bad[] = {plays_, plays_};
+  EXPECT_TRUE(db_->MapTerminalClass(musicians_, bad).status().IsTypeError());
+}
+
+TEST_F(MapTest, SubclassInheritsMapSteps) {
+  // soloists inherit plays from musicians; the map works unchanged.
+  ClassId soloists = *db_->schema().FindClass("soloists");
+  AttributeId path[] = {plays_, family_};
+  EXPECT_EQ(*db_->MapTerminalClass(soloists, path), families_);
+  EntitySet fams = db_->EvaluateMap(db_->Members(soloists), path);
+  EXPECT_GE(fams.size(), 2u);
+}
+
+TEST_F(MapTest, SelfReferentialMapTerminates) {
+  // A class with an attribute into itself (manager-style) evaluates maps of
+  // any finite length without cycling.
+  Database db;
+  ClassId emp = *db.CreateBaseclass("emp", "name");
+  AttributeId boss = *db.CreateAttribute(emp, "boss", emp, false);
+  EntityId a = *db.CreateEntity(emp, "a");
+  EntityId b = *db.CreateEntity(emp, "b");
+  ASSERT_TRUE(db.SetSingle(a, boss, b).ok());
+  ASSERT_TRUE(db.SetSingle(b, boss, a).ok());  // a cycle in the data
+  std::vector<AttributeId> path(101, boss);
+  EntitySet out = db.EvaluateMap(a, path);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(*out.begin(), b);  // odd number of steps lands on b
+}
+
+}  // namespace
+}  // namespace isis::sdm

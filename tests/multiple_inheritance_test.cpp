@@ -1,0 +1,170 @@
+/// \file multiple_inheritance_test.cpp
+/// \brief Tests for the paper's announced extension (§2 Remark, §5): "the
+/// system is currently being extended to handle multiple parent
+/// inheritance". Implemented behind Schema::Options::allow_multiple_parents.
+
+#include <gtest/gtest.h>
+
+#include "query/eval.h"
+#include "query/workspace.h"
+#include "sdm/consistency.h"
+#include "store/serializer.h"
+
+namespace isis::query {
+namespace {
+
+using sdm::EntitySet;
+using sdm::Membership;
+using sdm::Schema;
+
+class MultipleInheritanceTest : public ::testing::Test {
+ protected:
+  MultipleInheritanceTest() : ws_(MakeOptions()) {}
+
+  static sdm::Database::Options MakeOptions() {
+    sdm::Database::Options o;
+    o.schema.allow_multiple_parents = true;
+    return o;
+  }
+
+  void SetUp() override {
+    sdm::Database& db = ws_.db();
+    people_ = *db.CreateBaseclass("people", "name");
+    salary_ =
+        *db.CreateAttribute(people_, "salary", Schema::kIntegers(), false);
+    // Two sibling subclasses with their own attributes.
+    students_ =
+        *db.CreateSubclass("students", people_, Membership::kEnumerated);
+    gpa_ = *db.CreateAttribute(students_, "gpa", Schema::kReals(), false);
+    employees_ =
+        *db.CreateSubclass("employees", people_, Membership::kEnumerated);
+    hours_ =
+        *db.CreateAttribute(employees_, "hours", Schema::kIntegers(), false);
+    // The diamond: working students under both.
+    working_students_ = *db.CreateSubclass("working_students", students_,
+                                           Membership::kEnumerated);
+    ASSERT_TRUE(db.AddParent(working_students_, employees_).ok());
+
+    ann_ = *db.CreateEntity(people_, "ann");
+    bo_ = *db.CreateEntity(people_, "bo");
+  }
+
+  Workspace ws_;
+  ClassId people_, students_, employees_, working_students_;
+  AttributeId salary_, gpa_, hours_;
+  EntityId ann_, bo_;
+};
+
+TEST_F(MultipleInheritanceTest, AttributesInheritFromAllParents) {
+  const Schema& s = ws_.db().schema();
+  std::vector<AttributeId> attrs = s.AllAttributesOf(working_students_);
+  // name, salary (from people via either path, once), gpa, hours.
+  ASSERT_EQ(attrs.size(), 4u);
+  EXPECT_TRUE(s.AttributeVisibleOn(working_students_, gpa_));
+  EXPECT_TRUE(s.AttributeVisibleOn(working_students_, hours_));
+  EXPECT_TRUE(s.AttributeVisibleOn(working_students_, salary_));
+  // The diamond top contributes its attribute exactly once.
+  int salary_count = 0;
+  for (AttributeId a : attrs) {
+    if (a == salary_) ++salary_count;
+  }
+  EXPECT_EQ(salary_count, 1);
+}
+
+TEST_F(MultipleInheritanceTest, MembershipPropagatesToAllParents) {
+  ASSERT_TRUE(ws_.db().AddToClass(ann_, working_students_).ok());
+  EXPECT_TRUE(ws_.db().IsMember(ann_, students_));
+  EXPECT_TRUE(ws_.db().IsMember(ann_, employees_));
+  EXPECT_TRUE(ws_.db().IsMember(ann_, people_));
+  EXPECT_TRUE(sdm::ConsistencyChecker(ws_.db()).Check().ok());
+  // Both parents' attributes are assignable.
+  EXPECT_TRUE(
+      ws_.db().SetSingle(ann_, gpa_, ws_.db().InternReal(3.5)).ok());
+  EXPECT_TRUE(
+      ws_.db().SetSingle(ann_, hours_, ws_.db().InternInteger(20)).ok());
+}
+
+TEST_F(MultipleInheritanceTest, RemovalFromOneParentCascades) {
+  ASSERT_TRUE(ws_.db().AddToClass(ann_, working_students_).ok());
+  ASSERT_TRUE(ws_.db().RemoveFromClass(ann_, students_).ok());
+  EXPECT_FALSE(ws_.db().IsMember(ann_, working_students_));
+  // Membership of the other parent survives (subset rule intact).
+  EXPECT_TRUE(ws_.db().IsMember(ann_, employees_));
+  EXPECT_TRUE(sdm::ConsistencyChecker(ws_.db()).Check().ok());
+}
+
+TEST_F(MultipleInheritanceTest, AddParentRejectsCyclesAndCrossTrees) {
+  const Schema& s = ws_.db().schema();
+  (void)s;
+  EXPECT_TRUE(
+      ws_.db().AddParent(students_, working_students_).IsConsistency());
+  EXPECT_TRUE(ws_.db().AddParent(students_, students_).IsConsistency());
+  ClassId pets = *ws_.db().CreateBaseclass("pets", "name");
+  ClassId cats = *ws_.db().CreateSubclass("cats", pets,
+                                          Membership::kEnumerated);
+  EXPECT_TRUE(ws_.db().AddParent(cats, people_).IsConsistency());
+  EXPECT_TRUE(ws_.db().AddParent(people_, pets).IsConsistency());
+}
+
+TEST_F(MultipleInheritanceTest, AddParentRejectsAttributeConflicts) {
+  // Another subclass defining `gpa` cannot also become a parent of a class
+  // that already inherits `gpa` from students.
+  ClassId interns =
+      *ws_.db().CreateSubclass("interns", people_, Membership::kEnumerated);
+  ASSERT_TRUE(
+      ws_.db().CreateAttribute(interns, "gpa", Schema::kReals(), false).ok());
+  EXPECT_TRUE(ws_.db().AddParent(working_students_, interns).IsConsistency());
+}
+
+TEST_F(MultipleInheritanceTest, AddParentBackfillsExistingMembers) {
+  ClassId interns =
+      *ws_.db().CreateSubclass("interns", people_, Membership::kEnumerated);
+  ASSERT_TRUE(ws_.db().AddToClass(bo_, working_students_).ok());
+  ASSERT_TRUE(ws_.db().AddParent(working_students_, interns).ok());
+  // Subset consistency was repaired for the pre-existing member.
+  EXPECT_TRUE(ws_.db().IsMember(bo_, interns));
+  EXPECT_TRUE(sdm::ConsistencyChecker(ws_.db()).Check().ok());
+}
+
+TEST_F(MultipleInheritanceTest, DerivedClassCandidatesAreTheIntersection) {
+  ASSERT_TRUE(ws_.db().AddToClass(ann_, students_).ok());
+  ASSERT_TRUE(ws_.db().AddToClass(ann_, employees_).ok());
+  ASSERT_TRUE(ws_.db().AddToClass(bo_, students_).ok());  // student only
+  ASSERT_TRUE(
+      ws_.db().SetSingle(ann_, salary_, ws_.db().InternInteger(10)).ok());
+  ASSERT_TRUE(
+      ws_.db().SetSingle(bo_, salary_, ws_.db().InternInteger(10)).ok());
+  ClassId paid = *ws_.db().CreateSubclass("paid_ws", students_,
+                                          Membership::kEnumerated);
+  ASSERT_TRUE(ws_.db().AddParent(paid, employees_).ok());
+  Predicate p;
+  Atom a;
+  a.lhs = Term::Candidate({salary_});
+  a.op = SetOp::kGreater;
+  a.rhs = Term::Constant({ws_.db().InternInteger(5)});
+  p.AddAtom(a, 0);
+  ASSERT_TRUE(ws_.DefineSubclassMembership(paid, p).ok());
+  // bo satisfies the predicate but is not in both parents.
+  EXPECT_TRUE(ws_.db().IsMember(ann_, paid));
+  EXPECT_FALSE(ws_.db().IsMember(bo_, paid));
+}
+
+TEST_F(MultipleInheritanceTest, MultiParentSchemaRoundTripsThroughStore) {
+  ASSERT_TRUE(ws_.db().AddToClass(ann_, working_students_).ok());
+  std::string blob = store::Save(ws_);
+  auto loaded = store::Load(blob);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const Schema& s = (*loaded)->db().schema();
+  EXPECT_EQ(s.GetClass(working_students_).parents.size(), 2u);
+  EXPECT_TRUE((*loaded)->db().IsMember(ann_, employees_));
+  EXPECT_EQ(store::Save(**loaded), blob);
+}
+
+TEST_F(MultipleInheritanceTest, AncestorsDeduplicateTheDiamondTop) {
+  std::vector<ClassId> anc = ws_.db().schema().AncestorsOf(working_students_);
+  // students, employees, people — people once despite two paths.
+  EXPECT_EQ(anc.size(), 3u);
+}
+
+}  // namespace
+}  // namespace isis::query

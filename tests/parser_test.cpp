@@ -1,0 +1,190 @@
+/// \file parser_test.cpp
+/// \brief Tests for the textual predicate syntax: round-trips with the
+/// worksheet's display form, resolution rules, normal forms, and errors.
+
+#include <gtest/gtest.h>
+
+#include "datasets/instrumental_music.h"
+#include "query/eval.h"
+#include "query/parser.h"
+
+namespace isis::query {
+namespace {
+
+using sdm::EntitySet;
+using sdm::Schema;
+
+class ParserTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ws_ = datasets::BuildInstrumentalMusic();
+    db_ = &ws_->db();
+    const Schema& s = db_->schema();
+    musicians_ = *s.FindClass("musicians");
+    instruments_ = *s.FindClass("instruments");
+    music_groups_ = *s.FindClass("music_groups");
+    families_ = *s.FindClass("families");
+  }
+
+  Result<Predicate> Parse(ClassId v, const std::string& text) {
+    return ParsePredicate(*db_, v, text);
+  }
+  EntitySet Eval(ClassId v, const std::string& text) {
+    Result<Predicate> p = Parse(v, text);
+    EXPECT_TRUE(p.ok()) << p.status().ToString() << " for: " << text;
+    if (!p.ok()) return {};
+    return Evaluator(*db_).EvaluateSubclass(*p, v);
+  }
+
+  std::unique_ptr<Workspace> ws_;
+  sdm::Database* db_ = nullptr;
+  ClassId musicians_, instruments_, music_groups_, families_;
+};
+
+TEST_F(ParserTest, SingleAtomSelection) {
+  EntitySet percussion =
+      Eval(instruments_, "e.family = {percussion}");
+  EXPECT_EQ(percussion.size(), 3u);
+  EXPECT_EQ(Eval(music_groups_, "e.size > {3}").size(), 3u);
+}
+
+TEST_F(ParserTest, ThePaperQuartetsPredicate) {
+  Result<Predicate> p = Parse(
+      music_groups_, "e.size = {4} and e.members.plays ]= {piano}");
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  EXPECT_EQ(p->form, NormalForm::kConjunctive);
+  EXPECT_EQ(p->clauses.size(), 2u);
+  EntitySet quartets = Evaluator(*db_).EvaluateSubclass(*p, music_groups_);
+  ASSERT_EQ(quartets.size(), 1u);
+  EXPECT_EQ(db_->NameOf(*quartets.begin()), "LaBelle Quartet");
+  // And it round-trips through the worksheet's display form.
+  EXPECT_EQ(PredicateToString(*db_, *p),
+            "(e.size = {4}) and (e.members.plays ]= {piano})");
+}
+
+TEST_F(ParserTest, DisjunctionYieldsDnf) {
+  Result<Predicate> p =
+      Parse(music_groups_, "e.size = {2} or e.size = {5}");
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  EXPECT_EQ(p->form, NormalForm::kDisjunctive);
+  EXPECT_EQ(Evaluator(*db_).EvaluateSubclass(*p, music_groups_).size(), 2u);
+}
+
+TEST_F(ParserTest, ParenthesizedCnfOfOrs) {
+  // (size=2 or size=5) and members.plays ~ {guitar}.
+  EntitySet answer = Eval(
+      music_groups_,
+      "(e.size = {2} or e.size = {5}) and (e.members.plays ~ {guitar})");
+  ASSERT_EQ(answer.size(), 1u);  // Woodwind Quintet (Vera's guitar)
+  EXPECT_EQ(db_->NameOf(*answer.begin()), "Woodwind Quintet");
+}
+
+TEST_F(ParserTest, NegationAndWeakMatch) {
+  EntitySet non_string_players = Eval(
+      musicians_, "e.plays.family not~ {stringed}");
+  EXPECT_EQ(non_string_players.size(), 7u);  // 11 - 4 string players
+}
+
+TEST_F(ParserTest, MultiNameConstantsAndSpaces) {
+  EntitySet groups = Eval(
+      music_groups_, "e.members ~ {Edith, Mark}");
+  EXPECT_EQ(groups.size(), 2u);  // LaBelle Quartet, String Quartet West
+  // Entity names with spaces work inside braces.
+  EntitySet exact = Eval(
+      music_groups_,
+      "e.name = {LaBelle Quartet}");
+  ASSERT_EQ(exact.size(), 1u);
+}
+
+TEST_F(ParserTest, ClassExtentTerm) {
+  ClassId play_strings = *db_->schema().FindClass("play_strings");
+  (void)play_strings;
+  EntitySet all_string_groups = Eval(
+      music_groups_, "e.members [= play_strings");
+  EXPECT_EQ(all_string_groups.size(), 1u);  // String Quartet West
+}
+
+TEST_F(ParserTest, DescendantStepResolves) {
+  // in_group lives on play_strings, a descendant of musicians.
+  EntitySet in_groups = Eval(musicians_, "e.in_group = {YES}");
+  EXPECT_EQ(in_groups.size(), 4u);
+}
+
+TEST_F(ParserTest, SelfTermsForDerivations) {
+  const Schema& s = db_->schema();
+  AttributeId plays = *s.FindAttribute(musicians_, "plays");
+  (void)plays;
+  Result<Predicate> p = ParsePredicate(
+      *db_, musicians_, musicians_, "e.plays ~ x.plays");
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  EntitySet edith_mates = Evaluator(*db_).EvaluateAttributeFor(
+      *p, musicians_, *db_->FindEntity(musicians_, "Edith"));
+  EXPECT_TRUE(edith_mates.count(*db_->FindEntity(musicians_, "Lucy")) > 0);
+  // Without a self class, `x` is rejected.
+  EXPECT_TRUE(
+      ParsePredicate(*db_, musicians_, "e.plays ~ x.plays").status()
+          .IsParseError());
+}
+
+TEST_F(ParserTest, AllOperatorsParse) {
+  for (const char* expr : {
+           "e.plays = {viola}", "e.plays [= {viola, violin}",
+           "e.plays ]= {viola}", "e.plays [ {viola, violin, cello}",
+           "e.plays ] {viola}", "e.plays ~ {viola}",
+           "e.union not= {YES}",
+       }) {
+    EXPECT_TRUE(Parse(musicians_, expr).ok()) << expr;
+  }
+  EXPECT_TRUE(Parse(music_groups_, "e.size <= {3}").ok());
+  EXPECT_TRUE(Parse(music_groups_, "e.size > {3}").ok());
+}
+
+TEST_F(ParserTest, ErrorsAreCleanAndPositioned) {
+  EXPECT_TRUE(Parse(musicians_, "").status().IsParseError());
+  EXPECT_TRUE(Parse(musicians_, "e.plays").status().IsParseError());
+  EXPECT_TRUE(Parse(musicians_, "e.nosuch = {4}").status().IsParseError());
+  EXPECT_TRUE(Parse(musicians_, "{piano} = e.plays").status().IsParseError());
+  EXPECT_TRUE(
+      Parse(musicians_, "e.plays ~ {ghost_instrument}").status().IsNotFound());
+  EXPECT_TRUE(Parse(musicians_, "e.plays ~ {viola} banana")
+                  .status()
+                  .IsParseError());
+  // Mixed connectives without parentheses.
+  EXPECT_TRUE(Parse(music_groups_,
+                    "e.size = {2} and e.size = {3} or e.size = {4}")
+                  .status()
+                  .IsParseError());
+  // Type errors surface from the commit-time check.
+  EXPECT_TRUE(
+      Parse(music_groups_, "e.size = {LaBelle Quartet}").status().ok() ==
+      false);
+}
+
+TEST_F(ParserTest, ParseTermForDerivations) {
+  Result<Term> t =
+      ParseTerm(*db_, instruments_, music_groups_, "x.members.plays");
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  EXPECT_EQ(t->origin, Operand::kSelf);
+  EXPECT_EQ(t->path.size(), 2u);
+  EXPECT_EQ(TermToString(*db_, *t), "x.members.plays");
+  EXPECT_TRUE(
+      ParseTerm(*db_, instruments_, std::nullopt, "x.members").status()
+          .IsParseError());
+  EXPECT_TRUE(ParseTerm(*db_, instruments_, std::nullopt, "e.family extra")
+                  .status()
+                  .IsParseError());
+}
+
+TEST_F(ParserTest, ParsedPredicatesDefineDerivedClasses) {
+  // End to end: the parsed text drives the same Workspace machinery.
+  ClassId quartets = *db_->CreateSubclass("quartets_text", music_groups_,
+                                          sdm::Membership::kEnumerated);
+  Result<Predicate> p = Parse(
+      music_groups_, "e.size = {4} and e.members.plays ]= {piano}");
+  ASSERT_TRUE(p.ok());
+  ASSERT_TRUE(ws_->DefineSubclassMembership(quartets, *p).ok());
+  EXPECT_EQ(db_->Members(quartets).size(), 1u);
+}
+
+}  // namespace
+}  // namespace isis::query

@@ -1,0 +1,137 @@
+/// \file predicate_test.cpp
+/// \brief Tests for predicate structure, builders and display forms.
+
+#include <gtest/gtest.h>
+
+#include "datasets/instrumental_music.h"
+#include "query/predicate.h"
+
+namespace isis::query {
+namespace {
+
+TEST(PredicateStructureTest, AddAtomPlacesIntoClauses) {
+  Predicate p;
+  Atom a;
+  int i0 = p.AddAtom(a, 0);
+  int i1 = p.AddAtom(a, 2);
+  int i2 = p.AddAtom(a, -1);  // unplaced
+  EXPECT_EQ(i0, 0);
+  EXPECT_EQ(i1, 1);
+  EXPECT_EQ(i2, 2);
+  ASSERT_EQ(p.clauses.size(), 3u);
+  EXPECT_EQ(p.clauses[0], std::vector<int>{0});
+  EXPECT_TRUE(p.clauses[1].empty());
+  EXPECT_EQ(p.clauses[2], std::vector<int>{1});
+  EXPECT_TRUE(p.ValidateStructure().ok());
+}
+
+TEST(PredicateStructureTest, EmptyPredicate) {
+  Predicate p;
+  EXPECT_TRUE(p.empty());
+  p.AddAtom(Atom{}, -1);
+  EXPECT_TRUE(p.empty());  // unplaced atoms don't count
+  p.AddAtom(Atom{}, 0);
+  EXPECT_FALSE(p.empty());
+}
+
+TEST(PredicateStructureTest, BadClauseIndexRejected) {
+  Predicate p;
+  p.clauses.push_back({0});  // references a nonexistent atom
+  EXPECT_TRUE(p.ValidateStructure().IsInvalidArgument());
+  p.atoms.push_back(Atom{});
+  EXPECT_TRUE(p.ValidateStructure().ok());
+  p.clauses.push_back({-1});
+  EXPECT_TRUE(p.ValidateStructure().IsInvalidArgument());
+}
+
+TEST(SetOpTest, DisplayForms) {
+  EXPECT_STREQ(SetOpToString(SetOp::kEqual), "=");
+  EXPECT_STREQ(SetOpToString(SetOp::kSubset), "[=");
+  EXPECT_STREQ(SetOpToString(SetOp::kSuperset), "]=");
+  EXPECT_STREQ(SetOpToString(SetOp::kProperSubset), "[");
+  EXPECT_STREQ(SetOpToString(SetOp::kProperSuperset), "]");
+  EXPECT_STREQ(SetOpToString(SetOp::kWeakMatch), "~");
+  EXPECT_STREQ(SetOpToString(SetOp::kLessEqual), "<=");
+  EXPECT_STREQ(SetOpToString(SetOp::kGreater), ">");
+}
+
+class PredicateDisplayTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ws_ = datasets::BuildInstrumentalMusic();
+    const sdm::Schema& s = ws_->db().schema();
+    music_groups_ = *s.FindClass("music_groups");
+    size_ = *s.FindAttribute(music_groups_, "size");
+    members_ = *s.FindAttribute(music_groups_, "members");
+    plays_ = *s.FindAttribute(*s.FindClass("musicians"), "plays");
+  }
+  std::unique_ptr<Workspace> ws_;
+  ClassId music_groups_;
+  AttributeId size_, members_, plays_;
+};
+
+TEST_F(PredicateDisplayTest, TermToString) {
+  EXPECT_EQ(TermToString(ws_->db(), Term::Candidate({size_})), "e.size");
+  EXPECT_EQ(TermToString(ws_->db(), Term::Candidate({members_, plays_})),
+            "e.members.plays");
+  EXPECT_EQ(TermToString(ws_->db(), Term::Self()), "x");
+  EXPECT_EQ(TermToString(ws_->db(),
+                         Term::Constant({ws_->db().InternInteger(4)})),
+            "{4}");
+  EXPECT_EQ(TermToString(ws_->db(), Term::ClassExtent(music_groups_, {size_})),
+            "music_groups.size");
+}
+
+TEST_F(PredicateDisplayTest, AtomAndPredicateToString) {
+  Predicate p;
+  Atom size_atom;
+  size_atom.lhs = Term::Candidate({size_});
+  size_atom.op = SetOp::kEqual;
+  size_atom.rhs = Term::Constant({ws_->db().InternInteger(4)});
+  Atom piano_atom;
+  piano_atom.lhs = Term::Candidate({members_, plays_});
+  piano_atom.op = SetOp::kSuperset;
+  piano_atom.rhs = Term::Constant(
+      {*ws_->db().FindEntity(*ws_->db().schema().FindClass("instruments"),
+                             "piano")});
+  p.AddAtom(size_atom, 0);
+  p.AddAtom(piano_atom, 1);
+  p.form = NormalForm::kConjunctive;
+  EXPECT_EQ(AtomToString(ws_->db(), size_atom), "e.size = {4}");
+  EXPECT_EQ(PredicateToString(ws_->db(), p),
+            "(e.size = {4}) and (e.members.plays ]= {piano})");
+  p.form = NormalForm::kDisjunctive;
+  EXPECT_EQ(PredicateToString(ws_->db(), p),
+            "(e.size = {4}) or (e.members.plays ]= {piano})");
+}
+
+TEST_F(PredicateDisplayTest, NegatedAtomToString) {
+  Atom a;
+  a.lhs = Term::Candidate({size_});
+  a.op = SetOp::kLessEqual;
+  a.negated = true;
+  a.rhs = Term::Constant({ws_->db().InternInteger(3)});
+  EXPECT_EQ(AtomToString(ws_->db(), a), "e.size not<= {3}");
+}
+
+TEST_F(PredicateDisplayTest, EmptyPredicateDisplay) {
+  Predicate p;
+  EXPECT_EQ(PredicateToString(ws_->db(), p), "(true)");
+  p.form = NormalForm::kDisjunctive;
+  EXPECT_EQ(PredicateToString(ws_->db(), p), "(false)");
+}
+
+TEST_F(PredicateDisplayTest, DerivationFactories) {
+  AttributeDerivation assign =
+      AttributeDerivation::Assign(Term::Self({members_}));
+  EXPECT_EQ(assign.kind, AttributeDerivation::Kind::kAssignment);
+  EXPECT_EQ(assign.assignment.origin, Operand::kSelf);
+  Predicate p;
+  p.AddAtom(Atom{}, 0);
+  AttributeDerivation from_pred = AttributeDerivation::FromPredicate(p);
+  EXPECT_EQ(from_pred.kind, AttributeDerivation::Kind::kPredicate);
+  EXPECT_EQ(from_pred.predicate.atoms.size(), 1u);
+}
+
+}  // namespace
+}  // namespace isis::query

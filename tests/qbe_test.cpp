@@ -1,0 +1,170 @@
+/// \file qbe_test.cpp
+/// \brief Tests for the QBE baseline and the SDM -> relational encoder.
+
+#include <gtest/gtest.h>
+
+#include "datasets/instrumental_music.h"
+#include "rel/encode.h"
+#include "rel/qbe.h"
+
+namespace isis::rel {
+namespace {
+
+class QbeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ws_ = datasets::BuildInstrumentalMusic();
+    Result<RelDatabase> encoded = EncodeDatabase(ws_->db());
+    ASSERT_TRUE(encoded.ok()) << encoded.status().ToString();
+    db_ = std::move(encoded).ValueOrDie();
+  }
+  std::unique_ptr<query::Workspace> ws_;
+  RelDatabase db_;
+};
+
+TEST_F(QbeTest, EncoderShapesRelations) {
+  // Class relation: unary over entity names.
+  const Relation* instruments = *db_.Find("instruments");
+  EXPECT_EQ(instruments->columns(), (std::vector<std::string>{"name"}));
+  EXPECT_EQ(instruments->size(), 17u);
+  // Attribute relation: (name, value) with primitive values for predefined
+  // value classes.
+  const Relation* size_rel = *db_.Find("music_groups_size");
+  EXPECT_EQ(size_rel->arity(), 2u);
+  EXPECT_TRUE(size_rel->Contains(
+      {Value::String("LaBelle Quartet"), Value::Integer(4)}));
+  // Multivalued attributes produce one row per element.
+  const Relation* plays = *db_.Find("musicians_plays");
+  EXPECT_TRUE(plays->Contains(
+      {Value::String("Edith"), Value::String("viola")}));
+  EXPECT_TRUE(plays->Contains(
+      {Value::String("Edith"), Value::String("violin")}));
+  // Derived-class relations encode current membership.
+  const Relation* strings = *db_.Find("play_strings");
+  EXPECT_EQ(strings->size(), 4u);
+  // Naming attributes are skipped (identical to the class relation).
+  EXPECT_TRUE(db_.Find("instruments_name").status().IsNotFound());
+}
+
+TEST_F(QbeTest, SingleRelationConstantQuery) {
+  // P._g | size = 4   over music_groups_size.
+  QbeQuery q;
+  q.AddRow(QbeRow{"music_groups_size",
+                  {QbeCell::Print("_g"), QbeCell::Const(Value::Integer(4))}});
+  Result<Relation> answer = q.Evaluate(db_);
+  ASSERT_TRUE(answer.ok()) << answer.status().ToString();
+  EXPECT_EQ(answer->size(), 2u);  // both quartets
+  EXPECT_EQ(q.FilledCellCount(), 2);
+}
+
+TEST_F(QbeTest, JoinAcrossRowsViaSharedVariable) {
+  // The paper's quartets query in QBE form: groups of size 4 with a member
+  // who plays the piano.
+  QbeQuery q;
+  q.AddRow(QbeRow{"music_groups_size",
+                  {QbeCell::Print("_g"), QbeCell::Const(Value::Integer(4))}});
+  q.AddRow(QbeRow{"music_groups_members",
+                  {QbeCell::Var("_g"), QbeCell::Var("_m")}});
+  q.AddRow(QbeRow{"musicians_plays",
+                  {QbeCell::Var("_m"),
+                   QbeCell::Const(Value::String("piano"))}});
+  Result<Relation> answer = q.Evaluate(db_);
+  ASSERT_TRUE(answer.ok()) << answer.status().ToString();
+  ASSERT_EQ(answer->size(), 1u);
+  EXPECT_EQ(answer->tuples()[0][0].str(), "LaBelle Quartet");
+  EXPECT_EQ(q.FilledCellCount(), 6);
+}
+
+TEST_F(QbeTest, ComparisonOperatorsInCells) {
+  QbeQuery q;
+  q.AddRow(QbeRow{"music_groups_size",
+                  {QbeCell::Print("_g"),
+                   QbeCell::Const(Value::Integer(4), CompareOp::kGe)}});
+  Result<Relation> answer = q.Evaluate(db_);
+  ASSERT_TRUE(answer.ok());
+  EXPECT_EQ(answer->size(), 3u);  // two quartets + the quintet
+}
+
+TEST_F(QbeTest, RepeatedVariableInOneRowForcesEquality) {
+  // Musicians whose name equals an instrument they play (none).
+  QbeQuery q;
+  q.AddRow(QbeRow{"musicians_plays",
+                  {QbeCell::Print("_x"), QbeCell::Var("_x")}});
+  Result<Relation> answer = q.Evaluate(db_);
+  ASSERT_TRUE(answer.ok());
+  EXPECT_TRUE(answer->empty());
+}
+
+TEST_F(QbeTest, BlankCellsAreUnconstrained) {
+  QbeQuery q;
+  q.AddRow(QbeRow{"musicians_plays",
+                  {QbeCell::Print("_m"), QbeCell::Blank()}});
+  Result<Relation> answer = q.Evaluate(db_);
+  ASSERT_TRUE(answer.ok());
+  // Every musician plays something in the dataset.
+  EXPECT_EQ(answer->size(), 11u);
+}
+
+TEST_F(QbeTest, ErrorsSurface) {
+  QbeQuery empty;
+  EXPECT_TRUE(empty.Evaluate(db_).status().IsInvalidArgument());
+
+  QbeQuery no_print;
+  no_print.AddRow(QbeRow{"music_groups_size",
+                         {QbeCell::Var("_g"),
+                          QbeCell::Const(Value::Integer(4))}});
+  EXPECT_TRUE(no_print.Evaluate(db_).status().IsInvalidArgument());
+
+  QbeQuery bad_relation;
+  bad_relation.AddRow(QbeRow{"ghosts", {QbeCell::Print("_x")}});
+  EXPECT_TRUE(bad_relation.Evaluate(db_).status().IsNotFound());
+
+  QbeQuery bad_arity;
+  bad_arity.AddRow(QbeRow{"music_groups_size", {QbeCell::Print("_x")}});
+  EXPECT_TRUE(bad_arity.Evaluate(db_).status().IsInvalidArgument());
+}
+
+TEST_F(QbeTest, QbeMatchesIsisDerivedClass) {
+  // Cross-check: the QBE answer for the quartets query equals the ISIS
+  // derived class's membership (the LaBelle Quartet) from the workspace.
+  QbeQuery q;
+  q.AddRow(QbeRow{"music_groups_size",
+                  {QbeCell::Print("_g"), QbeCell::Const(Value::Integer(4))}});
+  q.AddRow(QbeRow{"music_groups_members",
+                  {QbeCell::Var("_g"), QbeCell::Var("_m")}});
+  q.AddRow(QbeRow{"musicians_plays",
+                  {QbeCell::Var("_m"),
+                   QbeCell::Const(Value::String("piano"))}});
+  Relation answer = *q.Evaluate(db_);
+
+  sdm::Database& sdm_db = ws_->db();
+  ClassId music_groups = *sdm_db.schema().FindClass("music_groups");
+  ClassId quartets = *sdm_db.CreateSubclass("quartets", music_groups,
+                                            sdm::Membership::kEnumerated);
+  query::Predicate pred;
+  AttributeId size = *sdm_db.schema().FindAttribute(music_groups, "size");
+  AttributeId members =
+      *sdm_db.schema().FindAttribute(music_groups, "members");
+  AttributeId plays = *sdm_db.schema().FindAttribute(
+      *sdm_db.schema().FindClass("musicians"), "plays");
+  query::Atom a1;
+  a1.lhs = query::Term::Candidate({size});
+  a1.op = query::SetOp::kEqual;
+  a1.rhs = query::Term::Constant({sdm_db.InternInteger(4)});
+  query::Atom a2;
+  a2.lhs = query::Term::Candidate({members, plays});
+  a2.op = query::SetOp::kSuperset;
+  a2.rhs = query::Term::Constant({*sdm_db.FindEntity(
+      *sdm_db.schema().FindClass("instruments"), "piano")});
+  pred.AddAtom(a1, 0);
+  pred.AddAtom(a2, 1);
+  ASSERT_TRUE(ws_->DefineSubclassMembership(quartets, pred).ok());
+
+  ASSERT_EQ(answer.size(), sdm_db.Members(quartets).size());
+  for (EntityId e : sdm_db.Members(quartets)) {
+    EXPECT_TRUE(answer.Contains({Value::String(sdm_db.NameOf(e))}));
+  }
+}
+
+}  // namespace
+}  // namespace isis::rel

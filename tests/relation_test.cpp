@@ -1,0 +1,183 @@
+/// \file relation_test.cpp
+/// \brief Tests for the relational baseline engine.
+
+#include <gtest/gtest.h>
+
+#include "rel/relation.h"
+
+namespace isis::rel {
+namespace {
+
+Relation People() {
+  Relation r({"name", "age", "city"});
+  EXPECT_TRUE(r.Insert({Value::String("ada"), Value::Integer(36),
+                        Value::String("london")})
+                  .ok());
+  EXPECT_TRUE(r.Insert({Value::String("ben"), Value::Integer(28),
+                        Value::String("oslo")})
+                  .ok());
+  EXPECT_TRUE(r.Insert({Value::String("cleo"), Value::Integer(36),
+                        Value::String("rome")})
+                  .ok());
+  return r;
+}
+
+TEST(RelationTest, InsertDeduplicatesAndSorts) {
+  Relation r({"x"});
+  ASSERT_TRUE(r.Insert({Value::Integer(2)}).ok());
+  ASSERT_TRUE(r.Insert({Value::Integer(1)}).ok());
+  ASSERT_TRUE(r.Insert({Value::Integer(2)}).ok());  // duplicate
+  EXPECT_EQ(r.size(), 2u);
+  EXPECT_EQ(r.tuples()[0][0].integer(), 1);  // sorted
+  EXPECT_TRUE(r.Contains({Value::Integer(2)}));
+  EXPECT_FALSE(r.Contains({Value::Integer(3)}));
+  EXPECT_TRUE(r.Insert({Value::Integer(1), Value::Integer(2)})
+                  .IsInvalidArgument());  // arity
+}
+
+TEST(RelationTest, ColumnIndex) {
+  Relation r = People();
+  EXPECT_EQ(*r.ColumnIndex("age"), 1u);
+  EXPECT_TRUE(r.ColumnIndex("salary").status().IsNotFound());
+}
+
+TEST(CompareValuesTest, NumericInterop) {
+  EXPECT_TRUE(CompareValues(Value::Integer(2), CompareOp::kLt,
+                            Value::Real(2.5)));
+  EXPECT_TRUE(CompareValues(Value::Real(3.0), CompareOp::kEq,
+                            Value::Integer(3)));
+  EXPECT_TRUE(CompareValues(Value::String("a"), CompareOp::kLt,
+                            Value::String("b")));
+  EXPECT_TRUE(CompareValues(Value::Boolean(true), CompareOp::kGt,
+                            Value::Boolean(false)));
+  // Incomparable kinds: != only.
+  EXPECT_TRUE(CompareValues(Value::String("1"), CompareOp::kNe,
+                            Value::Integer(1)));
+  EXPECT_FALSE(CompareValues(Value::String("1"), CompareOp::kEq,
+                             Value::Integer(1)));
+  EXPECT_FALSE(CompareValues(Value::String("1"), CompareOp::kLt,
+                             Value::Integer(1)));
+}
+
+TEST(SelectTest, ConstantsAndColumns) {
+  Relation r = People();
+  Result<Relation> aged = Select(
+      r, {Condition::WithConst(1, CompareOp::kEq, Value::Integer(36))});
+  ASSERT_TRUE(aged.ok());
+  EXPECT_EQ(aged->size(), 2u);
+  // Column-to-column condition.
+  Relation pairs({"a", "b"});
+  ASSERT_TRUE(pairs.Insert({Value::Integer(1), Value::Integer(1)}).ok());
+  ASSERT_TRUE(pairs.Insert({Value::Integer(1), Value::Integer(2)}).ok());
+  Result<Relation> eq =
+      Select(pairs, {Condition::WithColumn(0, CompareOp::kEq, 1)});
+  ASSERT_TRUE(eq.ok());
+  EXPECT_EQ(eq->size(), 1u);
+  // Out-of-range columns rejected.
+  EXPECT_FALSE(
+      Select(r, {Condition::WithConst(9, CompareOp::kEq, Value::Integer(0))})
+          .ok());
+}
+
+TEST(SelectWhereTest, ArbitraryPredicate) {
+  Relation r = People();
+  Relation young = SelectWhere(r, [](const Tuple& t) {
+    return t[1].integer() < 30;
+  });
+  EXPECT_EQ(young.size(), 1u);
+}
+
+TEST(ProjectTest, ReordersAndDeduplicates) {
+  Relation r = People();
+  Result<Relation> ages = Project(r, {"age"});
+  ASSERT_TRUE(ages.ok());
+  EXPECT_EQ(ages->size(), 2u);  // 28, 36 (36 deduplicated)
+  Result<Relation> swapped = Project(r, {"city", "name"});
+  ASSERT_TRUE(swapped.ok());
+  EXPECT_EQ(swapped->columns(),
+            (std::vector<std::string>{"city", "name"}));
+  EXPECT_TRUE(Project(r, {"salary"}).status().IsNotFound());
+}
+
+TEST(RenameTest, Basic) {
+  Relation r = People();
+  Result<Relation> renamed = Rename(r, {{"name", "person"}});
+  ASSERT_TRUE(renamed.ok());
+  EXPECT_TRUE(renamed->ColumnIndex("person").ok());
+  EXPECT_FALSE(renamed->ColumnIndex("name").ok());
+  EXPECT_TRUE(Rename(r, {{"ghost", "x"}}).status().IsNotFound());
+}
+
+TEST(ProductTest, RequiresDisjointColumns) {
+  Relation a({"x"});
+  ASSERT_TRUE(a.Insert({Value::Integer(1)}).ok());
+  ASSERT_TRUE(a.Insert({Value::Integer(2)}).ok());
+  Relation b({"y"});
+  ASSERT_TRUE(b.Insert({Value::Integer(10)}).ok());
+  Result<Relation> prod = Product(a, b);
+  ASSERT_TRUE(prod.ok());
+  EXPECT_EQ(prod->size(), 2u);
+  EXPECT_EQ(prod->arity(), 2u);
+  EXPECT_TRUE(Product(a, a).status().IsInvalidArgument());
+}
+
+TEST(NaturalJoinTest, JoinsOnSharedColumns) {
+  Relation lives({"name", "city"});
+  ASSERT_TRUE(
+      lives.Insert({Value::String("ada"), Value::String("london")}).ok());
+  ASSERT_TRUE(
+      lives.Insert({Value::String("ben"), Value::String("oslo")}).ok());
+  Relation capital({"city", "country"});
+  ASSERT_TRUE(
+      capital.Insert({Value::String("london"), Value::String("uk")}).ok());
+  Result<Relation> joined = NaturalJoin(lives, capital);
+  ASSERT_TRUE(joined.ok());
+  EXPECT_EQ(joined->columns(),
+            (std::vector<std::string>{"name", "city", "country"}));
+  ASSERT_EQ(joined->size(), 1u);
+  EXPECT_EQ(joined->tuples()[0][0].str(), "ada");
+  // No shared columns degenerates to a product.
+  Relation other({"z"});
+  ASSERT_TRUE(other.Insert({Value::Integer(1)}).ok());
+  Result<Relation> prod = NaturalJoin(lives, other);
+  ASSERT_TRUE(prod.ok());
+  EXPECT_EQ(prod->size(), 2u);
+}
+
+TEST(SetOpsTest, UnionDifferenceIntersect) {
+  Relation a({"x"});
+  ASSERT_TRUE(a.Insert({Value::Integer(1)}).ok());
+  ASSERT_TRUE(a.Insert({Value::Integer(2)}).ok());
+  Relation b({"x"});
+  ASSERT_TRUE(b.Insert({Value::Integer(2)}).ok());
+  ASSERT_TRUE(b.Insert({Value::Integer(3)}).ok());
+  EXPECT_EQ(Union(a, b)->size(), 3u);
+  EXPECT_EQ(Difference(a, b)->size(), 1u);
+  EXPECT_EQ(Difference(a, b)->tuples()[0][0].integer(), 1);
+  EXPECT_EQ(Intersect(a, b)->size(), 1u);
+  Relation c({"y"});
+  EXPECT_TRUE(Union(a, c).status().IsTypeError());
+}
+
+TEST(RelDatabaseTest, Catalog) {
+  RelDatabase db;
+  ASSERT_TRUE(db.AddRelation("people", People()).ok());
+  EXPECT_TRUE(db.AddRelation("people", People()).IsAlreadyExists());
+  ASSERT_TRUE(db.Find("people").ok());
+  EXPECT_TRUE(db.Find("ghosts").status().IsNotFound());
+  EXPECT_EQ(db.RelationNames(), (std::vector<std::string>{"people"}));
+}
+
+TEST(AlgebraLawsTest, SelectionCommutesAndProjectionIdempotent) {
+  Relation r = People();
+  Condition c1 = Condition::WithConst(1, CompareOp::kGe, Value::Integer(30));
+  Condition c2 =
+      Condition::WithConst(2, CompareOp::kNe, Value::String("rome"));
+  EXPECT_EQ(*Select(*Select(r, {c1}), {c2}), *Select(*Select(r, {c2}), {c1}));
+  EXPECT_EQ(*Select(r, {c1, c2}), *Select(*Select(r, {c1}), {c2}));
+  Relation p = *Project(r, {"name"});
+  EXPECT_EQ(*Project(p, {"name"}), p);
+}
+
+}  // namespace
+}  // namespace isis::rel

@@ -1,0 +1,211 @@
+/// \file session_replay_test.cpp
+/// \brief Integration test: the paper's complete §4.2 session replays
+/// against the §4.1 database and produces the documented outcomes at every
+/// figure point.
+
+#include <gtest/gtest.h>
+
+#include "datasets/instrumental_music.h"
+#include "datasets/session_script.h"
+#include "sdm/consistency.h"
+#include "store/serializer.h"
+#include "ui/controller.h"
+
+namespace isis {
+namespace {
+
+using datasets::BuildInstrumentalMusic;
+using datasets::PaperSessionFigures;
+using sdm::Database;
+using ui::Level;
+using ui::SchemaSelection;
+using ui::SessionController;
+
+class SessionReplayTest : public ::testing::Test {
+ protected:
+  SessionReplayTest() : session_(BuildInstrumentalMusic()) {}
+
+  /// Replays figure segments up to and including `through` (1-based).
+  void ReplayThrough(int through) {
+    const auto& figs = PaperSessionFigures();
+    ASSERT_LE(through, static_cast<int>(figs.size()));
+    for (int i = 0; i < through; ++i) {
+      Status st = session_.RunScript(figs[i].script);
+      ASSERT_TRUE(st.ok()) << figs[i].name << ": " << st.ToString();
+    }
+  }
+
+  const Database& db() { return session_.workspace().db(); }
+
+  SessionController session_;
+};
+
+TEST_F(SessionReplayTest, Figure1SelectsSoloists) {
+  ReplayThrough(1);
+  EXPECT_EQ(session_.state().level, Level::kInheritanceForest);
+  ASSERT_EQ(session_.state().selection.kind, SchemaSelection::Kind::kClass);
+  EXPECT_EQ(db().schema().GetClass(session_.state().selection.cls).name,
+            "soloists");
+  // The rendered screen shows the hand icon and the class boxes.
+  std::string screen = session_.Render().canvas.ToString();
+  EXPECT_NE(screen.find("soloists"), std::string::npos);
+  EXPECT_NE(screen.find("hand"), std::string::npos);
+  EXPECT_NE(screen.find("musicians"), std::string::npos);
+}
+
+TEST_F(SessionReplayTest, Figure2NetworkOnInstruments) {
+  ReplayThrough(2);
+  EXPECT_EQ(session_.state().level, Level::kSemanticNetwork);
+  EXPECT_EQ(db().schema().GetClass(session_.state().selection.cls).name,
+            "instruments");
+  std::string screen = session_.Render().canvas.ToString();
+  EXPECT_NE(screen.find("family"), std::string::npos);
+  EXPECT_NE(screen.find("popular"), std::string::npos);
+}
+
+TEST_F(SessionReplayTest, Figure3SelectsFluteAndOboe) {
+  ReplayThrough(3);
+  EXPECT_EQ(session_.state().level, Level::kDataLevel);
+  ASSERT_EQ(session_.state().pages.size(), 1u);
+  const ui::DataPage& page = session_.state().pages[0];
+  EXPECT_EQ(page.selected.size(), 2u);
+  EXPECT_TRUE(page.selected.count(*db().FindEntity(
+      *db().schema().FindClass("instruments"), "flute")));
+}
+
+TEST_F(SessionReplayTest, Figure4FollowsFamilyToBrassError) {
+  ReplayThrough(4);
+  ASSERT_EQ(session_.state().pages.size(), 2u);
+  const ui::DataPage& top = session_.state().pages[1];
+  // "brass is the only family highlighted" — the deliberate data error.
+  ASSERT_EQ(top.selected.size(), 1u);
+  EXPECT_EQ(db().NameOf(*top.selected.begin()), "brass");
+}
+
+TEST_F(SessionReplayTest, Figure5CorrectsTheFamilyAttribute) {
+  ReplayThrough(5);
+  ClassId instruments = *db().schema().FindClass("instruments");
+  AttributeId family = *db().schema().FindAttribute(instruments, "family");
+  EntityId flute = *db().FindEntity(instruments, "flute");
+  EntityId oboe = *db().FindEntity(instruments, "oboe");
+  EXPECT_EQ(db().NameOf(db().GetSingle(flute, family)), "woodwind");
+  EXPECT_EQ(db().NameOf(db().GetSingle(oboe, family)), "woodwind");
+}
+
+TEST_F(SessionReplayTest, Figure6GroupingPageSelectsPercussion) {
+  ReplayThrough(6);
+  ASSERT_FALSE(session_.state().pages.empty());
+  const ui::DataPage& top = session_.state().pages.back();
+  EXPECT_TRUE(top.is_grouping);
+  ASSERT_EQ(top.selected.size(), 1u);
+  EXPECT_EQ(db().NameOf(*top.selected.begin()), "percussion");
+}
+
+TEST_F(SessionReplayTest, Figure7FollowsSetIntoInstruments) {
+  ReplayThrough(7);
+  ASSERT_EQ(session_.state().pages.size(), 2u);
+  const ui::DataPage& top = session_.state().pages.back();
+  EXPECT_FALSE(top.is_grouping);
+  EXPECT_EQ(db().schema().GetClass(top.cls).name, "instruments");
+  // The percussion instruments are highlighted.
+  EXPECT_EQ(top.selected.size(), 3u);  // drums, cymbals, timpani
+}
+
+TEST_F(SessionReplayTest, Figure8CreatesQuartets) {
+  ReplayThrough(8);
+  Result<ClassId> quartets = db().schema().FindClass("quartets");
+  ASSERT_TRUE(quartets.ok());
+  EXPECT_EQ(db().schema().GetClass(*quartets).parent(),
+            *db().schema().FindClass("music_groups"));
+}
+
+TEST_F(SessionReplayTest, Figure9BuildsThePredicate) {
+  ReplayThrough(9);
+  EXPECT_EQ(session_.state().level, Level::kPredicateWorksheet);
+  const ui::WorksheetState& w = session_.state().worksheet;
+  EXPECT_EQ(w.pred.form, query::NormalForm::kConjunctive);
+  // Two clauses hold atoms A and E.
+  ASSERT_GE(w.pred.clauses.size(), 2u);
+  EXPECT_EQ(w.pred.clauses[0], std::vector<int>{4});  // atom E in clause 1
+  EXPECT_EQ(w.pred.clauses[1], std::vector<int>{0});  // atom A in clause 2
+  std::string screen = session_.Render().canvas.ToString();
+  EXPECT_NE(screen.find("{4}"), std::string::npos);
+  EXPECT_NE(screen.find("piano"), std::string::npos);
+}
+
+TEST_F(SessionReplayTest, Figure10CommitsAndDerivesAllInst) {
+  ReplayThrough(10);
+  // The quartets predicate was committed before the derivation started:
+  // exactly one group qualifies.
+  ClassId quartets = *db().schema().FindClass("quartets");
+  ASSERT_EQ(db().Members(quartets).size(), 1u);
+  EXPECT_EQ(db().NameOf(*db().Members(quartets).begin()), "LaBelle Quartet");
+  // The worksheet shows the hand assignment.
+  const ui::WorksheetState& w = session_.state().worksheet;
+  EXPECT_TRUE(w.use_hand);
+  ASSERT_EQ(w.hand_term.path.size(), 2u);
+}
+
+TEST_F(SessionReplayTest, Figure11FocusesOnEdith) {
+  ReplayThrough(11);
+  const ui::DataPage& top = session_.state().pages.back();
+  EXPECT_EQ(db().schema().GetClass(top.cls).name, "musicians");
+  ASSERT_EQ(top.selected.size(), 1u);
+  EXPECT_EQ(db().NameOf(*top.selected.begin()), "Edith");
+  // all_inst was committed: the quartet's instrument closure.
+  ClassId quartets = *db().schema().FindClass("quartets");
+  AttributeId all_inst = *db().schema().FindAttribute(quartets, "all_inst");
+  EntityId labelle = *db().Members(quartets).begin();
+  const sdm::EntitySet& values = db().GetMulti(labelle, all_inst);
+  EXPECT_EQ(values.size(), 6u);  // viola violin cello harp piano organ
+}
+
+TEST_F(SessionReplayTest, Figure12CreatesEdithPlays) {
+  ReplayThrough(12);
+  EXPECT_EQ(session_.state().level, Level::kInheritanceForest);
+  Result<ClassId> edith_plays = db().schema().FindClass("edith_plays");
+  ASSERT_TRUE(edith_plays.ok());
+  EXPECT_EQ(db().schema().GetClass(*edith_plays).parent(),
+            *db().schema().FindClass("instruments"));
+  const sdm::EntitySet& members = db().Members(*edith_plays);
+  ASSERT_EQ(members.size(), 2u);  // viola, violin
+  // The hand icon points at the new subclass (paper: "correctly sets the
+  // hand icon pointing at the new schema selection").
+  EXPECT_EQ(session_.state().selection.cls, *edith_plays);
+  std::string screen = session_.Render().canvas.ToString();
+  EXPECT_NE(screen.find("edith_plays"), std::string::npos);
+}
+
+TEST_F(SessionReplayTest, FullSessionEndsConsistent) {
+  ReplayThrough(12);
+  // Save into a temp directory to avoid polluting the build tree.
+  std::string dir = ::testing::TempDir();
+  Status st = session_.RunScript("cmd save\n");
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  // Answer the prompt with a path inside the temp dir.
+  st = session_.RunScript("type " + dir + "/entertainment\n");
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  st = session_.RunScript("cmd stop\n");
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  EXPECT_TRUE(session_.stopped());
+  EXPECT_TRUE(sdm::ConsistencyChecker(db()).Check().ok());
+  // The saved file reloads to an identical workspace.
+  auto reloaded = store::LoadFromFile(dir + "/entertainment.isis");
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status().ToString();
+  EXPECT_EQ(store::Save(**reloaded), store::Save(session_.workspace()));
+}
+
+TEST_F(SessionReplayTest, EveryFigureScreenIsDeterministic) {
+  const auto& figs = PaperSessionFigures();
+  SessionController other(BuildInstrumentalMusic());
+  for (const auto& fig : figs) {
+    ASSERT_TRUE(session_.RunScript(fig.script).ok());
+    ASSERT_TRUE(other.RunScript(fig.script).ok());
+    EXPECT_EQ(session_.Render().canvas.ToString(),
+              other.Render().canvas.ToString())
+        << "figure " << fig.name << " not deterministic";
+  }
+}
+
+}  // namespace
+}  // namespace isis

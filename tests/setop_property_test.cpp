@@ -1,0 +1,185 @@
+/// \file setop_property_test.cpp
+/// \brief Parameterized property tests for the set comparison operators:
+/// every operator (and its negation) is checked against a brute-force
+/// set-theoretic oracle over enumerated small sets, plus algebraic laws.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "query/eval.h"
+#include "sdm/database.h"
+
+namespace isis::query {
+namespace {
+
+using sdm::Database;
+using sdm::EntitySet;
+
+/// A small universe of interned integers to draw subsets from.
+class SetOpPropertyTest : public ::testing::TestWithParam<SetOp> {
+ protected:
+  void SetUp() override {
+    for (int i = 0; i < 4; ++i) universe_.push_back(db_.InternInteger(i));
+  }
+
+  /// The 16 subsets of the 4-element universe.
+  std::vector<EntitySet> AllSubsets() const {
+    std::vector<EntitySet> out;
+    for (int mask = 0; mask < 16; ++mask) {
+      EntitySet s;
+      for (int i = 0; i < 4; ++i) {
+        if (mask & (1 << i)) s.insert(universe_[i]);
+      }
+      out.push_back(std::move(s));
+    }
+    return out;
+  }
+
+  static bool Includes(const EntitySet& sup, const EntitySet& sub) {
+    return std::includes(sup.begin(), sup.end(), sub.begin(), sub.end());
+  }
+
+  /// Brute-force oracle for an operator on two sets.
+  bool Oracle(const EntitySet& l, SetOp op, const EntitySet& r) const {
+    switch (op) {
+      case SetOp::kEqual:
+        return l == r;
+      case SetOp::kSubset:
+        return Includes(r, l);
+      case SetOp::kSuperset:
+        return Includes(l, r);
+      case SetOp::kProperSubset:
+        return l != r && Includes(r, l);
+      case SetOp::kProperSuperset:
+        return l != r && Includes(l, r);
+      case SetOp::kWeakMatch:
+        for (EntityId e : l) {
+          if (r.count(e) > 0) return true;
+        }
+        return false;
+      case SetOp::kLessEqual:
+      case SetOp::kGreater: {
+        if (l.size() != 1 || r.size() != 1) return false;
+        std::int64_t a = db_.GetEntity(*l.begin()).value.integer();
+        std::int64_t b = db_.GetEntity(*r.begin()).value.integer();
+        return op == SetOp::kLessEqual ? a <= b : a > b;
+      }
+    }
+    return false;
+  }
+
+  Database db_;
+  std::vector<EntityId> universe_;
+};
+
+TEST_P(SetOpPropertyTest, MatchesOracleOnAllSubsetPairs) {
+  Evaluator eval(db_);
+  SetOp op = GetParam();
+  std::vector<EntitySet> subsets = AllSubsets();
+  int agreements = 0;
+  for (const EntitySet& l : subsets) {
+    for (const EntitySet& r : subsets) {
+      EXPECT_EQ(eval.Compare(l, op, r), Oracle(l, op, r))
+          << "op=" << SetOpToString(op) << " |l|=" << l.size()
+          << " |r|=" << r.size();
+      ++agreements;
+    }
+  }
+  EXPECT_EQ(agreements, 256);
+}
+
+TEST_P(SetOpPropertyTest, AtomNegationIsExactComplement) {
+  // For every pair, the negated atom is the exact complement of the plain
+  // atom (the paper: "the negations of all these operators are also
+  // available").
+  Evaluator eval(db_);
+  SetOp op = GetParam();
+  for (const EntitySet& l : AllSubsets()) {
+    for (const EntitySet& r : AllSubsets()) {
+      Atom plain;
+      plain.lhs = Term::Constant(l);
+      plain.op = op;
+      plain.rhs = Term::Constant(r);
+      // Constant-lhs atoms are rejected by the worksheet's type checker but
+      // evaluate fine, which is exactly what this oracle needs.
+      Atom negated = plain;
+      negated.negated = true;
+      EXPECT_NE(eval.EvalAtom(plain, sdm::kNullEntity, sdm::kNullEntity),
+                eval.EvalAtom(negated, sdm::kNullEntity, sdm::kNullEntity));
+    }
+  }
+}
+
+TEST_P(SetOpPropertyTest, AlgebraicLaws) {
+  Evaluator eval(db_);
+  SetOp op = GetParam();
+  for (const EntitySet& l : AllSubsets()) {
+    // Reflexivity classes: =, subset-eq, superset-eq and <= hold on (s, s);
+    // the strict and disjointness-style operators never do (except ~ on
+    // nonempty sets).
+    bool self = eval.Compare(l, op, l);
+    switch (op) {
+      case SetOp::kEqual:
+      case SetOp::kSubset:
+      case SetOp::kSuperset:
+        EXPECT_TRUE(self);
+        break;
+      case SetOp::kProperSubset:
+      case SetOp::kProperSuperset:
+        EXPECT_FALSE(self);
+        break;
+      case SetOp::kWeakMatch:
+        EXPECT_EQ(self, !l.empty());
+        break;
+      case SetOp::kLessEqual:
+        EXPECT_EQ(self, l.size() == 1);
+        break;
+      case SetOp::kGreater:
+        EXPECT_FALSE(self);
+        break;
+    }
+  }
+  // Duality: l [= r  <=>  r ]= l (and the proper forms).
+  for (const EntitySet& l : AllSubsets()) {
+    for (const EntitySet& r : AllSubsets()) {
+      EXPECT_EQ(eval.Compare(l, SetOp::kSubset, r),
+                eval.Compare(r, SetOp::kSuperset, l));
+      EXPECT_EQ(eval.Compare(l, SetOp::kProperSubset, r),
+                eval.Compare(r, SetOp::kProperSuperset, l));
+      // Weak match is symmetric.
+      EXPECT_EQ(eval.Compare(l, SetOp::kWeakMatch, r),
+                eval.Compare(r, SetOp::kWeakMatch, l));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOperators, SetOpPropertyTest,
+    ::testing::Values(SetOp::kEqual, SetOp::kSubset, SetOp::kSuperset,
+                      SetOp::kProperSubset, SetOp::kProperSuperset,
+                      SetOp::kWeakMatch, SetOp::kLessEqual, SetOp::kGreater),
+    [](const ::testing::TestParamInfo<SetOp>& info) {
+      switch (info.param) {
+        case SetOp::kEqual:
+          return "Equal";
+        case SetOp::kSubset:
+          return "Subset";
+        case SetOp::kSuperset:
+          return "Superset";
+        case SetOp::kProperSubset:
+          return "ProperSubset";
+        case SetOp::kProperSuperset:
+          return "ProperSuperset";
+        case SetOp::kWeakMatch:
+          return "WeakMatch";
+        case SetOp::kLessEqual:
+          return "LessEqual";
+        case SetOp::kGreater:
+          return "Greater";
+      }
+      return "Unknown";
+    });
+
+}  // namespace
+}  // namespace isis::query

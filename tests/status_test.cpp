@@ -1,0 +1,119 @@
+/// \file status_test.cpp
+/// \brief Unit tests for Status / Result and their propagation macros.
+
+#include <gtest/gtest.h>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace isis {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.message(), "");
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryCarriesCodeAndMessage) {
+  Status st = Status::NotFound("no class named 'x'");
+  EXPECT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsNotFound());
+  EXPECT_EQ(st.code(), StatusCode::kNotFound);
+  EXPECT_EQ(st.message(), "no class named 'x'");
+  EXPECT_EQ(st.ToString(), "NotFound: no class named 'x'");
+}
+
+TEST(StatusTest, EveryFactoryMatchesItsPredicate) {
+  EXPECT_TRUE(Status::InvalidArgument("m").IsInvalidArgument());
+  EXPECT_TRUE(Status::AlreadyExists("m").IsAlreadyExists());
+  EXPECT_TRUE(Status::Consistency("m").IsConsistency());
+  EXPECT_TRUE(Status::TypeError("m").IsTypeError());
+  EXPECT_TRUE(Status::IOError("m").IsIOError());
+  EXPECT_TRUE(Status::ParseError("m").IsParseError());
+  EXPECT_TRUE(Status::Unimplemented("m").IsUnimplemented());
+  EXPECT_TRUE(Status::Internal("m").IsInternal());
+}
+
+TEST(StatusTest, CopyAndMovePreserveState) {
+  Status st = Status::Consistency("subset rule");
+  Status copy = st;
+  EXPECT_TRUE(copy.IsConsistency());
+  EXPECT_EQ(copy.message(), "subset rule");
+  Status moved = std::move(st);
+  EXPECT_TRUE(moved.IsConsistency());
+  Status assigned;
+  assigned = copy;
+  EXPECT_EQ(assigned.message(), "subset rule");
+}
+
+TEST(StatusTest, CodeNames) {
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kConsistency), "Consistency");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kParseError), "ParseError");
+}
+
+Status FailsWhenNegative(int v) {
+  if (v < 0) return Status::InvalidArgument("negative");
+  return Status::OK();
+}
+
+Status Propagates(int v) {
+  ISIS_RETURN_NOT_OK(FailsWhenNegative(v));
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnNotOkMacro) {
+  EXPECT_TRUE(Propagates(1).ok());
+  EXPECT_TRUE(Propagates(-1).IsInvalidArgument());
+}
+
+Result<int> ParsePositive(int v) {
+  if (v <= 0) return Status::InvalidArgument("not positive");
+  return v;
+}
+
+TEST(ResultTest, HoldsValueOrStatus) {
+  Result<int> ok = ParsePositive(7);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 7);
+  EXPECT_EQ(ok.ValueOrDie(), 7);
+  EXPECT_TRUE(ok.status().ok());
+
+  Result<int> bad = ParsePositive(-2);
+  EXPECT_FALSE(bad.ok());
+  EXPECT_TRUE(bad.status().IsInvalidArgument());
+  EXPECT_EQ(bad.ValueOr(42), 42);
+  EXPECT_EQ(ok.ValueOr(42), 7);
+}
+
+Status UsesAssign(int v, int* out) {
+  ISIS_ASSIGN_OR_RETURN(int parsed, ParsePositive(v));
+  *out = parsed;
+  return Status::OK();
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  int out = 0;
+  EXPECT_TRUE(UsesAssign(5, &out).ok());
+  EXPECT_EQ(out, 5);
+  EXPECT_TRUE(UsesAssign(-5, &out).IsInvalidArgument());
+  EXPECT_EQ(out, 5);  // untouched on failure
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(3));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).ValueOrDie();
+  EXPECT_EQ(*v, 3);
+}
+
+TEST(ResultTest, ArrowOperator) {
+  Result<std::string> r(std::string("isis"));
+  EXPECT_EQ(r->size(), 4u);
+}
+
+}  // namespace
+}  // namespace isis

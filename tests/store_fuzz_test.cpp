@@ -1,0 +1,100 @@
+/// \file store_fuzz_test.cpp
+/// \brief Robustness fuzzing of the store loader: arbitrary corruption of a
+/// valid save must never crash, and must either load a fully §2-consistent
+/// workspace or fail with a clean error.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/strings.h"
+#include "datasets/instrumental_music.h"
+#include "sdm/consistency.h"
+#include "store/serializer.h"
+
+namespace isis::store {
+namespace {
+
+class StoreFuzzTest : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  void SetUp() override {
+    blob_ = Save(*datasets::BuildInstrumentalMusic());
+  }
+  std::string blob_;
+};
+
+TEST_P(StoreFuzzTest, RandomByteMutationsNeverCrashOrCorrupt) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string mutated = blob_;
+    int edits = 1 + static_cast<int>(rng.Below(4));
+    for (int e = 0; e < edits; ++e) {
+      size_t pos = rng.Below(mutated.size());
+      switch (rng.Below(3)) {
+        case 0:  // flip to a random printable byte
+          mutated[pos] = static_cast<char>('!' + rng.Below(90));
+          break;
+        case 1:  // delete a byte
+          mutated.erase(pos, 1);
+          break;
+        default:  // duplicate a byte
+          mutated.insert(pos, 1, mutated[pos]);
+          break;
+      }
+    }
+    Result<std::unique_ptr<query::Workspace>> loaded = Load(mutated);
+    if (loaded.ok()) {
+      // If it loads, it must be fully consistent — the loader's invariant.
+      Status st = sdm::ConsistencyChecker((*loaded)->db()).Check();
+      EXPECT_TRUE(st.ok()) << "trial " << trial << ": " << st.ToString();
+    } else {
+      EXPECT_FALSE(loaded.status().ok());
+      EXPECT_FALSE(loaded.status().message().empty());
+    }
+  }
+}
+
+TEST_P(StoreFuzzTest, RandomLineDeletionsNeverCrashOrCorrupt) {
+  Rng rng(GetParam() * 31 + 7);
+  std::vector<std::string> lines = Split(blob_, '\n');
+  for (int trial = 0; trial < 100; ++trial) {
+    std::vector<std::string> mutated = lines;
+    int removals = 1 + static_cast<int>(rng.Below(3));
+    for (int r = 0; r < removals && mutated.size() > 2; ++r) {
+      mutated.erase(mutated.begin() +
+                    static_cast<long>(rng.Below(mutated.size())));
+    }
+    Result<std::unique_ptr<query::Workspace>> loaded =
+        Load(Join(mutated, "\n"));
+    if (loaded.ok()) {
+      Status st = sdm::ConsistencyChecker((*loaded)->db()).Check();
+      EXPECT_TRUE(st.ok()) << "trial " << trial << ": " << st.ToString();
+    }
+  }
+}
+
+TEST_P(StoreFuzzTest, LineShufflesWithinSectionsStillValidate) {
+  // Reordering whole records can break monotonic-id restore (a clean
+  // ParseError) but must never produce an inconsistent load.
+  Rng rng(GetParam() + 1000);
+  std::vector<std::string> lines = Split(blob_, '\n');
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<std::string> mutated = lines;
+    for (int s = 0; s < 4; ++s) {
+      size_t i = rng.Below(mutated.size());
+      size_t j = rng.Below(mutated.size());
+      std::swap(mutated[i], mutated[j]);
+    }
+    Result<std::unique_ptr<query::Workspace>> loaded =
+        Load(Join(mutated, "\n"));
+    if (loaded.ok()) {
+      Status st = sdm::ConsistencyChecker((*loaded)->db()).Check();
+      EXPECT_TRUE(st.ok()) << "trial " << trial << ": " << st.ToString();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StoreFuzzTest,
+                         ::testing::Values(101u, 202u, 303u, 404u));
+
+}  // namespace
+}  // namespace isis::store

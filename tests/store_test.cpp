@@ -1,0 +1,182 @@
+/// \file store_test.cpp
+/// \brief Tests for the versioned text serialization: round-trips, id-gap
+/// preservation, and rejection of corrupted input.
+
+#include <gtest/gtest.h>
+
+#include "datasets/instrumental_music.h"
+#include "datasets/synthetic.h"
+#include "query/eval.h"
+#include "sdm/consistency.h"
+#include "store/serializer.h"
+
+namespace isis::store {
+namespace {
+
+using query::Workspace;
+using sdm::Membership;
+using sdm::Schema;
+
+TEST(StoreTest, EmptyWorkspaceRoundTrips) {
+  Workspace ws;
+  ws.set_name("empty");
+  std::string blob = Save(ws);
+  auto loaded = Load(blob);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ((*loaded)->name(), "empty");
+  EXPECT_EQ(Save(**loaded), blob);
+}
+
+TEST(StoreTest, InstrumentalMusicRoundTripsExactly) {
+  auto ws = datasets::BuildInstrumentalMusic();
+  std::string blob = Save(*ws);
+  auto loaded = Load(blob);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  // Idempotence: saving the load reproduces the bytes.
+  EXPECT_EQ(Save(**loaded), blob);
+  // Stored queries survive and still evaluate identically.
+  const Schema& s = (*loaded)->db().schema();
+  ClassId play_strings = *s.FindClass("play_strings");
+  EXPECT_EQ((*loaded)->db().Members(play_strings),
+            ws->db().Members(play_strings));
+  ASSERT_TRUE((*loaded)->ReevaluateAll().ok());
+  EXPECT_EQ((*loaded)->db().Members(play_strings),
+            ws->db().Members(play_strings));
+}
+
+TEST(StoreTest, SyntheticRoundTrips) {
+  datasets::SyntheticParams params;
+  params.entities_per_class = 25;
+  auto ws = datasets::BuildSynthetic(params);
+  std::string blob = Save(*ws);
+  auto loaded = Load(blob);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(Save(**loaded), blob);
+}
+
+TEST(StoreTest, IdGapsSurviveRoundTrip) {
+  auto ws = datasets::BuildInstrumentalMusic();
+  // Delete things to punch id gaps, then round-trip: remaining ids (which
+  // stored predicates reference) must be preserved exactly.
+  sdm::Database& db = ws->db();
+  ClassId instruments = *db.schema().FindClass("instruments");
+  EntityId tuba = *db.FindEntity(instruments, "tuba");
+  ASSERT_TRUE(ws->DeleteEntity(tuba).ok());
+  ClassId soloists = *db.schema().FindClass("soloists");
+  ASSERT_TRUE(ws->DeleteClass(soloists).ok());
+  std::string blob = Save(*ws);
+  auto loaded = Load(blob);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_FALSE((*loaded)->db().schema().HasClass(soloists));
+  EXPECT_FALSE((*loaded)->db().HasEntity(tuba));
+  ClassId musicians = *db.schema().FindClass("musicians");
+  EXPECT_EQ(*(*loaded)->db().FindEntity(musicians, "Edith"),
+            *db.FindEntity(musicians, "Edith"));
+  EXPECT_EQ(Save(**loaded), blob);
+}
+
+TEST(StoreTest, NamesNeedingEscapesRoundTrip) {
+  Workspace ws;
+  ws.set_name("data|base\\with\nweird name");
+  ASSERT_TRUE(ws.db().CreateBaseclass("class with space", "name attr").ok());
+  std::string blob = Save(ws);
+  auto loaded = Load(blob);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ((*loaded)->name(), "data|base\\with\nweird name");
+  EXPECT_TRUE((*loaded)->db().schema().FindClass("class with space").ok());
+}
+
+TEST(StoreTest, OptionsRoundTrip) {
+  sdm::Database::Options options;
+  options.incremental_groupings = false;
+  options.schema.allow_multiple_parents = true;
+  Workspace ws(options);
+  auto loaded = Load(Save(ws));
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_FALSE((*loaded)->db().options().incremental_groupings);
+  EXPECT_TRUE((*loaded)->db().schema().options().allow_multiple_parents);
+}
+
+TEST(StoreTest, FileRoundTrip) {
+  auto ws = datasets::BuildInstrumentalMusic();
+  std::string path = ::testing::TempDir() + "/im_store_test.isis";
+  ASSERT_TRUE(SaveToFile(*ws, path).ok());
+  auto loaded = LoadFromFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(Save(**loaded), Save(*ws));
+  EXPECT_TRUE(LoadFromFile("/nonexistent/x.isis").status().IsIOError());
+}
+
+class CorruptInputTest : public ::testing::Test {
+ protected:
+  void SetUp() override { blob_ = Save(*datasets::BuildInstrumentalMusic()); }
+  std::string blob_;
+};
+
+TEST_F(CorruptInputTest, EmptyAndHeaderless) {
+  EXPECT_TRUE(Load("").status().IsParseError());
+  EXPECT_TRUE(Load("BOGUS|1\nend\n").status().IsParseError());
+  EXPECT_TRUE(Load("ISIS|999\nend\n").status().IsParseError());
+}
+
+TEST_F(CorruptInputTest, TruncationDetected) {
+  // Cut the file in half: the missing `end` marker must be noticed.
+  std::string half = blob_.substr(0, blob_.size() / 2);
+  half = half.substr(0, half.rfind('\n') + 1);
+  EXPECT_FALSE(Load(half).ok());
+}
+
+TEST_F(CorruptInputTest, UnknownTagRejected) {
+  std::string tampered = blob_;
+  tampered.insert(tampered.find("end\n"), "mystery|1|2\n");
+  EXPECT_TRUE(Load(tampered).status().IsParseError());
+}
+
+TEST_F(CorruptInputTest, InconsistentDataRejected) {
+  // Splice a membership record that violates the subclass-subset rule:
+  // entity 9999 does not exist.
+  std::string tampered = blob_;
+  size_t pos = tampered.find("subpred|");
+  ASSERT_NE(pos, std::string::npos);
+  // Find the soloists class id from the live schema to target its record.
+  auto ws = datasets::BuildInstrumentalMusic();
+  ClassId soloists = *ws->db().schema().FindClass("soloists");
+  tampered.insert(pos, "members|" + std::to_string(soloists.value()) +
+                           "|9999\n");
+  Status st = Load(tampered).status();
+  EXPECT_FALSE(st.ok());
+}
+
+TEST_F(CorruptInputTest, BadFieldCountsRejected) {
+  EXPECT_TRUE(
+      Load("ISIS|1\nclass|1\nend\n").status().IsParseError());
+  EXPECT_TRUE(
+      Load("ISIS|1\nsingle|a|b|c\nend\n").status().IsParseError());
+}
+
+TEST(StoreTest, DerivedAttributeDerivationsRoundTrip) {
+  auto ws = datasets::BuildInstrumentalMusic();
+  sdm::Database& db = ws->db();
+  ClassId music_groups = *db.schema().FindClass("music_groups");
+  ClassId instruments = *db.schema().FindClass("instruments");
+  AttributeId members = *db.schema().FindAttribute(music_groups, "members");
+  AttributeId plays = *db.schema().FindAttribute(
+      *db.schema().FindClass("musicians"), "plays");
+  AttributeId all_inst =
+      *db.CreateAttribute(music_groups, "all_inst", instruments, true);
+  ASSERT_TRUE(ws->DefineAttributeDerivation(
+                    all_inst, query::AttributeDerivation::Assign(
+                                  query::Term::Self({members, plays})))
+                  .ok());
+  auto loaded = Load(Save(*ws));
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const query::AttributeDerivation* d =
+      (*loaded)->GetAttributeDerivation(all_inst);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->kind, query::AttributeDerivation::Kind::kAssignment);
+  EXPECT_EQ(d->assignment.path.size(), 2u);
+  EXPECT_EQ(Save(**loaded), Save(*ws));
+}
+
+}  // namespace
+}  // namespace isis::store

@@ -1,0 +1,93 @@
+/// \file value_test.cpp
+/// \brief Unit tests for the primitive values of the predefined baseclasses.
+
+#include <gtest/gtest.h>
+
+#include "sdm/value.h"
+
+namespace isis::sdm {
+namespace {
+
+TEST(ValueTest, KindsAndAccessors) {
+  EXPECT_EQ(Value::Integer(42).kind(), BaseKind::kInteger);
+  EXPECT_EQ(Value::Integer(42).integer(), 42);
+  EXPECT_EQ(Value::Real(2.5).kind(), BaseKind::kReal);
+  EXPECT_DOUBLE_EQ(Value::Real(2.5).real(), 2.5);
+  EXPECT_EQ(Value::Boolean(true).kind(), BaseKind::kBoolean);
+  EXPECT_TRUE(Value::Boolean(true).boolean());
+  EXPECT_EQ(Value::String("oboe").kind(), BaseKind::kString);
+  EXPECT_EQ(Value::String("oboe").str(), "oboe");
+}
+
+TEST(ValueTest, DisplayStrings) {
+  EXPECT_EQ(Value::Integer(-7).ToDisplayString(), "-7");
+  EXPECT_EQ(Value::Real(3.5).ToDisplayString(), "3.5");
+  // The paper's Booleans are the Yes/No class.
+  EXPECT_EQ(Value::Boolean(true).ToDisplayString(), "YES");
+  EXPECT_EQ(Value::Boolean(false).ToDisplayString(), "NO");
+  EXPECT_EQ(Value::String("piano").ToDisplayString(), "piano");
+}
+
+TEST(ValueTest, ParseInteger) {
+  Result<Value> v = Value::Parse(BaseKind::kInteger, "123");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->integer(), 123);
+  EXPECT_TRUE(Value::Parse(BaseKind::kInteger, "12x").status().IsParseError());
+  EXPECT_TRUE(Value::Parse(BaseKind::kInteger, "").status().IsParseError());
+  EXPECT_EQ(Value::Parse(BaseKind::kInteger, "-5")->integer(), -5);
+}
+
+TEST(ValueTest, ParseReal) {
+  EXPECT_DOUBLE_EQ(Value::Parse(BaseKind::kReal, "2.75")->real(), 2.75);
+  EXPECT_DOUBLE_EQ(Value::Parse(BaseKind::kReal, "4")->real(), 4.0);
+  EXPECT_TRUE(Value::Parse(BaseKind::kReal, "four").status().IsParseError());
+}
+
+TEST(ValueTest, ParseBooleanAcceptsYesNoVariants) {
+  EXPECT_TRUE(Value::Parse(BaseKind::kBoolean, "YES")->boolean());
+  EXPECT_TRUE(Value::Parse(BaseKind::kBoolean, "yes")->boolean());
+  EXPECT_TRUE(Value::Parse(BaseKind::kBoolean, "true")->boolean());
+  EXPECT_FALSE(Value::Parse(BaseKind::kBoolean, "NO")->boolean());
+  EXPECT_FALSE(Value::Parse(BaseKind::kBoolean, "n")->boolean());
+  EXPECT_TRUE(
+      Value::Parse(BaseKind::kBoolean, "maybe").status().IsParseError());
+}
+
+TEST(ValueTest, ParseStringIsIdentity) {
+  EXPECT_EQ(Value::Parse(BaseKind::kString, "any text")->str(), "any text");
+  EXPECT_EQ(Value::Parse(BaseKind::kString, "")->str(), "");
+}
+
+TEST(ValueTest, ParseRejectsUserKind) {
+  EXPECT_TRUE(
+      Value::Parse(BaseKind::kNone, "x").status().IsInvalidArgument());
+}
+
+TEST(ValueTest, ParsePrintRoundTrip) {
+  const Value cases[] = {
+      Value::Integer(0),      Value::Integer(-99), Value::Real(0.125),
+      Value::Boolean(false),  Value::String("a b"),
+  };
+  for (const Value& v : cases) {
+    Result<Value> back = Value::Parse(v.kind(), v.ToDisplayString());
+    ASSERT_TRUE(back.ok());
+    EXPECT_TRUE(*back == v) << v.ToDisplayString();
+  }
+}
+
+TEST(ValueTest, OrderingWithinKind) {
+  EXPECT_LT(Value::Integer(1), Value::Integer(2));
+  EXPECT_LT(Value::String("a"), Value::String("b"));
+  EXPECT_TRUE(Value::Integer(3) == Value::Integer(3));
+  EXPECT_FALSE(Value::Integer(3) == Value::Real(3.0));  // identity, not ==
+}
+
+TEST(ValueTest, BaseKindNames) {
+  EXPECT_STREQ(BaseKindToString(BaseKind::kInteger), "INTEGER");
+  EXPECT_STREQ(BaseKindToString(BaseKind::kBoolean), "YES/NO");
+  EXPECT_STREQ(BaseKindToString(BaseKind::kString), "STRING");
+  EXPECT_STREQ(BaseKindToString(BaseKind::kReal), "REAL");
+}
+
+}  // namespace
+}  // namespace isis::sdm
