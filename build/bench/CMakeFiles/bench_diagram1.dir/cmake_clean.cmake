@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_diagram1.dir/bench_diagram1.cpp.o"
+  "CMakeFiles/bench_diagram1.dir/bench_diagram1.cpp.o.d"
+  "bench_diagram1"
+  "bench_diagram1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_diagram1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_groupings.dir/bench_groupings.cpp.o"
+  "CMakeFiles/bench_groupings.dir/bench_groupings.cpp.o.d"
+  "bench_groupings"
+  "bench_groupings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_groupings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_interaction_steps.dir/bench_interaction_steps.cpp.o"
+  "CMakeFiles/bench_interaction_steps.dir/bench_interaction_steps.cpp.o.d"
+  "bench_interaction_steps"
+  "bench_interaction_steps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_interaction_steps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_predicates.dir/bench_predicates.cpp.o"
+  "CMakeFiles/bench_predicates.dir/bench_predicates.cpp.o.d"
+  "bench_predicates"
+  "bench_predicates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_predicates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

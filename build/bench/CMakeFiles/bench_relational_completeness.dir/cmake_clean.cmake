@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_relational_completeness.dir/bench_relational_completeness.cpp.o"
+  "CMakeFiles/bench_relational_completeness.dir/bench_relational_completeness.cpp.o.d"
+  "bench_relational_completeness"
+  "bench_relational_completeness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_relational_completeness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

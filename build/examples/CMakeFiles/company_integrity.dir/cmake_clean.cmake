@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/company_integrity.dir/company_integrity.cpp.o"
+  "CMakeFiles/company_integrity.dir/company_integrity.cpp.o.d"
+  "company_integrity"
+  "company_integrity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/company_integrity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

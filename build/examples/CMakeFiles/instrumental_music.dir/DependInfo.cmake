@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/instrumental_music.cpp" "examples/CMakeFiles/instrumental_music.dir/instrumental_music.cpp.o" "gcc" "examples/CMakeFiles/instrumental_music.dir/instrumental_music.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ui/CMakeFiles/isis_ui.dir/DependInfo.cmake"
+  "/root/repo/build/src/datasets/CMakeFiles/isis_datasets.dir/DependInfo.cmake"
+  "/root/repo/build/src/store/CMakeFiles/isis_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/gfx/CMakeFiles/isis_gfx.dir/DependInfo.cmake"
+  "/root/repo/build/src/input/CMakeFiles/isis_input.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/isis_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/sdm/CMakeFiles/isis_sdm.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/isis_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

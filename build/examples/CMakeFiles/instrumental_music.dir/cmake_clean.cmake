@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/instrumental_music.dir/instrumental_music.cpp.o"
+  "CMakeFiles/instrumental_music.dir/instrumental_music.cpp.o.d"
+  "instrumental_music"
+  "instrumental_music.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/instrumental_music.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

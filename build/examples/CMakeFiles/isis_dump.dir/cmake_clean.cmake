@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isis_dump.dir/isis_dump.cpp.o"
+  "CMakeFiles/isis_dump.dir/isis_dump.cpp.o.d"
+  "isis_dump"
+  "isis_dump.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isis_dump.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

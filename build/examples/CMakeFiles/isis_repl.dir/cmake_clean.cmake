@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isis_repl.dir/isis_repl.cpp.o"
+  "CMakeFiles/isis_repl.dir/isis_repl.cpp.o.d"
+  "isis_repl"
+  "isis_repl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isis_repl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

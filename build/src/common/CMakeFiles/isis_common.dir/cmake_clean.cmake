@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isis_common.dir/status.cc.o"
+  "CMakeFiles/isis_common.dir/status.cc.o.d"
+  "CMakeFiles/isis_common.dir/strings.cc.o"
+  "CMakeFiles/isis_common.dir/strings.cc.o.d"
+  "libisis_common.a"
+  "libisis_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isis_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datasets/instrumental_music.cc" "src/datasets/CMakeFiles/isis_datasets.dir/instrumental_music.cc.o" "gcc" "src/datasets/CMakeFiles/isis_datasets.dir/instrumental_music.cc.o.d"
+  "/root/repo/src/datasets/scaled_music.cc" "src/datasets/CMakeFiles/isis_datasets.dir/scaled_music.cc.o" "gcc" "src/datasets/CMakeFiles/isis_datasets.dir/scaled_music.cc.o.d"
+  "/root/repo/src/datasets/session_script.cc" "src/datasets/CMakeFiles/isis_datasets.dir/session_script.cc.o" "gcc" "src/datasets/CMakeFiles/isis_datasets.dir/session_script.cc.o.d"
+  "/root/repo/src/datasets/synthetic.cc" "src/datasets/CMakeFiles/isis_datasets.dir/synthetic.cc.o" "gcc" "src/datasets/CMakeFiles/isis_datasets.dir/synthetic.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/query/CMakeFiles/isis_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/sdm/CMakeFiles/isis_sdm.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/isis_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isis_datasets.dir/instrumental_music.cc.o"
+  "CMakeFiles/isis_datasets.dir/instrumental_music.cc.o.d"
+  "CMakeFiles/isis_datasets.dir/scaled_music.cc.o"
+  "CMakeFiles/isis_datasets.dir/scaled_music.cc.o.d"
+  "CMakeFiles/isis_datasets.dir/session_script.cc.o"
+  "CMakeFiles/isis_datasets.dir/session_script.cc.o.d"
+  "CMakeFiles/isis_datasets.dir/synthetic.cc.o"
+  "CMakeFiles/isis_datasets.dir/synthetic.cc.o.d"
+  "libisis_datasets.a"
+  "libisis_datasets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isis_datasets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

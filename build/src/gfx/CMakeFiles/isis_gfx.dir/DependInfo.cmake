@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gfx/canvas.cc" "src/gfx/CMakeFiles/isis_gfx.dir/canvas.cc.o" "gcc" "src/gfx/CMakeFiles/isis_gfx.dir/canvas.cc.o.d"
+  "/root/repo/src/gfx/pattern.cc" "src/gfx/CMakeFiles/isis_gfx.dir/pattern.cc.o" "gcc" "src/gfx/CMakeFiles/isis_gfx.dir/pattern.cc.o.d"
+  "/root/repo/src/gfx/widgets.cc" "src/gfx/CMakeFiles/isis_gfx.dir/widgets.cc.o" "gcc" "src/gfx/CMakeFiles/isis_gfx.dir/widgets.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/isis_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

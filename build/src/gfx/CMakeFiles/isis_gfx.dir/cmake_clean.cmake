@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isis_gfx.dir/canvas.cc.o"
+  "CMakeFiles/isis_gfx.dir/canvas.cc.o.d"
+  "CMakeFiles/isis_gfx.dir/pattern.cc.o"
+  "CMakeFiles/isis_gfx.dir/pattern.cc.o.d"
+  "CMakeFiles/isis_gfx.dir/widgets.cc.o"
+  "CMakeFiles/isis_gfx.dir/widgets.cc.o.d"
+  "libisis_gfx.a"
+  "libisis_gfx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isis_gfx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

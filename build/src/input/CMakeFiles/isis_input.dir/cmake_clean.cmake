@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isis_input.dir/event.cc.o"
+  "CMakeFiles/isis_input.dir/event.cc.o.d"
+  "libisis_input.a"
+  "libisis_input.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isis_input.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/query/constraints.cc" "src/query/CMakeFiles/isis_query.dir/constraints.cc.o" "gcc" "src/query/CMakeFiles/isis_query.dir/constraints.cc.o.d"
+  "/root/repo/src/query/eval.cc" "src/query/CMakeFiles/isis_query.dir/eval.cc.o" "gcc" "src/query/CMakeFiles/isis_query.dir/eval.cc.o.d"
+  "/root/repo/src/query/parser.cc" "src/query/CMakeFiles/isis_query.dir/parser.cc.o" "gcc" "src/query/CMakeFiles/isis_query.dir/parser.cc.o.d"
+  "/root/repo/src/query/predicate.cc" "src/query/CMakeFiles/isis_query.dir/predicate.cc.o" "gcc" "src/query/CMakeFiles/isis_query.dir/predicate.cc.o.d"
+  "/root/repo/src/query/workspace.cc" "src/query/CMakeFiles/isis_query.dir/workspace.cc.o" "gcc" "src/query/CMakeFiles/isis_query.dir/workspace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sdm/CMakeFiles/isis_sdm.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/isis_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

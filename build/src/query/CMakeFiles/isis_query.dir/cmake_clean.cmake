@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isis_query.dir/constraints.cc.o"
+  "CMakeFiles/isis_query.dir/constraints.cc.o.d"
+  "CMakeFiles/isis_query.dir/eval.cc.o"
+  "CMakeFiles/isis_query.dir/eval.cc.o.d"
+  "CMakeFiles/isis_query.dir/parser.cc.o"
+  "CMakeFiles/isis_query.dir/parser.cc.o.d"
+  "CMakeFiles/isis_query.dir/predicate.cc.o"
+  "CMakeFiles/isis_query.dir/predicate.cc.o.d"
+  "CMakeFiles/isis_query.dir/workspace.cc.o"
+  "CMakeFiles/isis_query.dir/workspace.cc.o.d"
+  "libisis_query.a"
+  "libisis_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isis_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

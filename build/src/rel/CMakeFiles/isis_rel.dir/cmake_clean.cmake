@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isis_rel.dir/encode.cc.o"
+  "CMakeFiles/isis_rel.dir/encode.cc.o.d"
+  "CMakeFiles/isis_rel.dir/qbe.cc.o"
+  "CMakeFiles/isis_rel.dir/qbe.cc.o.d"
+  "CMakeFiles/isis_rel.dir/relation.cc.o"
+  "CMakeFiles/isis_rel.dir/relation.cc.o.d"
+  "libisis_rel.a"
+  "libisis_rel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isis_rel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sdm/consistency.cc" "src/sdm/CMakeFiles/isis_sdm.dir/consistency.cc.o" "gcc" "src/sdm/CMakeFiles/isis_sdm.dir/consistency.cc.o.d"
+  "/root/repo/src/sdm/database.cc" "src/sdm/CMakeFiles/isis_sdm.dir/database.cc.o" "gcc" "src/sdm/CMakeFiles/isis_sdm.dir/database.cc.o.d"
+  "/root/repo/src/sdm/dot_export.cc" "src/sdm/CMakeFiles/isis_sdm.dir/dot_export.cc.o" "gcc" "src/sdm/CMakeFiles/isis_sdm.dir/dot_export.cc.o.d"
+  "/root/repo/src/sdm/schema.cc" "src/sdm/CMakeFiles/isis_sdm.dir/schema.cc.o" "gcc" "src/sdm/CMakeFiles/isis_sdm.dir/schema.cc.o.d"
+  "/root/repo/src/sdm/stats.cc" "src/sdm/CMakeFiles/isis_sdm.dir/stats.cc.o" "gcc" "src/sdm/CMakeFiles/isis_sdm.dir/stats.cc.o.d"
+  "/root/repo/src/sdm/value.cc" "src/sdm/CMakeFiles/isis_sdm.dir/value.cc.o" "gcc" "src/sdm/CMakeFiles/isis_sdm.dir/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/isis_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

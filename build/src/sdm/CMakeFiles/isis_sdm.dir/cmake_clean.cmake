@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isis_sdm.dir/consistency.cc.o"
+  "CMakeFiles/isis_sdm.dir/consistency.cc.o.d"
+  "CMakeFiles/isis_sdm.dir/database.cc.o"
+  "CMakeFiles/isis_sdm.dir/database.cc.o.d"
+  "CMakeFiles/isis_sdm.dir/dot_export.cc.o"
+  "CMakeFiles/isis_sdm.dir/dot_export.cc.o.d"
+  "CMakeFiles/isis_sdm.dir/schema.cc.o"
+  "CMakeFiles/isis_sdm.dir/schema.cc.o.d"
+  "CMakeFiles/isis_sdm.dir/stats.cc.o"
+  "CMakeFiles/isis_sdm.dir/stats.cc.o.d"
+  "CMakeFiles/isis_sdm.dir/value.cc.o"
+  "CMakeFiles/isis_sdm.dir/value.cc.o.d"
+  "libisis_sdm.a"
+  "libisis_sdm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isis_sdm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

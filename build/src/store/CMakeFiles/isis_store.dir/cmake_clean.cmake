@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isis_store.dir/serializer.cc.o"
+  "CMakeFiles/isis_store.dir/serializer.cc.o.d"
+  "libisis_store.a"
+  "libisis_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isis_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

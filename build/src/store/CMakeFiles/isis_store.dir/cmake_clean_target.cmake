@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libisis_store.a"
+)

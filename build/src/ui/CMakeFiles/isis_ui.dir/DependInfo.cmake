@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ui/controller.cc" "src/ui/CMakeFiles/isis_ui.dir/controller.cc.o" "gcc" "src/ui/CMakeFiles/isis_ui.dir/controller.cc.o.d"
+  "/root/repo/src/ui/data_view.cc" "src/ui/CMakeFiles/isis_ui.dir/data_view.cc.o" "gcc" "src/ui/CMakeFiles/isis_ui.dir/data_view.cc.o.d"
+  "/root/repo/src/ui/forest_view.cc" "src/ui/CMakeFiles/isis_ui.dir/forest_view.cc.o" "gcc" "src/ui/CMakeFiles/isis_ui.dir/forest_view.cc.o.d"
+  "/root/repo/src/ui/journal.cc" "src/ui/CMakeFiles/isis_ui.dir/journal.cc.o" "gcc" "src/ui/CMakeFiles/isis_ui.dir/journal.cc.o.d"
+  "/root/repo/src/ui/network_view.cc" "src/ui/CMakeFiles/isis_ui.dir/network_view.cc.o" "gcc" "src/ui/CMakeFiles/isis_ui.dir/network_view.cc.o.d"
+  "/root/repo/src/ui/render_util.cc" "src/ui/CMakeFiles/isis_ui.dir/render_util.cc.o" "gcc" "src/ui/CMakeFiles/isis_ui.dir/render_util.cc.o.d"
+  "/root/repo/src/ui/views.cc" "src/ui/CMakeFiles/isis_ui.dir/views.cc.o" "gcc" "src/ui/CMakeFiles/isis_ui.dir/views.cc.o.d"
+  "/root/repo/src/ui/worksheet_view.cc" "src/ui/CMakeFiles/isis_ui.dir/worksheet_view.cc.o" "gcc" "src/ui/CMakeFiles/isis_ui.dir/worksheet_view.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/query/CMakeFiles/isis_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/store/CMakeFiles/isis_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/gfx/CMakeFiles/isis_gfx.dir/DependInfo.cmake"
+  "/root/repo/build/src/input/CMakeFiles/isis_input.dir/DependInfo.cmake"
+  "/root/repo/build/src/sdm/CMakeFiles/isis_sdm.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/isis_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

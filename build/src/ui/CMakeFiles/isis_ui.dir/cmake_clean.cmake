@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isis_ui.dir/controller.cc.o"
+  "CMakeFiles/isis_ui.dir/controller.cc.o.d"
+  "CMakeFiles/isis_ui.dir/data_view.cc.o"
+  "CMakeFiles/isis_ui.dir/data_view.cc.o.d"
+  "CMakeFiles/isis_ui.dir/forest_view.cc.o"
+  "CMakeFiles/isis_ui.dir/forest_view.cc.o.d"
+  "CMakeFiles/isis_ui.dir/journal.cc.o"
+  "CMakeFiles/isis_ui.dir/journal.cc.o.d"
+  "CMakeFiles/isis_ui.dir/network_view.cc.o"
+  "CMakeFiles/isis_ui.dir/network_view.cc.o.d"
+  "CMakeFiles/isis_ui.dir/render_util.cc.o"
+  "CMakeFiles/isis_ui.dir/render_util.cc.o.d"
+  "CMakeFiles/isis_ui.dir/views.cc.o"
+  "CMakeFiles/isis_ui.dir/views.cc.o.d"
+  "CMakeFiles/isis_ui.dir/worksheet_view.cc.o"
+  "CMakeFiles/isis_ui.dir/worksheet_view.cc.o.d"
+  "libisis_ui.a"
+  "libisis_ui.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isis_ui.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

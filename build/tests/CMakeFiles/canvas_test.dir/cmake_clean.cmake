@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/canvas_test.dir/canvas_test.cpp.o"
+  "CMakeFiles/canvas_test.dir/canvas_test.cpp.o.d"
+  "canvas_test"
+  "canvas_test.pdb"
+  "canvas_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/canvas_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

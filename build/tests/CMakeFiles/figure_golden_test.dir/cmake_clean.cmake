@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure_golden_test.dir/figure_golden_test.cpp.o"
+  "CMakeFiles/figure_golden_test.dir/figure_golden_test.cpp.o.d"
+  "figure_golden_test"
+  "figure_golden_test.pdb"
+  "figure_golden_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure_golden_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

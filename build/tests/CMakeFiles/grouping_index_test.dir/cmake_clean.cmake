@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grouping_index_test.dir/grouping_index_test.cpp.o"
+  "CMakeFiles/grouping_index_test.dir/grouping_index_test.cpp.o.d"
+  "grouping_index_test"
+  "grouping_index_test.pdb"
+  "grouping_index_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grouping_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multiple_inheritance_test.dir/multiple_inheritance_test.cpp.o"
+  "CMakeFiles/multiple_inheritance_test.dir/multiple_inheritance_test.cpp.o.d"
+  "multiple_inheritance_test"
+  "multiple_inheritance_test.pdb"
+  "multiple_inheritance_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multiple_inheritance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/session_replay_test.dir/session_replay_test.cpp.o"
+  "CMakeFiles/session_replay_test.dir/session_replay_test.cpp.o.d"
+  "session_replay_test"
+  "session_replay_test.pdb"
+  "session_replay_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/session_replay_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

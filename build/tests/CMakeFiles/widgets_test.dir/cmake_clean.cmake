@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/widgets_test.dir/widgets_test.cpp.o"
+  "CMakeFiles/widgets_test.dir/widgets_test.cpp.o.d"
+  "widgets_test"
+  "widgets_test.pdb"
+  "widgets_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/widgets_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
