@@ -1,0 +1,441 @@
+#include "live/engine.h"
+
+#include <utility>
+
+#include "query/eval.h"
+
+namespace isis::live {
+
+using query::AttributeDerivation;
+using query::Constraint;
+using query::ConstraintViolation;
+using query::Evaluator;
+using query::Predicate;
+using sdm::AttributeDef;
+using sdm::ClassDef;
+using sdm::EntitySet;
+using sdm::kNullEntity;
+
+LiveViewEngine::LiveViewEngine(query::Workspace* ws, int max_rounds)
+    : ws_(ws), db_(&ws->db()), max_rounds_(max_rounds) {
+  RebuildIndex();
+  RecomputeViolatorsBaseline();
+  db_->AddObserver(this);
+}
+
+LiveViewEngine::~LiveViewEngine() { db_->RemoveObserver(this); }
+
+// --- Observer callbacks: record the delta, never mutate here. ---
+
+void LiveViewEngine::OnMembership(EntityId e, ClassId cls, bool added) {
+  ++stats_.deltas_seen;
+  if (subclass_view_of_.count(cls.value()) > 0) {
+    CountDerivedDelta(0, cls.value(), e);
+  }
+  Delta d;
+  d.kind = Delta::Kind::kMembership;
+  d.e = e;
+  d.cls = cls;
+  d.added = added;
+  queue_.push_back(std::move(d));
+}
+
+void LiveViewEngine::OnAttributeValue(EntityId e, AttributeId attr,
+                                      const EntitySet& before,
+                                      const EntitySet& after) {
+  (void)before;
+  (void)after;  // a retest recomputes from current state; sets not needed
+  ++stats_.deltas_seen;
+  if (attr_view_of_.count(attr.value()) > 0) {
+    CountDerivedDelta(1, attr.value(), e);
+  }
+  Delta d;
+  d.kind = Delta::Kind::kAttribute;
+  d.e = e;
+  d.attr = attr;
+  queue_.push_back(std::move(d));
+}
+
+void LiveViewEngine::OnSchemaChange() {
+  ++stats_.deltas_seen;
+  Delta d;
+  d.kind = Delta::Kind::kSchema;
+  queue_.push_back(std::move(d));
+}
+
+void LiveViewEngine::OnMutationsSettled() {
+  if (draining_) return;  // the running drain will consume what was queued
+  if (queue_.empty() && ws_->catalog_version() == seen_catalog_version_) {
+    return;
+  }
+  Drain();
+}
+
+// --- Introspection. ---
+
+const ViewStats* LiveViewEngine::FindViewStats(const std::string& name) const {
+  for (const View& v : views_) {
+    if (v.stats.name == name) return &v.stats;
+  }
+  return nullptr;
+}
+
+std::vector<ViewStats> LiveViewEngine::AllViewStats() const {
+  std::vector<ViewStats> out;
+  out.reserve(views_.size());
+  for (const View& v : views_) out.push_back(v.stats);
+  return out;
+}
+
+std::vector<ConstraintViolation> LiveViewEngine::Violations() {
+  // Constraint definitions do not touch the database, so no settled
+  // notification fires for them; catch up here if the catalog moved.
+  if (!draining_ && ws_->catalog_version() != seen_catalog_version_) Drain();
+  std::vector<ConstraintViolation> out;
+  for (const Constraint* c : ws_->constraints().All()) {
+    if (!db_->schema().HasClass(c->cls)) {
+      // Mirrors ConstraintCatalog::CheckAll: a constraint over a vanished
+      // class is itself a violation, with no violators.
+      out.push_back(ConstraintViolation{c->name, ClassId(), {}});
+      continue;
+    }
+    auto it = violators_.find(c->name);
+    if (it != violators_.end() && !it->second.empty()) {
+      out.push_back(ConstraintViolation{c->name, c->cls, it->second});
+    }
+  }
+  return out;
+}
+
+void LiveViewEngine::FullResync() {
+  if (draining_) return;
+  draining_ = true;
+  drain_counts_.clear();
+  abort_drain_ = false;
+  Resync();
+  while (!queue_.empty() && !abort_drain_) {
+    Delta d = queue_.front();
+    queue_.pop_front();
+    switch (d.kind) {
+      case Delta::Kind::kSchema:
+        queue_.clear();
+        Resync();
+        break;
+      case Delta::Kind::kMembership:
+        ApplyMembershipDelta(d);
+        break;
+      case Delta::Kind::kAttribute:
+        ApplyAttributeDelta(d);
+        break;
+    }
+  }
+  if (abort_drain_) queue_.clear();
+  drain_counts_.clear();
+  draining_ = false;
+}
+
+// --- Maintenance. ---
+
+void LiveViewEngine::Drain() {
+  draining_ = true;
+  ++stats_.drains;
+  drain_counts_.clear();
+  abort_drain_ = false;
+  if (ws_->catalog_version() != seen_catalog_version_) {
+    // Stored queries were added/dropped/edited since the index was built:
+    // re-derive everything once, then let the queued deltas converge.
+    Resync();
+  }
+  while (!queue_.empty() && !abort_drain_) {
+    Delta d = queue_.front();
+    queue_.pop_front();
+    switch (d.kind) {
+      case Delta::Kind::kSchema:
+        // A schema edit invalidates fine-grained routing wholesale; the
+        // resync supersedes every older queued delta.
+        queue_.clear();
+        Resync();
+        break;
+      case Delta::Kind::kMembership:
+        ApplyMembershipDelta(d);
+        break;
+      case Delta::Kind::kAttribute:
+        ApplyAttributeDelta(d);
+        break;
+    }
+  }
+  if (abort_drain_) queue_.clear();
+  drain_counts_.clear();
+  draining_ = false;
+}
+
+void LiveViewEngine::Resync() {
+  RebuildIndex();
+  for (View& v : views_) {
+    if (abort_drain_) return;
+    FullRecompute(&v);
+  }
+}
+
+void LiveViewEngine::ApplyMembershipDelta(const Delta& d) {
+  auto route = [&](const RouteIndex& index, auto&& apply) {
+    auto it = index.find(d.cls.value());
+    if (it == index.end()) return;
+    for (int vi : it->second) {
+      if (abort_drain_) return;
+      View& v = views_[vi];
+      ++v.stats.deltas_applied;
+      apply(&v);
+    }
+  };
+  route(by_candidate_class_, [&](View* v) { RetestCandidate(v, d.e); });
+  route(by_owner_class_, [&](View* v) {
+    // An owner that left the class had its value row dropped by the
+    // database already; only (re)compute for current members.
+    if (d.added) RecomputeOwner(v, d.e);
+  });
+  route(by_coarse_class_, [&](View* v) { FullRecompute(v); });
+}
+
+void LiveViewEngine::ApplyAttributeDelta(const Delta& d) {
+  auto route = [&](const RouteIndex& index, auto&& apply) {
+    auto it = index.find(d.attr.value());
+    if (it == index.end()) return;
+    for (int vi : it->second) {
+      if (abort_drain_) return;
+      View& v = views_[vi];
+      ++v.stats.deltas_applied;
+      apply(&v);
+    }
+  };
+  // The changed attribute sits at position 0 of a candidate/self path, so
+  // the delta's owner is exactly the candidate/owner whose result may move.
+  route(by_candidate_attr_, [&](View* v) { RetestCandidate(v, d.e); });
+  route(by_self_attr_, [&](View* v) { RecomputeOwner(v, d.e); });
+  route(by_coarse_attr_, [&](View* v) { FullRecompute(v); });
+}
+
+void LiveViewEngine::RetestCandidate(View* v, EntityId e) {
+  switch (v->kind) {
+    case View::Kind::kSubclass: {
+      ++v->stats.entities_retested;
+      if (!db_->schema().HasClass(v->cls)) return;
+      const Predicate* pred = ws_->SubclassPredicate(v->cls);
+      if (pred == nullptr) return;
+      const ClassDef& def = db_->schema().GetClass(v->cls);
+      bool candidate = e != kNullEntity && db_->HasEntity(e);
+      for (ClassId p : def.parents) {
+        if (!candidate) break;
+        candidate = db_->IsMember(e, p);
+      }
+      bool should = candidate && Evaluator(*db_).EvalPredicate(*pred, e);
+      bool is = db_->IsMember(e, v->cls);
+      if (should == is) return;
+      Note(should ? db_->AddToDerivedClass(e, v->cls)
+                  : db_->RemoveFromClass(e, v->cls));
+      return;
+    }
+    case View::Kind::kAttribute: {
+      // e is a candidate *value*: re-test the pair (x, e) for every owner.
+      const AttributeDerivation* der = ws_->GetAttributeDerivation(v->attr);
+      if (der == nullptr ||
+          der->kind != AttributeDerivation::Kind::kPredicate ||
+          !db_->schema().HasAttribute(v->attr)) {
+        return;
+      }
+      const AttributeDef& def = db_->schema().GetAttribute(v->attr);
+      bool is_value = e != kNullEntity && db_->HasEntity(e) &&
+                      db_->IsMember(e, def.value_class);
+      Evaluator eval(*db_);
+      const EntitySet& owners = db_->Members(def.owner);
+      std::vector<EntityId> owner_list(owners.begin(), owners.end());
+      for (EntityId x : owner_list) {
+        if (abort_drain_) return;
+        ++v->stats.entities_retested;
+        bool should = is_value && eval.EvalPredicate(der->predicate, e, x);
+        bool is = db_->GetMulti(x, v->attr).count(e) > 0;
+        if (should && !is) {
+          Note(db_->AddToMulti(x, v->attr, e));
+        } else if (!should && is) {
+          Note(db_->RemoveFromMulti(x, v->attr, e));
+        }
+      }
+      return;
+    }
+    case View::Kind::kConstraint: {
+      ++v->stats.entities_retested;
+      if (!db_->schema().HasClass(v->cls)) return;
+      const Constraint* c = ws_->constraints().Find(v->constraint);
+      if (c == nullptr) return;
+      bool member =
+          e != kNullEntity && db_->HasEntity(e) && db_->IsMember(e, v->cls);
+      bool violates =
+          member && !Evaluator(*db_).EvalPredicate(c->predicate, e);
+      EntitySet& set = violators_[v->constraint];
+      if (violates) {
+        set.insert(e);
+      } else {
+        set.erase(e);
+      }
+      return;
+    }
+  }
+}
+
+void LiveViewEngine::RecomputeOwner(View* v, EntityId x) {
+  if (v->kind != View::Kind::kAttribute) return;
+  ++v->stats.entities_retested;
+  const AttributeDerivation* der = ws_->GetAttributeDerivation(v->attr);
+  if (der == nullptr || !db_->schema().HasAttribute(v->attr)) return;
+  const AttributeDef& def = db_->schema().GetAttribute(v->attr);
+  if (x == kNullEntity || !db_->HasEntity(x) || !db_->IsMember(x, def.owner)) {
+    return;
+  }
+  Note(db_->SetMulti(x, v->attr, ws_->ComputeAttributeValue(*der, def, x)));
+}
+
+void LiveViewEngine::FullRecompute(View* v) {
+  ++v->stats.full_recomputes;
+  switch (v->kind) {
+    case View::Kind::kSubclass: {
+      Status st = ws_->ReevaluateSubclass(v->cls);
+      if (!st.ok() && !st.IsNotFound()) Note(st);
+      return;
+    }
+    case View::Kind::kAttribute: {
+      Status st = ws_->ReevaluateAttribute(v->attr);
+      if (!st.ok() && !st.IsNotFound()) Note(st);
+      return;
+    }
+    case View::Kind::kConstraint: {
+      Result<ConstraintViolation> r =
+          ws_->constraints().Check(*db_, v->constraint);
+      if (r.ok()) {
+        violators_[v->constraint] = std::move(r->violators);
+      } else {
+        violators_.erase(v->constraint);
+      }
+      return;
+    }
+  }
+}
+
+void LiveViewEngine::RebuildIndex() {
+  // Counters survive index rebuilds: key by object identity.
+  std::map<std::pair<int, std::int64_t>, ViewStats> old_stats;
+  std::map<std::string, ViewStats> old_constraint_stats;
+  for (View& v : views_) {
+    if (v.kind == View::Kind::kConstraint) {
+      old_constraint_stats[v.constraint] = std::move(v.stats);
+    } else {
+      int tag = v.kind == View::Kind::kSubclass ? 0 : 1;
+      std::int64_t id =
+          tag == 0 ? v.cls.value() : v.attr.value();
+      old_stats[{tag, id}] = std::move(v.stats);
+    }
+  }
+  views_.clear();
+  by_candidate_class_.clear();
+  by_owner_class_.clear();
+  by_coarse_class_.clear();
+  by_candidate_attr_.clear();
+  by_self_attr_.clear();
+  by_coarse_attr_.clear();
+  subclass_view_of_.clear();
+  attr_view_of_.clear();
+
+  const sdm::Schema& schema = db_->schema();
+  for (const auto& [cls_raw, pred] : ws_->subclass_predicates()) {
+    ClassId cls(cls_raw);
+    if (!schema.HasClass(cls)) continue;
+    View v;
+    v.kind = View::Kind::kSubclass;
+    v.cls = cls;
+    v.deps = AnalyzeSubclass(schema, cls, pred);
+    auto it = old_stats.find({0, cls_raw});
+    if (it != old_stats.end()) v.stats = std::move(it->second);
+    v.stats.name = schema.GetClass(cls).name;
+    subclass_view_of_[cls_raw] = static_cast<int>(views_.size());
+    views_.push_back(std::move(v));
+  }
+  for (const auto& [attr_raw, der] : ws_->attribute_derivations()) {
+    AttributeId attr(attr_raw);
+    if (!schema.HasAttribute(attr)) continue;
+    View v;
+    v.kind = View::Kind::kAttribute;
+    v.attr = attr;
+    v.deps = AnalyzeAttribute(schema, schema.GetAttribute(attr), der);
+    auto it = old_stats.find({1, attr_raw});
+    if (it != old_stats.end()) v.stats = std::move(it->second);
+    v.stats.name = schema.GetAttribute(attr).name;
+    attr_view_of_[attr_raw] = static_cast<int>(views_.size());
+    views_.push_back(std::move(v));
+  }
+  for (const Constraint* c : ws_->constraints().All()) {
+    View v;
+    v.kind = View::Kind::kConstraint;
+    v.cls = c->cls;
+    v.constraint = c->name;
+    v.deps = AnalyzeConstraint(schema, *c);
+    auto it = old_constraint_stats.find(c->name);
+    if (it != old_constraint_stats.end()) v.stats = std::move(it->second);
+    v.stats.name = c->name;
+    views_.push_back(std::move(v));
+  }
+
+  for (size_t i = 0; i < views_.size(); ++i) {
+    int vi = static_cast<int>(i);
+    const DepSet& deps = views_[i].deps;
+    for (std::int64_t c : deps.candidate_classes) {
+      by_candidate_class_[c].push_back(vi);
+    }
+    for (std::int64_t c : deps.owner_classes) by_owner_class_[c].push_back(vi);
+    for (std::int64_t c : deps.coarse_classes) {
+      by_coarse_class_[c].push_back(vi);
+    }
+    for (std::int64_t a : deps.candidate_attrs) {
+      by_candidate_attr_[a].push_back(vi);
+    }
+    for (std::int64_t a : deps.self_attrs) by_self_attr_[a].push_back(vi);
+    for (std::int64_t a : deps.coarse_attrs) by_coarse_attr_[a].push_back(vi);
+  }
+
+  // Drop violator sets of constraints that no longer exist.
+  for (auto it = violators_.begin(); it != violators_.end();) {
+    if (ws_->constraints().Has(it->first)) {
+      ++it;
+    } else {
+      it = violators_.erase(it);
+    }
+  }
+
+  seen_catalog_version_ = ws_->catalog_version();
+  ++stats_.index_rebuilds;
+}
+
+void LiveViewEngine::RecomputeViolatorsBaseline() {
+  violators_.clear();
+  for (const Constraint* c : ws_->constraints().All()) {
+    Result<ConstraintViolation> r = ws_->constraints().Check(*db_, c->name);
+    if (r.ok()) violators_[c->name] = std::move(r->violators);
+  }
+}
+
+void LiveViewEngine::Note(const Status& st) {
+  if (!st.ok() && last_error_.ok()) last_error_ = st;
+}
+
+void LiveViewEngine::CountDerivedDelta(int kind_tag, std::int64_t object,
+                                       EntityId e) {
+  if (!draining_ || abort_drain_) return;
+  int& n = drain_counts_[{kind_tag, object, e.value()}];
+  if (++n > max_rounds_) {
+    abort_drain_ = true;
+    if (last_error_.ok()) {
+      last_error_ = Status::Consistency(
+          "live maintenance did not reach a fixpoint (cyclic derivation?)");
+    }
+  }
+}
+
+}  // namespace isis::live

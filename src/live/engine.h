@@ -1,0 +1,157 @@
+/// \file engine.h
+/// \brief LiveViewEngine: incremental maintenance of stored derived
+/// subclasses, derived attributes and constraints.
+///
+/// The seed kept stored queries fresh only through Workspace::ReevaluateAll,
+/// a whole-catalog full-scan fixpoint run by hand. The engine replaces that
+/// with materialized-view maintenance: it registers as a MutationObserver on
+/// the workspace's database, queues the typed deltas each mutation emits,
+/// and — once the outermost mutation returns (OnMutationsSettled) — drains
+/// the queue, re-testing only the affected candidate entities against only
+/// the views whose dependency set (live/deps.h) covers the delta. The
+/// engine's own corrective writes emit deltas too, which is exactly how
+/// view-feeds-view cascades propagate; a per-drain oscillation bound (the
+/// same 16 as ReevaluateAll's round bound) turns cyclic derivations into a
+/// recorded Consistency error instead of an endless loop.
+///
+/// Coarse deltas (schema edits, class extents read wholesale, deep map
+/// steps) fall back to per-view full recomputes via the workspace's own
+/// Reevaluate* entry points, so results are identical to ReevaluateAll by
+/// construction — asserted property-style by tests/live_engine_test.cpp.
+
+#ifndef ISIS_LIVE_ENGINE_H_
+#define ISIS_LIVE_ENGINE_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "live/deps.h"
+#include "live/stats.h"
+#include "query/workspace.h"
+#include "sdm/database.h"
+
+namespace isis::live {
+
+/// \brief Incremental maintainer attached to one Workspace.
+///
+/// The engine assumes the workspace's derived data is consistent when it
+/// attaches (datasets and freshly-defined views are; call FullResync after
+/// attaching to a stale workspace). It must be destroyed (or the workspace
+/// must outlive it) before the workspace goes away.
+class LiveViewEngine : public sdm::MutationObserver {
+ public:
+  /// Attaches to `ws`'s database. `max_rounds` bounds per-drain oscillation
+  /// per (view, entity), mirroring ReevaluateAll's round bound.
+  explicit LiveViewEngine(query::Workspace* ws, int max_rounds = 16);
+  ~LiveViewEngine() override;
+
+  LiveViewEngine(const LiveViewEngine&) = delete;
+  LiveViewEngine& operator=(const LiveViewEngine&) = delete;
+
+  // --- sdm::MutationObserver. ---
+
+  void OnMembership(EntityId e, ClassId cls, bool added) override;
+  void OnAttributeValue(EntityId e, AttributeId attr,
+                        const sdm::EntitySet& before,
+                        const sdm::EntitySet& after) override;
+  void OnSchemaChange() override;
+  void OnMutationsSettled() override;
+
+  // --- Introspection. ---
+
+  const EngineStats& stats() const { return stats_; }
+  /// Counters of the view named `name` (class/attribute/constraint name);
+  /// nullptr if no such view.
+  const ViewStats* FindViewStats(const std::string& name) const;
+  /// Counters of every view in index order.
+  std::vector<ViewStats> AllViewStats() const;
+
+  /// Incrementally maintained constraint violations; same contents as
+  /// Workspace::CheckConstraints. Non-const: defining a constraint touches
+  /// no database state, so this is where the engine catches up on
+  /// catalog-only changes.
+  std::vector<query::ConstraintViolation> Violations();
+
+  /// Consistency error recorded when a drain hit the oscillation bound (a
+  /// cyclic derivation) or a corrective write failed; sticky until cleared.
+  const Status& last_error() const { return last_error_; }
+  void ClearLastError() { last_error_ = Status::OK(); }
+
+  /// Rebuilds the dependency index and fully recomputes every view — the
+  /// hard-sync fallback (schema edits route here automatically).
+  void FullResync();
+
+ private:
+  struct Delta {
+    enum class Kind { kMembership, kAttribute, kSchema };
+    Kind kind = Kind::kSchema;
+    EntityId e;
+    ClassId cls;
+    bool added = false;
+    AttributeId attr;
+  };
+
+  struct View {
+    enum class Kind { kSubclass, kAttribute, kConstraint };
+    Kind kind = Kind::kSubclass;
+    ClassId cls;              ///< kSubclass / kConstraint.
+    AttributeId attr;         ///< kAttribute.
+    std::string constraint;   ///< kConstraint.
+    DepSet deps;
+    ViewStats stats;
+  };
+
+  /// class/attr id -> indices into views_.
+  using RouteIndex = std::unordered_map<std::int64_t, std::vector<int>>;
+
+  void RebuildIndex();
+  void RecomputeViolatorsBaseline();
+  void Drain();
+  void Resync();
+  void ApplyMembershipDelta(const Delta& d);
+  void ApplyAttributeDelta(const Delta& d);
+  void RetestCandidate(View* v, EntityId e);
+  void RecomputeOwner(View* v, EntityId x);
+  void FullRecompute(View* v);
+  /// Records a failed corrective write (should not happen; kept visible).
+  void Note(const Status& st);
+  /// Cycle guard: counts per-drain deltas on derived objects.
+  void CountDerivedDelta(int kind_tag, std::int64_t object, EntityId e);
+
+  query::Workspace* ws_;
+  sdm::Database* db_;
+  int max_rounds_;
+
+  std::vector<View> views_;
+  RouteIndex by_candidate_class_;
+  RouteIndex by_owner_class_;
+  RouteIndex by_coarse_class_;
+  RouteIndex by_candidate_attr_;
+  RouteIndex by_self_attr_;
+  RouteIndex by_coarse_attr_;
+  /// Derived objects under maintenance (for the cycle guard).
+  std::unordered_map<std::int64_t, int> subclass_view_of_;
+  std::unordered_map<std::int64_t, int> attr_view_of_;
+  std::int64_t seen_catalog_version_ = -1;
+
+  /// Maintained violator sets, keyed by constraint name.
+  std::map<std::string, sdm::EntitySet> violators_;
+
+  std::deque<Delta> queue_;
+  bool draining_ = false;
+  bool abort_drain_ = false;
+  /// Per-drain (kind, object, entity) -> delta count; exceeding max_rounds_
+  /// means the cascade is oscillating (cyclic derivation).
+  std::map<std::tuple<int, std::int64_t, std::int64_t>, int> drain_counts_;
+
+  EngineStats stats_;
+  Status last_error_ = Status::OK();
+};
+
+}  // namespace isis::live
+
+#endif  // ISIS_LIVE_ENGINE_H_

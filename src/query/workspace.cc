@@ -47,6 +47,7 @@ Status Workspace::DefineSubclassMembership(ClassId cls, Predicate pred) {
   ISIS_RETURN_NOT_OK(eval.TypeCheck(pred, ctx));
   ISIS_RETURN_NOT_OK(db_.SetMembership(cls, Membership::kDerived));
   subclass_preds_[cls.value()] = std::move(pred);
+  ++catalog_version_;
   return ReevaluateSubclass(cls);
 }
 
@@ -91,6 +92,7 @@ Status Workspace::DefineAttributeDerivation(AttributeId attr,
   ISIS_RETURN_NOT_OK(
       db_.SetAttributeOrigin(attr, AttrOrigin::kDerived));
   attr_derivs_[attr.value()] = std::move(derivation);
+  ++catalog_version_;
   return ReevaluateAttribute(attr);
 }
 
@@ -136,11 +138,15 @@ const AttributeDerivation* Workspace::GetAttributeDerivation(
 
 Status Workspace::DefineConstraint(const std::string& name, ClassId cls,
                                    Predicate pred) {
-  return constraints_.Define(db_, name, cls, std::move(pred));
+  ISIS_RETURN_NOT_OK(constraints_.Define(db_, name, cls, std::move(pred)));
+  ++catalog_version_;
+  return Status::OK();
 }
 
 Status Workspace::DropConstraint(const std::string& name) {
-  return constraints_.Drop(name);
+  ISIS_RETURN_NOT_OK(constraints_.Drop(name));
+  ++catalog_version_;
+  return Status::OK();
 }
 
 Status Workspace::ReevaluateAll(int max_rounds) {
@@ -225,6 +231,7 @@ Status Workspace::DeleteClass(ClassId cls) {
   }
   ISIS_RETURN_NOT_OK(db_.DeleteClass(cls));
   subclass_preds_.erase(cls.value());
+  ++catalog_version_;
   if (db_.schema().HasClass(cls)) return Status::OK();  // unreachable
   return Status::OK();
 }
@@ -237,6 +244,7 @@ Status Workspace::DeleteAttribute(AttributeId attr) {
   }
   ISIS_RETURN_NOT_OK(db_.DeleteAttribute(attr));
   attr_derivs_.erase(attr.value());
+  ++catalog_version_;
   return Status::OK();
 }
 
@@ -258,16 +266,19 @@ Status Workspace::DeleteEntity(EntityId e) {
     }
   }
   constraints_.ScrubEntity(e);
+  ++catalog_version_;  // constant sets changed
   return Status::OK();
 }
 
 void Workspace::RestoreSubclassPredicate(ClassId cls, Predicate pred) {
   subclass_preds_[cls.value()] = std::move(pred);
+  ++catalog_version_;
 }
 
 void Workspace::RestoreAttributeDerivation(AttributeId attr,
                                            AttributeDerivation d) {
   attr_derivs_[attr.value()] = std::move(d);
+  ++catalog_version_;
 }
 
 }  // namespace isis::query

@@ -123,17 +123,29 @@ class Workspace {
   /// Installs a stored query during load without evaluating (store/).
   void RestoreSubclassPredicate(ClassId cls, Predicate pred);
   void RestoreAttributeDerivation(AttributeId attr, AttributeDerivation d);
-  void RestoreConstraint(Constraint c) { constraints_.Restore(std::move(c)); }
+  void RestoreConstraint(Constraint c) {
+    ++catalog_version_;
+    constraints_.Restore(std::move(c));
+  }
 
- private:
+  // --- Incremental-maintenance support (live/). ---
+
+  /// Bumped whenever the stored-query catalog changes (define, drop,
+  /// restore, guarded delete); the live-view engine compares it to decide
+  /// when its dependency index is stale.
+  std::int64_t catalog_version() const { return catalog_version_; }
+
   /// Context for the membership predicate of `cls` (candidates = parent).
   Result<PredicateContext> SubclassContext(ClassId cls) const;
   /// Candidate set for a (possibly multi-parent) derived class: entities
   /// belonging to every parent.
   sdm::EntitySet SubclassCandidates(ClassId cls) const;
+  /// A(x) for one owner under a stored derivation (value-class filtered).
   sdm::EntitySet ComputeAttributeValue(const AttributeDerivation& d,
                                        const sdm::AttributeDef& def,
                                        EntityId x) const;
+
+ private:
   static bool TermMentions(const Term& term, AttributeId attr);
   static bool DerivationMentions(const AttributeDerivation& d,
                                  AttributeId attr);
@@ -141,6 +153,7 @@ class Workspace {
 
   sdm::Database db_;
   std::string name_ = "untitled";
+  std::int64_t catalog_version_ = 0;
   std::map<std::int64_t, Predicate> subclass_preds_;           // ClassId ->
   std::map<std::int64_t, AttributeDerivation> attr_derivs_;    // AttributeId ->
   ConstraintCatalog constraints_;

@@ -40,7 +40,9 @@ Result<ClassId> Database::CreateSubclass(const std::string& name,
 }
 
 Status Database::AddParent(ClassId cls, ClassId extra_parent) {
+  MutationScope scope(this);
   ISIS_RETURN_NOT_OK(schema_.AddParent(cls, extra_parent));
+  NotifySchemaChange();
   // Subset consistency: members of cls must belong to the new parent too.
   for (EntityId e : Members(cls)) {
     ISIS_RETURN_NOT_OK(AddToClassInternal(e, extra_parent,
@@ -50,8 +52,10 @@ Status Database::AddParent(ClassId cls, ClassId extra_parent) {
 }
 
 Status Database::DeleteClass(ClassId cls) {
+  MutationScope scope(this);
   ISIS_RETURN_NOT_OK(schema_.DeleteClass(cls));
   members_.erase(cls.value());
+  NotifySchemaChange();
   return Status::OK();
 }
 
@@ -60,7 +64,12 @@ Status Database::RenameClass(ClassId cls, const std::string& new_name) {
 }
 
 Status Database::SetMembership(ClassId cls, Membership membership) {
-  return schema_.SetMembership(cls, membership);
+  MutationScope scope(this);
+  bool changed = schema_.HasClass(cls) &&
+                 schema_.GetClass(cls).membership != membership;
+  ISIS_RETURN_NOT_OK(schema_.SetMembership(cls, membership));
+  if (changed) NotifySchemaChange();
+  return Status::OK();
 }
 
 Status Database::SetAttributeOrigin(AttributeId attr, AttrOrigin origin) {
@@ -82,6 +91,7 @@ Result<AttributeId> Database::CreateAttributeIntoGrouping(
 }
 
 Status Database::SetValueClass(AttributeId attr, ClassId value_class) {
+  MutationScope scope(this);
   ISIS_RETURN_NOT_OK(schema_.SetValueClass(attr, value_class));
   // Values outside the new value class reset to the defaults.
   const AttributeDef& def = schema_.GetAttribute(attr);
@@ -109,13 +119,16 @@ Status Database::SetValueClass(AttributeId attr, ClassId value_class) {
     }
   }
   MarkGroupingsDirtyOn(attr);
+  NotifySchemaChange();
   return Status::OK();
 }
 
 Status Database::DeleteAttribute(AttributeId attr) {
+  MutationScope scope(this);
   ISIS_RETURN_NOT_OK(schema_.DeleteAttribute(attr));
   single_.erase(attr.value());
   multi_.erase(attr.value());
+  NotifySchemaChange();
   return Status::OK();
 }
 
@@ -146,6 +159,7 @@ Status Database::RenameGrouping(GroupingId g, const std::string& new_name) {
 // --- Entity lifecycle. ---
 
 Result<EntityId> Database::CreateEntity(ClassId base, const std::string& name) {
+  MutationScope scope(this);
   if (!schema_.HasClass(base)) {
     return Status::NotFound("baseclass does not exist");
   }
@@ -246,6 +260,7 @@ Result<EntityId> Database::FindMember(ClassId cls,
 }
 
 Status Database::RenameEntity(EntityId e, const std::string& new_name) {
+  MutationScope scope(this);
   if (!HasEntity(e) || e == kNullEntity) {
     return Status::NotFound("entity does not exist");
   }
@@ -262,13 +277,16 @@ Status Database::RenameEntity(EntityId e, const std::string& new_name) {
   if (names.count(new_name) > 0) {
     return Status::AlreadyExists("entity '" + new_name + "' already exists");
   }
+  std::string old_name = ent.name;
   names.erase(ent.name);
   ent.name = new_name;
   names[new_name] = e;
+  NotifyRename(e, ent.baseclass, old_name, new_name);
   return Status::OK();
 }
 
 Status Database::DeleteEntity(EntityId e) {
+  MutationScope scope(this);
   if (!HasEntity(e) || e == kNullEntity) {
     return Status::NotFound("entity does not exist");
   }
@@ -360,14 +378,17 @@ Status Database::AddToClassInternal(EntityId e, ClassId cls,
 }
 
 Status Database::AddToClass(EntityId e, ClassId cls) {
+  MutationScope scope(this);
   return AddToClassInternal(e, cls, /*allow_derived=*/false);
 }
 
 Status Database::AddToDerivedClass(EntityId e, ClassId cls) {
+  MutationScope scope(this);
   return AddToClassInternal(e, cls, /*allow_derived=*/true);
 }
 
 Status Database::RemoveFromClass(EntityId e, ClassId cls) {
+  MutationScope scope(this);
   if (!HasEntity(e) || e == kNullEntity) {
     return Status::NotFound("entity does not exist");
   }
@@ -401,6 +422,7 @@ Status Database::RemoveFromClass(EntityId e, ClassId cls) {
 }
 
 Status Database::SetDerivedMembers(ClassId cls, const EntitySet& new_members) {
+  MutationScope scope(this);
   if (!schema_.HasClass(cls)) return Status::NotFound("class does not exist");
   if (schema_.GetClass(cls).membership != Membership::kDerived) {
     return Status::InvalidArgument("class is not derived");
@@ -470,6 +492,7 @@ Status Database::CheckValueAllowed(AttributeId attr, EntityId value) const {
 }
 
 Status Database::SetSingle(EntityId e, AttributeId attr, EntityId value) {
+  MutationScope scope(this);
   ISIS_RETURN_NOT_OK(CheckAttributeApplies(e, attr, /*want_multivalued=*/false));
   const AttributeDef& def = schema_.GetAttribute(attr);
   if (def.naming) {
@@ -494,6 +517,7 @@ Status Database::SetSingle(EntityId e, AttributeId attr, EntityId value) {
 }
 
 Status Database::AddToMulti(EntityId e, AttributeId attr, EntityId value) {
+  MutationScope scope(this);
   ISIS_RETURN_NOT_OK(CheckAttributeApplies(e, attr, /*want_multivalued=*/true));
   if (value == kNullEntity) {
     return Status::InvalidArgument(
@@ -508,6 +532,7 @@ Status Database::AddToMulti(EntityId e, AttributeId attr, EntityId value) {
 
 Status Database::RemoveFromMulti(EntityId e, AttributeId attr,
                                  EntityId value) {
+  MutationScope scope(this);
   ISIS_RETURN_NOT_OK(CheckAttributeApplies(e, attr, /*want_multivalued=*/true));
   EntitySet before = GetValueSet(e, attr);
   auto it = multi_.find(attr.value());
@@ -521,6 +546,7 @@ Status Database::RemoveFromMulti(EntityId e, AttributeId attr,
 
 Status Database::SetMulti(EntityId e, AttributeId attr,
                           const EntitySet& values) {
+  MutationScope scope(this);
   ISIS_RETURN_NOT_OK(CheckAttributeApplies(e, attr, /*want_multivalued=*/true));
   for (EntityId v : values) {
     if (v == kNullEntity) {
@@ -705,6 +731,9 @@ void Database::OnAttributeValueChange(EntityId e, AttributeId attr,
                                       const EntitySet& before,
                                       const EntitySet& after) {
   if (before == after) return;
+  for (MutationObserver* o : observers_) {
+    o->OnAttributeValue(e, attr, before, after);
+  }
   for (GroupingId g : schema_.AllGroupings()) {
     const GroupingDef& def = schema_.GetGrouping(g);
     if (def.on_attribute != attr) continue;
@@ -718,6 +747,9 @@ void Database::OnAttributeValueChange(EntityId e, AttributeId attr,
 }
 
 void Database::OnMembershipChange(EntityId e, ClassId cls, bool added) {
+  for (MutationObserver* o : observers_) {
+    o->OnMembership(e, cls, added);
+  }
   for (GroupingId g : schema_.AllGroupings()) {
     const GroupingDef& def = schema_.GetGrouping(g);
     if (def.parent != cls) continue;
@@ -736,6 +768,40 @@ void Database::OnMembershipChange(EntityId e, ClassId cls, bool added) {
     } else {
       grouping_cache_[g.value()].dirty = true;
     }
+  }
+}
+
+void Database::AddObserver(MutationObserver* observer) {
+  observers_.push_back(observer);
+}
+
+void Database::RemoveObserver(MutationObserver* observer) {
+  observers_.erase(
+      std::remove(observers_.begin(), observers_.end(), observer),
+      observers_.end());
+}
+
+void Database::NotifySchemaChange() {
+  for (MutationObserver* o : observers_) o->OnSchemaChange();
+}
+
+void Database::NotifySettled() {
+  for (MutationObserver* o : observers_) o->OnMutationsSettled();
+}
+
+void Database::NotifyRename(EntityId e, ClassId base,
+                            const std::string& old_name,
+                            const std::string& new_name) {
+  if (observers_.empty()) return;
+  // A rename is a change of the naming attribute's (virtual) value.
+  for (AttributeId a : schema_.GetClass(base).own_attributes) {
+    if (!schema_.GetAttribute(a).naming) continue;
+    EntitySet before{InternString(old_name)};
+    EntitySet after{InternString(new_name)};
+    for (MutationObserver* o : observers_) {
+      o->OnAttributeValue(e, a, before, after);
+    }
+    return;
   }
 }
 

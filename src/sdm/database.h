@@ -52,6 +52,41 @@ struct Entity {
 /// A deterministic ordered set of entities (creation order == id order).
 using EntitySet = std::set<EntityId>;
 
+/// \brief Observer of data-level mutations (the live-view engine's feed).
+///
+/// A Database fans typed deltas out to registered observers from the same
+/// internal hook sites that maintain groupings, so observers see exactly the
+/// real state changes (no-op mutations fire nothing). Callbacks run while the
+/// mutating call is still on the stack, so an observer must only *record*
+/// the delta; any reaction that mutates the database has to wait for
+/// OnMutationsSettled, which fires once the outermost mutating call returns
+/// (no Database mutator is on the stack at that point, so re-entrant
+/// mutation is safe there).
+class MutationObserver {
+ public:
+  virtual ~MutationObserver() = default;
+
+  /// Entity `e` entered (`added`) or left class `cls`. Fired only on actual
+  /// change, including cascades (ancestor propagation, descendant removal).
+  virtual void OnMembership(EntityId e, ClassId cls, bool added) = 0;
+
+  /// The value set of `attr` on owner `e` changed from `before` to `after`
+  /// (always different). Entity renames surface as a change of the naming
+  /// attribute.
+  virtual void OnAttributeValue(EntityId e, AttributeId attr,
+                                const EntitySet& before,
+                                const EntitySet& after) = 0;
+
+  /// A schema-level mutation too coarse for per-entity deltas (value-class
+  /// change, class/attribute deletion, extra parent, membership-kind
+  /// switch).
+  virtual void OnSchemaChange() = 0;
+
+  /// The outermost mutating call has returned; queued deltas may now be
+  /// processed (mutating the database from here is safe).
+  virtual void OnMutationsSettled() = 0;
+};
+
 /// One block of a grouping: the set of parent-class entities sharing the
 /// index entity as an attribute value.
 struct GroupingBlock {
@@ -68,6 +103,12 @@ class Database {
     /// groupings are recomputed from scratch at each read after a mutation
     /// (the ablation benchmarked by bench_groupings).
     bool incremental_groupings = true;
+    /// Keep stored derived subclasses/attributes/constraints fresh through
+    /// the live-view engine (live::LiveViewEngine) instead of manual
+    /// ReevaluateAll calls. The flag only records the intent — the engine is
+    /// attached by whoever owns the Workspace (the UI controller, a bench) —
+    /// and is persisted by store/ so a saved database reopens live.
+    bool live_views = false;
   };
 
   Database();
@@ -244,7 +285,32 @@ class Database {
   };
   const Stats& stats() const { return stats_; }
 
+  // --- Mutation observers (live-view engine feed). ---
+
+  /// Registers an observer; it must outlive the database or be removed
+  /// first. Restore* calls do not notify (the loader validates wholesale).
+  void AddObserver(MutationObserver* observer);
+  void RemoveObserver(MutationObserver* observer);
+
  private:
+  /// RAII depth guard wrapping every public mutator: OnMutationsSettled
+  /// fires when the outermost one returns, so observers never mutate the
+  /// database re-entrantly under an in-flight mutation.
+  class MutationScope {
+   public:
+    explicit MutationScope(Database* db) : db_(db) { ++db_->mutation_depth_; }
+    ~MutationScope() {
+      if (--db_->mutation_depth_ == 0 && !db_->observers_.empty()) {
+        db_->NotifySettled();
+      }
+    }
+    MutationScope(const MutationScope&) = delete;
+    MutationScope& operator=(const MutationScope&) = delete;
+
+   private:
+    Database* db_;
+  };
+
   struct GroupingCache {
     bool dirty = true;
     std::vector<GroupingBlock> blocks;
@@ -260,10 +326,15 @@ class Database {
   void ScrubReferences(EntityId e, const std::vector<ClassId>& classes);
   void ScrubAllReferences(EntityId e);
 
-  /// Grouping maintenance hooks.
+  /// Grouping maintenance hooks (also the observer fan-out sites).
   void OnAttributeValueChange(EntityId e, AttributeId attr,
                               const EntitySet& before, const EntitySet& after);
   void OnMembershipChange(EntityId e, ClassId cls, bool added);
+  void NotifySchemaChange();
+  void NotifySettled();
+  /// Surfaces an entity rename as a naming-attribute value delta.
+  void NotifyRename(EntityId e, ClassId base, const std::string& old_name,
+                    const std::string& new_name);
   void MarkGroupingsDirtyOn(AttributeId attr);
   void RebuildGrouping(GroupingId g, GroupingCache* cache) const;
   void IncrementalGroupingUpdate(GroupingId g, EntityId e,
@@ -293,6 +364,8 @@ class Database {
 
   mutable std::unordered_map<std::int64_t, GroupingCache> grouping_cache_;
   mutable Stats stats_;
+  std::vector<MutationObserver*> observers_;
+  int mutation_depth_ = 0;
   static const EntitySet kEmptySet;
 };
 

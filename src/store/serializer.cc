@@ -184,7 +184,8 @@ std::string Save(const Workspace& ws) {
   out << "ISIS|" << kFormatVersion << "\n";
   out << "name|" << Escape(ws.name()) << "\n";
   out << "options|" << (db.options().incremental_groupings ? 1 : 0) << "|"
-      << (schema.options().allow_multiple_parents ? 1 : 0) << "\n";
+      << (schema.options().allow_multiple_parents ? 1 : 0) << "|"
+      << (db.options().live_views ? 1 : 0) << "\n";
 
   for (ClassId c : schema.AllClasses()) {
     if (c.value() < 4) continue;  // predefined classes are deterministic
@@ -311,9 +312,11 @@ Status LoadInto(const std::string& text, Workspace* ws_out,
     std::vector<std::string> f = Split(lines[body_start], '|');
     if (f[0] == "name" && f.size() == 2) {
       name = Unescape(f[1]);
-    } else if (f[0] == "options" && f.size() == 3) {
+    } else if (f[0] == "options" && (f.size() == 3 || f.size() == 4)) {
       options.incremental_groupings = f[1] == "1";
       options.schema.allow_multiple_parents = f[2] == "1";
+      // Field added later; files saved before it default to off.
+      options.live_views = f.size() >= 4 && f[3] == "1";
     } else {
       break;
     }

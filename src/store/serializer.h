@@ -14,7 +14,7 @@
 ///
 ///   ISIS|1
 ///   name|Instrumental_Music
-///   options|incremental_groupings|allow_multiple_parents
+///   options|incremental_groupings|allow_multiple_parents|live_views
 ///   class|id|name|membership|base_kind|fill|parents|own_attrs
 ///   attr|id|name|owner|value_class|grouping|multi|naming|origin
 ///   grouping|id|name|parent|attr|fill

@@ -31,7 +31,21 @@ using sdm::Schema;
 
 SessionController::SessionController(std::unique_ptr<query::Workspace> ws)
     : ws_(std::move(ws)) {
+  AttachLiveEngine();
   Say("database '" + ws_->name() + "' loaded; pick an object to focus on");
+}
+
+void SessionController::AttachLiveEngine() {
+  live_.reset();
+  if (ws_->db().options().live_views) {
+    live_ = std::make_unique<live::LiveViewEngine>(ws_.get());
+  }
+}
+
+void SessionController::RefreshDerived() {
+  if (live_ != nullptr) return;  // Already maintained incrementally.
+  Status st = ws_->ReevaluateAll();
+  if (!st.ok()) Say(message_ + " [" + st.ToString() + "]");
 }
 
 const Screen& SessionController::Render() {
@@ -173,6 +187,7 @@ Status SessionController::PickClass(const std::string& name) {
     Say("value class of '" +
         schema.GetAttribute(state_.selection.attribute).name + "' is now '" +
         name + "'");
+    RefreshDerived();  // Scrubbed values can change derived views.
     screen_valid_ = false;
     return Status::OK();
   }
@@ -192,6 +207,7 @@ Status SessionController::PickClass(const std::string& name) {
             schema.GetClass(state_.selection.cls).name + " <- " + name);
     Say("'" + name + "' is now an additional parent of '" +
         schema.GetClass(state_.selection.cls).name + "'");
+    RefreshDerived();
     screen_valid_ = false;
     return Status::OK();
   }
@@ -893,6 +909,7 @@ Status SessionController::CmdDelete() {
   state_.selection = SchemaSelection::None();
   Journal("delete", what);
   Say("deleted " + what);
+  RefreshDerived();  // Scrubbed references can change remaining views.
   return Status::OK();
 }
 
@@ -947,6 +964,7 @@ Status SessionController::CmdAssignAttrValue() {
               " entit(ies)");
   Say("assigned '" + def.name + "' for " +
       std::to_string(source.selected.size()) + " entit(ies)");
+  RefreshDerived();
   return Status::OK();
 }
 
@@ -993,6 +1011,7 @@ Status SessionController::CmdDeleteEntity() {
   }
   Journal("delete entity", std::to_string(doomed.size()) + " entit(ies)");
   Say("deleted " + std::to_string(doomed.size()) + " entit(ies)");
+  RefreshDerived();
   return Status::OK();
 }
 
@@ -1282,7 +1301,9 @@ Status SessionController::CmdUndo() {
   if (!restored.ok()) return Fail(restored.status());
   redo_.push_back(store::Save(*ws_));
   undo_.pop_back();
+  live_.reset();  // Observes the old database; must go before ws_.
   ws_ = std::move(restored).ValueOrDie();
+  AttachLiveEngine();
   // Selections and pages may refer to objects that no longer exist.
   const Schema& schema = ws_->db().schema();
   if ((state_.selection.kind == SchemaSelection::Kind::kClass &&
@@ -1321,7 +1342,9 @@ Status SessionController::CmdRedo() {
   if (!restored.ok()) return Fail(restored.status());
   undo_.push_back(store::Save(*ws_));
   redo_.pop_back();
+  live_.reset();  // Observes the old database; must go before ws_.
   ws_ = std::move(restored).ValueOrDie();
+  AttachLiveEngine();
   Journal("redo", "");
   Say("redone");
   return Status::OK();
@@ -1418,6 +1441,7 @@ Status SessionController::HandleText(const std::string& text) {
                     " member(s))");
         Say("user-defined subclass '" + text + "' created with " +
             std::to_string(source.selected.size()) + " member(s)");
+        RefreshDerived();
         return Status::OK();
       }
       Result<ClassId> cls = ws_->db().CreateSubclass(
@@ -1484,6 +1508,7 @@ Status SessionController::HandleText(const std::string& text) {
               text + " in " + schema.GetClass(top->cls).name);
       Say("entity '" + text + "' created in '" +
           schema.GetClass(top->cls).name + "'");
+      RefreshDerived();
       return Status::OK();
     }
     case Prompt::kRename: {
@@ -1523,7 +1548,9 @@ Status SessionController::HandleText(const std::string& text) {
       Result<std::unique_ptr<query::Workspace>> loaded =
           store::LoadFromFile(text + ".isis");
       if (!loaded.ok()) return Fail(loaded.status());
+      live_.reset();  // Observes the old database; must go before ws_.
       ws_ = std::move(loaded).ValueOrDie();
+      AttachLiveEngine();
       // A fresh database: selections, pages and undo history reset; the
       // session journal keeps running (the load is itself design history).
       state_ = SessionState{};

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "input/event.h"
+#include "live/engine.h"
 #include "query/workspace.h"
 #include "ui/journal.h"
 #include "ui/screen.h"
@@ -70,6 +71,10 @@ class SessionController {
   /// database design"). Records every successful design action; not rolled
   /// back by undo (the undo itself is recorded).
   const DesignJournal& journal() const { return journal_; }
+
+  /// The live-view engine, if the database was opened with
+  /// Options::live_views (nullptr otherwise). For tests and status display.
+  const live::LiveViewEngine* live_engine() const { return live_.get(); }
 
  private:
   // Event handlers.
@@ -126,12 +131,23 @@ class SessionController {
   void BeginTempVisit(TempVisit kind, Level target_level);
   void EndTempVisit();
   void PushUndoSnapshot();
+  /// Attaches a LiveViewEngine when the workspace opted in
+  /// (Options::live_views); called on construction and whenever ws_ is
+  /// replaced (undo, redo, load).
+  void AttachLiveEngine();
+  /// Brings derived subclasses/attributes up to date after a data edit:
+  /// a no-op with the live engine attached (it already maintained them),
+  /// otherwise a full ReevaluateAll.
+  void RefreshDerived();
   Status Fail(const Status& st);
   void Say(const std::string& msg);
   /// Records a successful design action in the journal.
   void Journal(const std::string& action, const std::string& detail);
 
   std::unique_ptr<query::Workspace> ws_;
+  /// Declared after ws_ so it is destroyed first (it unregisters its
+  /// observer from ws_'s database).
+  std::unique_ptr<live::LiveViewEngine> live_;
   SessionState state_;
   std::string message_;
   Screen screen_;

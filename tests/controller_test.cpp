@@ -541,5 +541,40 @@ TEST_F(ControllerTest, RedoClearedByNewMutation) {
   EXPECT_TRUE(Run("cmd redo\n").IsInvalidArgument());
 }
 
+// Regression: with the live engine off, a data edit must still refresh the
+// stored derived views before the next render (the controller re-runs
+// ReevaluateAll itself). Ray gains a stringed instrument and must show up in
+// the derived play_strings subclass with no explicit recomputation.
+TEST_F(ControllerTest, DataEditsRefreshDerivedViewsWithoutEngine) {
+  EXPECT_EQ(session_.live_engine(), nullptr);  // default options: engine off
+  ASSERT_TRUE(Run("pick class:musicians\n"
+                  "cmd view contents\n"
+                  "pick member:Ray\n"
+                  "cmd follow\n"
+                  "pick attr:plays\n"
+                  "pick member:violin\n"
+                  "cmd (re)assign att. value\n")
+                  .ok());
+  const sdm::Schema& s = db().schema();
+  ClassId musicians = *s.FindClass("musicians");
+  ClassId play_strings = *s.FindClass("play_strings");
+  EntityId ray = *db().FindEntity(musicians, "Ray");
+  EXPECT_TRUE(db().IsMember(ray, play_strings));
+  // And dropping the instrument again removes him.
+  ASSERT_TRUE(Run("pick member:violin\n"
+                  "cmd (re)assign att. value\n")
+                  .ok());
+  EXPECT_FALSE(db().IsMember(ray, play_strings));
+}
+
+// When the database opted into live views, the controller attaches the
+// engine and data edits are maintained by deltas instead of ReevaluateAll.
+TEST(ControllerLiveViewsTest, EngineAttachesWhenOptedIn) {
+  sdm::Database::Options opt;
+  opt.live_views = true;
+  SessionController session(std::make_unique<query::Workspace>(opt));
+  EXPECT_NE(session.live_engine(), nullptr);
+}
+
 }  // namespace
 }  // namespace isis::ui
