@@ -1,69 +1,122 @@
 /// \file bench_store.cpp
-/// \brief Save/load cost of the store format vs database size (the paper's
-/// session ends by saving the database; undo/redo snapshots also ride this
-/// path).
+/// \brief Durable store costs: atomic checkpoint save/load and the
+/// write-ahead log's append and crash-recovery replay.
+///
+/// Times the four durability operations on scaled_music at several scales
+/// and emits one machine-readable JSON line per configuration:
+///
+///   {"name":"store_durability","op":"checkpoint_save","scale":16,...}
+///
+/// ops:
+///   checkpoint_save   store::SaveToFile — serialize + seal v2 + write-to-
+///                     temp + fsync + rename, per call
+///   checkpoint_load   store::LoadFromFile — read + checksum-verify +
+///                     rebuild + consistency check, per call
+///   wal_append_event  one durable session event end to end: dispatch +
+///                     frame + write + fsync, per event
+///   wal_replay        crash recovery: read log, load base checkpoint,
+///                     replay every event, re-validate — per logged event
+///
+/// A custom main (not Google Benchmark): each sample does real fsyncs, far
+/// too slow for statistical repetition, and the JSON-lines contract is the
+/// point.
 
-#include <benchmark/benchmark.h>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
 
 #include "datasets/scaled_music.h"
+#include "store/file.h"
 #include "store/serializer.h"
+#include "ui/controller.h"
 
 namespace {
 
+using Clock = std::chrono::steady_clock;
 using isis::datasets::BuildScaledMusic;
+using isis::ui::SessionController;
 
-void BM_Save(benchmark::State& state) {
-  auto ws = BuildScaledMusic(static_cast<int>(state.range(0)));
-  size_t bytes = 0;
-  for (auto _ : state) {
-    std::string blob = isis::store::Save(*ws);
-    bytes = blob.size();
-    benchmark::DoNotOptimize(blob.data());
-  }
-  state.counters["bytes"] = static_cast<double>(bytes);
-  state.SetBytesProcessed(static_cast<std::int64_t>(bytes) *
-                          state.iterations());
+double NsSince(Clock::time_point t0) {
+  return static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - t0)
+          .count());
 }
-BENCHMARK(BM_Save)
-    ->RangeMultiplier(4)
-    ->Range(1, 256)
-    ->Unit(benchmark::kMicrosecond);
 
-void BM_Load(benchmark::State& state) {
-  auto ws = BuildScaledMusic(static_cast<int>(state.range(0)));
-  std::string blob = isis::store::Save(*ws);
-  for (auto _ : state) {
-    auto loaded = isis::store::Load(blob);
-    if (!loaded.ok()) state.SkipWithError(loaded.status().ToString().c_str());
-    benchmark::DoNotOptimize((*loaded)->db().AllEntities().size());
-  }
-  state.SetBytesProcessed(static_cast<std::int64_t>(blob.size()) *
-                          state.iterations());
+void Emit(const char* op, int scale, const char* extra_key,
+          long long extra_value, double ns_per_op) {
+  std::printf(
+      "{\"name\":\"store_durability\",\"op\":\"%s\",\"scale\":%d,"
+      "\"%s\":%lld,\"ns_per_op\":%.0f}\n",
+      op, scale, extra_key, extra_value, ns_per_op);
+  std::fflush(stdout);
 }
-BENCHMARK(BM_Load)
-    ->RangeMultiplier(4)
-    ->Range(1, 256)
-    ->Unit(benchmark::kMicrosecond);
 
-/// The undo snapshot pair (save current + reload previous) as the UI pays
-/// it on every mutating command.
-void BM_UndoSnapshotCycle(benchmark::State& state) {
-  auto ws = BuildScaledMusic(static_cast<int>(state.range(0)));
-  std::string snapshot = isis::store::Save(*ws);
-  for (auto _ : state) {
-    std::string current = isis::store::Save(*ws);
-    auto restored = isis::store::Load(snapshot);
-    if (!restored.ok()) {
-      state.SkipWithError(restored.status().ToString().c_str());
+void RunScale(int scale) {
+  const std::string name = "bench_store_db";
+  const std::string ckpt = name + ".isis";
+  const std::string wal = name + ".isis.wal";
+  isis::store::FileEnv* env = isis::store::FileEnv::Default();
+  (void)env->Remove(ckpt);
+  (void)env->Remove(wal);
+
+  auto ws = BuildScaledMusic(scale, /*seed=*/7);
+  ws->set_name(name);
+  const long long bytes =
+      static_cast<long long>(isis::store::Save(*ws).size());
+
+  // Checkpoint save: serialize, seal, write-to-temp, fsync, rename.
+  const int kIters = 5;
+  auto t0 = Clock::now();
+  for (int i = 0; i < kIters; ++i) {
+    if (!isis::store::SaveToFile(*ws, ckpt).ok()) std::abort();
+  }
+  Emit("checkpoint_save", scale, "bytes", bytes, NsSince(t0) / kIters);
+
+  // Checkpoint load: read, verify every checksum, rebuild, re-check.
+  t0 = Clock::now();
+  for (int i = 0; i < kIters; ++i) {
+    if (!isis::store::LoadFromFile(ckpt).ok()) std::abort();
+  }
+  Emit("checkpoint_load", scale, "bytes", bytes, NsSince(t0) / kIters);
+
+  // WAL append: a durable session dispatching real events, each made
+  // durable (write + fsync) before the next is accepted.
+  auto session = SessionController::OpenDurable(std::move(ws), {"."});
+  if (!session.ok()) std::abort();
+  const int kCreates = 10;
+  const long long events = 3 * kCreates;
+  t0 = Clock::now();
+  for (int c = 0; c < kCreates; ++c) {
+    if (!(*session)
+             ->RunScript("pick class:musicians\ncmd create subclass\n"
+                         "type bench_sub_" +
+                         std::to_string(c) + "\n")
+             .ok()) {
+      std::abort();
     }
-    benchmark::DoNotOptimize(current.size());
   }
+  Emit("wal_append_event", scale, "events", events,
+       NsSince(t0) / static_cast<double>(events));
+
+  // Crash (no orderly shutdown), then time recovery: replay the log.
+  session->reset();
+  auto ws2 = BuildScaledMusic(scale, /*seed=*/7);
+  ws2->set_name(name);
+  t0 = Clock::now();
+  auto recovered = SessionController::OpenDurable(std::move(ws2), {"."});
+  double ns = NsSince(t0);
+  if (!recovered.ok()) std::abort();
+  Emit("wal_replay", scale, "events", events,
+       ns / static_cast<double>(events));
+
+  (void)env->Remove(ckpt);
+  (void)env->Remove(wal);
 }
-BENCHMARK(BM_UndoSnapshotCycle)
-    ->RangeMultiplier(4)
-    ->Range(1, 64)
-    ->Unit(benchmark::kMicrosecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main() {
+  for (int scale : {4, 16, 64}) RunScale(scale);
+  return 0;
+}

@@ -16,9 +16,12 @@
 /// `query music_groups e.size = {4} and e.members.plays ]= {piano}`), and
 /// `quit`.
 ///
-/// Run: ./isis_repl [database.isis]
-///   with no argument the paper's Instrumental_Music database loads;
-///   with one, the named store file.
+/// Run: ./isis_repl [--durable <dir>] [database.isis]
+///   with no database argument the paper's Instrumental_Music database
+///   loads; with one, the named store file. With `--durable <dir>` the
+///   session writes a checksummed write-ahead edit log in <dir> and, after
+///   a crash, restarting with the same flag replays it — the session
+///   resumes exactly where it died, design journal included.
 ///
 /// Try:  echo "pick class:soloists" | ./isis_repl
 
@@ -90,12 +93,28 @@ void PrintHits(ui::SessionController* session) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  std::string durable_dir;
+  std::string db_path;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--durable") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "usage: %s [--durable <dir>] [database.isis]\n",
+                     argv[0]);
+        return 1;
+      }
+      durable_dir = argv[++i];
+    } else {
+      db_path = arg;
+    }
+  }
+
   std::unique_ptr<query::Workspace> ws;
-  if (argc > 1) {
+  if (!db_path.empty()) {
     Result<std::unique_ptr<query::Workspace>> loaded =
-        store::LoadFromFile(argv[1]);
+        store::LoadFromFile(db_path);
     if (!loaded.ok()) {
-      std::fprintf(stderr, "cannot load '%s': %s\n", argv[1],
+      std::fprintf(stderr, "cannot load '%s': %s\n", db_path.c_str(),
                    loaded.status().ToString().c_str());
       return 1;
     }
@@ -104,7 +123,24 @@ int main(int argc, char** argv) {
     ws = datasets::BuildInstrumentalMusic();
   }
 
-  ui::SessionController session(std::move(ws));
+  std::unique_ptr<ui::SessionController> owned;
+  if (durable_dir.empty()) {
+    owned = std::make_unique<ui::SessionController>(std::move(ws));
+  } else {
+    // Durable: leftover `<dir>/<name>.isis.wal` from a crashed session is
+    // replayed; otherwise a fresh log starts at this workspace.
+    Result<std::unique_ptr<ui::SessionController>> opened =
+        ui::SessionController::OpenDurable(std::move(ws), {durable_dir});
+    if (!opened.ok()) {
+      std::fprintf(stderr, "cannot open durable session in '%s': %s\n",
+                   durable_dir.c_str(), opened.status().ToString().c_str());
+      return 1;
+    }
+    owned = std::move(opened).ValueOrDie();
+    std::printf("durable session: edit log at %s\n",
+                owned->wal_path().c_str());
+  }
+  ui::SessionController& session = *owned;
   PrintScreen(&session);
   std::printf("> ");
   std::fflush(stdout);

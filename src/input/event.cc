@@ -18,6 +18,46 @@ std::string EventToString(const Event& e) {
   return "pick[" + n.target + "]";
 }
 
+std::string EncodeEvent(const Event& e) {
+  if (const auto* p = std::get_if<PickEvent>(&e)) {
+    return "pickat " + std::to_string(p->x) + " " + std::to_string(p->y);
+  }
+  if (const auto* c = std::get_if<CommandEvent>(&e)) {
+    return "cmd " + Escape(c->command);
+  }
+  if (const auto* t = std::get_if<TextEvent>(&e)) {
+    return "type " + Escape(t->text);
+  }
+  return "pick " + Escape(std::get<NamedPickEvent>(e).target);
+}
+
+Result<Event> DecodeEvent(const std::string& line) {
+  size_t sp = line.find(' ');
+  std::string verb = line.substr(0, sp);
+  // No Trim: text arguments round-trip exactly, including spaces.
+  std::string arg = sp == std::string::npos ? "" : line.substr(sp + 1);
+  if (verb == "pickat") {
+    std::vector<std::string> parts = Split(arg, ' ');
+    if (parts.size() != 2) {
+      return Status::ParseError("bad pickat event: '" + line + "'");
+    }
+    char* end = nullptr;
+    int x = static_cast<int>(std::strtol(parts[0].c_str(), &end, 10));
+    if (end == parts[0].c_str() || *end != '\0') {
+      return Status::ParseError("bad pickat x: '" + line + "'");
+    }
+    int y = static_cast<int>(std::strtol(parts[1].c_str(), &end, 10));
+    if (end == parts[1].c_str() || *end != '\0') {
+      return Status::ParseError("bad pickat y: '" + line + "'");
+    }
+    return Event{PickEvent{x, y}};
+  }
+  if (verb == "cmd") return Event{CommandEvent{Unescape(arg)}};
+  if (verb == "type") return Event{TextEvent{Unescape(arg)}};
+  if (verb == "pick") return Event{NamedPickEvent{Unescape(arg)}};
+  return Status::ParseError("bad event encoding: '" + line + "'");
+}
+
 Event EventQueue::Pop() {
   Event e = std::move(events_.front());
   events_.pop_front();

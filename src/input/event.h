@@ -52,6 +52,14 @@ using Event =
 /// Short display form for traces, e.g. `pick(12,3)` or `cmd[follow]`.
 std::string EventToString(const Event& e);
 
+/// Exact one-line encoding for the write-ahead log: the script verb forms
+/// with string arguments escaped, so any event round-trips through
+/// DecodeEvent byte-for-byte (unlike ParseScript, no trimming/comments).
+std::string EncodeEvent(const Event& e);
+
+/// Inverse of EncodeEvent.
+Result<Event> DecodeEvent(const std::string& line);
+
 /// \brief FIFO of pending events.
 class EventQueue {
  public:

@@ -1,0 +1,59 @@
+#include "store/crc32.h"
+
+#include <array>
+
+namespace isis::store {
+
+namespace {
+
+std::array<std::uint32_t, 256> MakeTable() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t Crc32(std::string_view data, std::uint32_t seed) {
+  static const std::array<std::uint32_t, 256> kTable = MakeTable();
+  std::uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (unsigned char byte : data) {
+    c = kTable[(c ^ byte) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+std::string Crc32Hex(std::uint32_t crc) {
+  static const char* kDigits = "0123456789abcdef";
+  std::string out(8, '0');
+  for (int i = 7; i >= 0; --i) {
+    out[i] = kDigits[crc & 0xFu];
+    crc >>= 4;
+  }
+  return out;
+}
+
+bool ParseCrc32Hex(std::string_view text, std::uint32_t* out) {
+  if (text.size() != 8) return false;
+  std::uint32_t v = 0;
+  for (char ch : text) {
+    v <<= 4;
+    if (ch >= '0' && ch <= '9') {
+      v |= static_cast<std::uint32_t>(ch - '0');
+    } else if (ch >= 'a' && ch <= 'f') {
+      v |= static_cast<std::uint32_t>(ch - 'a' + 10);
+    } else {
+      return false;
+    }
+  }
+  *out = v;
+  return true;
+}
+
+}  // namespace isis::store

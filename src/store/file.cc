@@ -1,0 +1,241 @@
+#include "store/file.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#define ISIS_HAVE_FSYNC 1
+#endif
+
+namespace isis::store {
+
+namespace {
+
+class StdioWritableFile : public WritableFile {
+ public:
+  StdioWritableFile(std::FILE* f, std::string path)
+      : f_(f), path_(std::move(path)) {}
+
+  ~StdioWritableFile() override {
+    if (f_ != nullptr) std::fclose(f_);
+  }
+
+  Status Write(std::string_view data) override {
+    if (f_ == nullptr) return Status::IOError("'" + path_ + "' is closed");
+    if (std::fwrite(data.data(), 1, data.size(), f_) != data.size()) {
+      return Status::IOError("short write to '" + path_ + "'");
+    }
+    return Status::OK();
+  }
+
+  Status Sync() override {
+    if (f_ == nullptr) return Status::IOError("'" + path_ + "' is closed");
+    if (std::fflush(f_) != 0) {
+      return Status::IOError("flush of '" + path_ + "' failed");
+    }
+#ifdef ISIS_HAVE_FSYNC
+    if (fsync(fileno(f_)) != 0) {
+      return Status::IOError("fsync of '" + path_ + "' failed");
+    }
+#endif
+    return Status::OK();
+  }
+
+  Status Close() override {
+    if (f_ == nullptr) return Status::OK();
+    std::FILE* f = f_;
+    f_ = nullptr;
+    if (std::fclose(f) != 0) {
+      return Status::IOError("close of '" + path_ + "' failed");
+    }
+    return Status::OK();
+  }
+
+ private:
+  std::FILE* f_;
+  std::string path_;
+};
+
+class DefaultFileEnv : public FileEnv {
+ public:
+  Result<std::unique_ptr<WritableFile>> OpenForWrite(const std::string& path,
+                                                     bool append) override {
+    std::FILE* f = std::fopen(path.c_str(), append ? "ab" : "wb");
+    if (f == nullptr) {
+      return Status::IOError("cannot open '" + path + "' for writing");
+    }
+    return std::unique_ptr<WritableFile>(
+        std::make_unique<StdioWritableFile>(f, path));
+  }
+
+  Status Rename(const std::string& from, const std::string& to) override {
+    if (std::rename(from.c_str(), to.c_str()) != 0) {
+      return Status::IOError("rename '" + from + "' -> '" + to + "' failed");
+    }
+    return Status::OK();
+  }
+
+  Status Remove(const std::string& path) override {
+    std::remove(path.c_str());  // Absence is the goal either way.
+    return Status::OK();
+  }
+
+  Result<std::string> ReadFile(const std::string& path) override {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) return Status::IOError("cannot open '" + path + "'");
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    if (in.bad()) return Status::IOError("I/O error reading '" + path + "'");
+    return buf.str();
+  }
+
+  bool Exists(const std::string& path) override {
+    std::ifstream in(path, std::ios::binary);
+    return static_cast<bool>(in);
+  }
+};
+
+}  // namespace
+
+FileEnv* FileEnv::Default() {
+  static DefaultFileEnv env;
+  return &env;
+}
+
+Status AtomicWriteFile(FileEnv* env, const std::string& path,
+                       std::string_view contents) {
+  const std::string tmp = path + ".tmp";
+  Status st = [&]() -> Status {
+    Result<std::unique_ptr<WritableFile>> file =
+        env->OpenForWrite(tmp, /*append=*/false);
+    ISIS_RETURN_NOT_OK(file.status());
+    ISIS_RETURN_NOT_OK((*file)->Write(contents));
+    ISIS_RETURN_NOT_OK((*file)->Sync());
+    ISIS_RETURN_NOT_OK((*file)->Close());
+    return env->Rename(tmp, path);
+  }();
+  if (!st.ok()) (void)env->Remove(tmp);
+  return st;
+}
+
+// --- Fault injection. ---
+
+/// Buffers writes like an OS page cache: bytes become durable in the base
+/// file on Sync/Close only, so a crash loses everything unsynced (and a
+/// torn write persists just a prefix of the buffer). Named (not in the
+/// anonymous namespace) to match the friend declaration in file.h.
+class FaultWritableFile : public WritableFile {
+ public:
+  FaultWritableFile(FaultInjectingEnv* env, std::unique_ptr<WritableFile> base)
+      : env_(env), base_(std::move(base)) {}
+
+  Status Write(std::string_view data) override;
+  Status Sync() override;
+  Status Close() override;
+
+ private:
+  FaultInjectingEnv* env_;
+  std::unique_ptr<WritableFile> base_;
+  std::string pending_;
+};
+
+FaultInjectingEnv::FaultInjectingEnv(FaultPlan plan, FileEnv* base)
+    : plan_(plan), base_(base != nullptr ? base : FileEnv::Default()) {}
+
+Status FaultInjectingEnv::Injected(const std::string& what) {
+  crashed_ = true;
+  return Status::IOError(plan_.enospc
+                             ? "injected fault: no space left on device (" +
+                                   what + ")"
+                             : "injected fault: " + what);
+}
+
+Result<std::unique_ptr<WritableFile>> FaultInjectingEnv::OpenForWrite(
+    const std::string& path, bool append) {
+  if (crashed_) return Status::IOError("crashed env: open '" + path + "'");
+  int op = opens_++;
+  if (op == plan_.fail_open) return Injected("open '" + path + "'");
+  Result<std::unique_ptr<WritableFile>> base =
+      base_->OpenForWrite(path, append);
+  ISIS_RETURN_NOT_OK(base.status());
+  return std::unique_ptr<WritableFile>(
+      std::make_unique<FaultWritableFile>(this, std::move(*base)));
+}
+
+Status FaultInjectingEnv::Rename(const std::string& from,
+                                 const std::string& to) {
+  if (crashed_) return Status::IOError("crashed env: rename '" + from + "'");
+  int op = renames_++;
+  if (op == plan_.fail_rename) return Injected("rename '" + from + "'");
+  return base_->Rename(from, to);
+}
+
+Status FaultInjectingEnv::Remove(const std::string& path) {
+  if (crashed_) return Status::IOError("crashed env: remove '" + path + "'");
+  return base_->Remove(path);
+}
+
+Result<std::string> FaultInjectingEnv::ReadFile(const std::string& path) {
+  if (crashed_) return Status::IOError("crashed env: read '" + path + "'");
+  return base_->ReadFile(path);
+}
+
+bool FaultInjectingEnv::Exists(const std::string& path) {
+  return base_->Exists(path);
+}
+
+Status FaultWritableFile::Write(std::string_view data) {
+  if (env_->crashed()) return Status::IOError("crashed env: write");
+  int op = env_->writes_++;
+  pending_.append(data);
+  if (op == env_->plan_.fail_write) {
+    // Torn write: a prefix of the unsynced bytes may still hit the disk.
+    size_t keep = static_cast<size_t>(
+        std::max(0L, std::min(env_->plan_.persist_prefix,
+                              static_cast<long>(pending_.size()))));
+    if (keep > 0 && base_->Write(std::string_view(pending_).substr(0, keep))
+                        .ok()) {
+      (void)base_->Sync();
+    }
+    pending_.clear();
+    return env_->Injected("write");
+  }
+  return Status::OK();
+}
+
+Status FaultWritableFile::Sync() {
+  if (env_->crashed()) return Status::IOError("crashed env: sync");
+  int op = env_->syncs_++;
+  if (op == env_->plan_.fail_sync) {
+    size_t keep = static_cast<size_t>(
+        std::max(0L, std::min(env_->plan_.persist_prefix,
+                              static_cast<long>(pending_.size()))));
+    if (keep > 0 && base_->Write(std::string_view(pending_).substr(0, keep))
+                        .ok()) {
+      (void)base_->Sync();
+    }
+    pending_.clear();
+    return env_->Injected("fsync");
+  }
+  Status st = base_->Write(pending_);
+  pending_.clear();
+  ISIS_RETURN_NOT_OK(st);
+  return base_->Sync();
+}
+
+Status FaultWritableFile::Close() {
+  if (env_->crashed()) {
+    // The handle dies with the process: unsynced bytes are gone.
+    pending_.clear();
+    return Status::IOError("crashed env: close");
+  }
+  Status st = base_->Write(pending_);
+  pending_.clear();
+  ISIS_RETURN_NOT_OK(st);
+  return base_->Close();
+}
+
+}  // namespace isis::store

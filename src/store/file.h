@@ -1,0 +1,130 @@
+/// \file file.h
+/// \brief Store I/O abstraction with an injectable failure policy.
+///
+/// Every byte the durable store writes — checkpoints and WAL frames — goes
+/// through a FileEnv, so tests can crash the save/append path at every
+/// write, fsync and rename point and assert the recovery invariant: after
+/// any injected failure, load recovers either the old state or the new
+/// state, never a corrupt or inconsistent one.
+///
+/// The fault-injecting env models a process/OS crash pessimistically:
+/// written bytes are buffered and reach the underlying file only on Sync
+/// or Close (the "page cache"); once a fault fires the env is dead and
+/// every later operation fails, like a killed process. A write fault can
+/// persist a prefix of the buffered bytes first (a torn write / ENOSPC).
+
+#ifndef ISIS_STORE_FILE_H_
+#define ISIS_STORE_FILE_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+
+namespace isis::store {
+
+/// \brief A writable file handle: buffered writes, durable after Sync.
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+
+  /// Appends `data` at the current end of the file.
+  virtual Status Write(std::string_view data) = 0;
+
+  /// Flushes application and OS buffers (fflush + fsync).
+  virtual Status Sync() = 0;
+
+  /// Flushes and closes. Idempotent; the destructor closes without
+  /// reporting errors, so call Close() wherever the result matters.
+  virtual Status Close() = 0;
+};
+
+/// \brief The store's view of the filesystem.
+class FileEnv {
+ public:
+  virtual ~FileEnv() = default;
+
+  /// Opens `path` for writing: truncates when `append` is false.
+  virtual Result<std::unique_ptr<WritableFile>> OpenForWrite(
+      const std::string& path, bool append) = 0;
+
+  /// Atomically replaces `to` with `from` (POSIX rename semantics).
+  virtual Status Rename(const std::string& from, const std::string& to) = 0;
+
+  /// Deletes `path`. Not an error if it does not exist.
+  virtual Status Remove(const std::string& path) = 0;
+
+  /// Whole-file read (binary).
+  virtual Result<std::string> ReadFile(const std::string& path) = 0;
+
+  virtual bool Exists(const std::string& path) = 0;
+
+  /// The real filesystem. Never null; shared, stateless.
+  static FileEnv* Default();
+};
+
+/// Writes `contents` to `path` atomically: write to `path + ".tmp"`, flush
+/// and fsync, close, rename over `path`. A crash at any point leaves either
+/// the old file or the new file, never a torn mixture. The temp file is
+/// removed on failure (best effort).
+Status AtomicWriteFile(FileEnv* env, const std::string& path,
+                       std::string_view contents);
+
+/// \brief Which operation of a FaultInjectingEnv's lifetime fails.
+///
+/// Indices are 0-based counts per operation kind across the whole env
+/// (all files), matching the counters a fault-free planning run reports.
+/// -1 means "never". After the first fault fires the env is crashed.
+struct FaultPlan {
+  int fail_write = -1;    ///< Fail the Nth WritableFile::Write.
+  int fail_sync = -1;     ///< Fail the Nth WritableFile::Sync.
+  int fail_rename = -1;   ///< Fail the Nth FileEnv::Rename.
+  int fail_open = -1;     ///< Fail the Nth FileEnv::OpenForWrite.
+  /// On a write/sync fault, persist this many of the not-yet-durable bytes
+  /// first (a torn write). 0 = nothing of the failed buffer survives.
+  long persist_prefix = 0;
+  /// Report injected failures as out-of-disk-space instead of generic I/O.
+  bool enospc = false;
+};
+
+/// \brief FileEnv decorator that injects one fault, then plays dead.
+class FaultInjectingEnv : public FileEnv {
+ public:
+  explicit FaultInjectingEnv(FaultPlan plan, FileEnv* base = nullptr);
+
+  Result<std::unique_ptr<WritableFile>> OpenForWrite(
+      const std::string& path, bool append) override;
+  Status Rename(const std::string& from, const std::string& to) override;
+  Status Remove(const std::string& path) override;
+  Result<std::string> ReadFile(const std::string& path) override;
+  bool Exists(const std::string& path) override;
+
+  /// Operation totals so far — run once fault-free to enumerate the fault
+  /// points, then re-run with each `FaultPlan{.fail_* = i}`.
+  int writes() const { return writes_; }
+  int syncs() const { return syncs_; }
+  int renames() const { return renames_; }
+  int opens() const { return opens_; }
+
+  /// True once a fault has fired; every operation fails from then on.
+  bool crashed() const { return crashed_; }
+
+ private:
+  friend class FaultWritableFile;
+
+  Status Injected(const std::string& what);
+
+  FaultPlan plan_;
+  FileEnv* base_;
+  int writes_ = 0;
+  int syncs_ = 0;
+  int renames_ = 0;
+  int opens_ = 0;
+  bool crashed_ = false;
+};
+
+}  // namespace isis::store
+
+#endif  // ISIS_STORE_FILE_H_

@@ -7,6 +7,7 @@
 
 #include "common/strings.h"
 #include "sdm/consistency.h"
+#include "store/crc32.h"
 
 namespace isis::store {
 
@@ -181,7 +182,6 @@ std::string Save(const Workspace& ws) {
   const Database& db = ws.db();
   const Schema& schema = db.schema();
   std::ostringstream out;
-  out << "ISIS|" << kFormatVersion << "\n";
   out << "name|" << Escape(ws.name()) << "\n";
   out << "options|" << (db.options().incremental_groupings ? 1 : 0) << "|"
       << (schema.options().allow_multiple_parents ? 1 : 0) << "|"
@@ -278,8 +278,29 @@ std::string Save(const Workspace& ws) {
     out << "constraint|" << Escape(c->name) << "|" << c->cls.value() << "|"
         << EncodePredicate(c->predicate) << "\n";
   }
-  out << "end\n";
-  return out.str();
+
+  // Seal (format v2): each record line gains a trailing CRC-32 field, and
+  // the `end` trailer fixes the record count plus a CRC chained over every
+  // record payload, so truncation, splicing and bit flips are all detected
+  // at load with a record-level error.
+  const std::string body = out.str();
+  std::ostringstream sealed;
+  sealed << "ISIS|" << kFormatVersion << "\n";
+  std::uint32_t body_crc = 0;
+  size_t count = 0;
+  size_t start = 0;
+  while (start < body.size()) {
+    size_t nl = body.find('\n', start);
+    std::string_view payload(body.data() + start, nl - start);
+    sealed << payload << '|' << Crc32Hex(Crc32(payload)) << '\n';
+    body_crc = Crc32("\n", Crc32(payload, body_crc));
+    ++count;
+    start = nl + 1;
+  }
+  std::string trailer =
+      "end|" + std::to_string(count) + "|" + Crc32Hex(body_crc);
+  sealed << trailer << '|' << Crc32Hex(Crc32(trailer)) << '\n';
+  return sealed.str();
 }
 
 namespace {
@@ -290,23 +311,78 @@ Status LoadInto(const std::string& text, Workspace* ws_out,
   std::istringstream in(text);
   std::string line;
   if (!std::getline(in, line)) return Status::ParseError("empty input");
+  std::int64_t version = 0;
   {
     std::vector<std::string> header = Split(line, '|');
     if (header.size() != 2 || header[0] != "ISIS") {
       return Status::ParseError("missing ISIS header");
     }
-    ISIS_ASSIGN_OR_RETURN(std::int64_t version, DecodeInt(header[1]));
-    if (version != kFormatVersion) {
+    ISIS_ASSIGN_OR_RETURN(version, DecodeInt(header[1]));
+    if (version != 1 && version != kFormatVersion) {
       return Status::ParseError("unsupported format version " +
                                 std::to_string(version));
     }
   }
+  std::vector<std::string> raw;
+  while (std::getline(in, line)) raw.push_back(line);
+
+  // `lines` holds record payloads, `line_no` their 1-based file lines for
+  // error messages. Version 2 strips and verifies the per-line CRC and the
+  // sealed trailer here; version 1 records pass through bare.
+  std::vector<std::string> lines;
+  std::vector<size_t> line_no;
+  bool saw_end = false;
+  if (version == kFormatVersion) {
+    std::uint32_t body_crc = 0;
+    bool trailer_seen = false;
+    for (size_t i = 0; i < raw.size(); ++i) {
+      const size_t n = i + 2;
+      auto bad = [&](const std::string& why) {
+        return Status::ParseError("line " + std::to_string(n) + ": " + why);
+      };
+      if (trailer_seen) return bad("content after sealed trailer");
+      size_t bar = raw[i].rfind('|');
+      std::uint32_t crc = 0;
+      if (bar == std::string::npos ||
+          !ParseCrc32Hex(std::string_view(raw[i]).substr(bar + 1), &crc)) {
+        return bad("missing record checksum (truncated line?)");
+      }
+      std::string payload = raw[i].substr(0, bar);
+      if (Crc32(payload) != crc) {
+        return bad("checksum mismatch (corrupted record)");
+      }
+      if (StartsWith(payload, "end|")) {
+        std::vector<std::string> f = Split(payload, '|');
+        if (f.size() != 3) return bad("malformed sealed trailer");
+        ISIS_ASSIGN_OR_RETURN(std::int64_t count, DecodeInt(f[1]));
+        if (count != static_cast<std::int64_t>(lines.size())) {
+          return bad("record count mismatch (truncated or spliced file?)");
+        }
+        if (f[2] != Crc32Hex(body_crc)) {
+          return bad("body checksum mismatch (reordered or spliced file?)");
+        }
+        trailer_seen = true;
+        continue;
+      }
+      body_crc = Crc32("\n", Crc32(payload, body_crc));
+      lines.push_back(std::move(payload));
+      line_no.push_back(n);
+    }
+    if (!trailer_seen) {
+      return Status::ParseError("missing sealed trailer (truncated file?)");
+    }
+    saw_end = true;  // The verified trailer is the v2 end marker.
+  } else {
+    for (size_t i = 0; i < raw.size(); ++i) {
+      lines.push_back(raw[i]);
+      line_no.push_back(i + 2);
+    }
+  }
+
   std::string name = "untitled";
   Database::Options options;
-  // First pass over the remaining lines to find name/options before the
+  // First pass over the record lines to find name/options before the
   // Workspace is constructed (options are constructor parameters).
-  std::vector<std::string> lines;
-  while (std::getline(in, line)) lines.push_back(line);
   size_t body_start = 0;
   for (; body_start < lines.size(); ++body_start) {
     std::vector<std::string> f = Split(lines[body_start], '|');
@@ -326,7 +402,6 @@ Status LoadInto(const std::string& text, Workspace* ws_out,
   ws->set_name(name);
   Database& db = ws->db();
   Schema& schema = db.mutable_schema();
-  bool saw_end = false;
 
   for (size_t li = body_start; li < lines.size(); ++li) {
     const std::string& record = lines[li];
@@ -334,7 +409,8 @@ Status LoadInto(const std::string& text, Workspace* ws_out,
     std::vector<std::string> f = Split(record, '|');
     const std::string& tag = f[0];
     auto bad = [&](const std::string& why) {
-      return Status::ParseError("line " + std::to_string(li + 2) + ": " + why);
+      return Status::ParseError("line " + std::to_string(line_no[li]) + ": " +
+                                why);
     };
     if (tag == "end") {
       saw_end = true;
@@ -482,13 +558,13 @@ Result<std::unique_ptr<Workspace>> Load(const std::string& text) {
   return ws;
 }
 
-Status SaveToFile(const Workspace& ws, const std::string& path) {
-  std::ofstream out(path, std::ios::trunc);
-  if (!out) return Status::IOError("cannot open '" + path + "' for writing");
-  out << Save(ws);
-  out.close();
-  if (!out) return Status::IOError("write to '" + path + "' failed");
-  return Status::OK();
+Status SaveToFile(const Workspace& ws, const std::string& path,
+                  FileEnv* env) {
+  // Atomic checkpoint: never truncate the only copy in place. A crash or
+  // full disk mid-save leaves the previous file; the rename publishes the
+  // new one only after its bytes are durable.
+  return AtomicWriteFile(env != nullptr ? env : FileEnv::Default(), path,
+                         Save(ws));
 }
 
 Result<std::unique_ptr<Workspace>> LoadFromFile(const std::string& path) {
@@ -496,6 +572,11 @@ Result<std::unique_ptr<Workspace>> LoadFromFile(const std::string& path) {
   if (!in) return Status::IOError("cannot open '" + path + "'");
   std::ostringstream buf;
   buf << in.rdbuf();
+  if (in.bad()) {
+    // Without this check an I/O error mid-read would masquerade as a
+    // short (or empty) file and surface as a confusing parse error.
+    return Status::IOError("I/O error while reading '" + path + "'");
+  }
   return Load(buf.str());
 }
 

@@ -1,0 +1,112 @@
+#include "store/wal.h"
+
+#include <cstdlib>
+
+#include "common/strings.h"
+#include "store/crc32.h"
+
+namespace isis::store {
+
+namespace {
+
+std::string FrameRecord(std::string_view type, std::string_view payload) {
+  std::string frame = "R|";
+  frame += std::to_string(payload.size());
+  frame += '|';
+  frame += Crc32Hex(Crc32(payload));
+  frame += '|';
+  frame += type;
+  frame += '\n';
+  frame += payload;
+  frame += '\n';
+  return frame;
+}
+
+}  // namespace
+
+Result<WalContents> ReadWal(const std::string& path, FileEnv* env) {
+  ISIS_ASSIGN_OR_RETURN(std::string data, env->ReadFile(path));
+  WalContents out;
+
+  // Header. A file shorter than its magic line is a torn creation.
+  size_t pos = data.find('\n');
+  if (pos == std::string::npos) {
+    if (std::string_view(kWalMagic).substr(0, data.size()) != data) {
+      return Status::ParseError("'" + path + "': not an ISIS WAL");
+    }
+    out.truncated_tail = true;
+    return out;
+  }
+  if (std::string_view(data).substr(0, pos) != kWalMagic) {
+    return Status::ParseError("'" + path + "': not an ISIS WAL");
+  }
+  ++pos;
+
+  while (pos < data.size()) {
+    auto bad = [&](const std::string& why) {
+      return Status::ParseError("'" + path + "' record " +
+                                std::to_string(out.records.size()) + ": " +
+                                why);
+    };
+    size_t nl = data.find('\n', pos);
+    if (nl == std::string::npos) {
+      // Record header torn at end-of-file.
+      out.truncated_tail = true;
+      return out;
+    }
+    std::vector<std::string> f =
+        Split(std::string_view(data).substr(pos, nl - pos), '|');
+    if (f.size() != 4 || f[0] != "R") return bad("malformed record header");
+    char* end = nullptr;
+    long long len = std::strtoll(f[1].c_str(), &end, 10);
+    if (end == f[1].c_str() || *end != '\0' || len < 0) {
+      return bad("bad payload length");
+    }
+    std::uint32_t crc = 0;
+    if (!ParseCrc32Hex(f[2], &crc)) return bad("bad checksum field");
+    size_t payload_start = nl + 1;
+    // The payload and its closing newline must both be present; the file
+    // ending inside them is a torn append.
+    if (payload_start + static_cast<size_t>(len) + 1 > data.size()) {
+      out.truncated_tail = true;
+      return out;
+    }
+    std::string_view payload =
+        std::string_view(data).substr(payload_start, len);
+    if (data[payload_start + len] != '\n') {
+      return bad("payload overruns its length prefix");
+    }
+    if (Crc32(payload) != crc) {
+      return bad("checksum mismatch (corrupted record)");
+    }
+    out.records.push_back(WalRecord{f[3], std::string(payload)});
+    pos = payload_start + len + 1;
+  }
+  return out;
+}
+
+Result<std::unique_ptr<WalWriter>> WalWriter::CreateWithRecords(
+    const std::string& path, FileEnv* env,
+    const std::vector<WalRecord>& records) {
+  std::string contents = kWalMagic;
+  contents += '\n';
+  for (const WalRecord& r : records) {
+    contents += FrameRecord(r.type, r.payload);
+  }
+  ISIS_RETURN_NOT_OK(AtomicWriteFile(env, path, contents));
+  return OpenForAppend(path, env);
+}
+
+Result<std::unique_ptr<WalWriter>> WalWriter::OpenForAppend(
+    const std::string& path, FileEnv* env) {
+  ISIS_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> file,
+                        env->OpenForWrite(path, /*append=*/true));
+  return std::unique_ptr<WalWriter>(new WalWriter(path, std::move(file)));
+}
+
+Status WalWriter::Append(std::string_view type, std::string_view payload) {
+  ISIS_RETURN_NOT_OK(file_->Write(FrameRecord(type, payload)));
+  return file_->Sync();
+}
+
+}  // namespace isis::store

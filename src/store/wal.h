@@ -1,0 +1,86 @@
+/// \file wal.h
+/// \brief Write-ahead edit log: append-only, length-prefixed, checksummed.
+///
+/// A WAL makes every successful design action durable the moment it
+/// happens, so a crash loses at most the action in flight instead of
+/// everything since the last explicit save. On-disk layout:
+///
+///   ISISWAL|1\n
+///   R|<payload_len>|<crc32hex>|<type>\n<payload bytes>\n
+///   ...
+///
+/// The CRC covers the payload. Record types used by the session layer:
+///   base   the full checkpoint the log replays on top of (always first)
+///   note   a journal entry that is not replayable (action|detail)
+///   event  one successful input event (see input::EncodeEvent)
+///
+/// Reading distinguishes the two corruption shapes: an incomplete final
+/// record (the file simply ends early — a torn append) is silently
+/// truncated, while anything inconsistent that is followed by more data —
+/// or a full-length record whose checksum fails — is mid-log corruption
+/// and rejects the whole log with a record-level error.
+
+#ifndef ISIS_STORE_WAL_H_
+#define ISIS_STORE_WAL_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "store/file.h"
+
+namespace isis::store {
+
+/// WAL format magic/version line (without newline).
+inline constexpr const char* kWalMagic = "ISISWAL|1";
+
+/// One decoded WAL record.
+struct WalRecord {
+  std::string type;
+  std::string payload;
+};
+
+/// A validated log: the records of its intact prefix.
+struct WalContents {
+  std::vector<WalRecord> records;
+  /// True when a torn final record (or a missing/torn header) was dropped;
+  /// the writer must rewrite the file before appending again.
+  bool truncated_tail = false;
+};
+
+/// Reads and validates a WAL. Fails with IOError when unreadable and with
+/// ParseError on mid-log corruption; a torn tail is reported, not fatal.
+Result<WalContents> ReadWal(const std::string& path, FileEnv* env);
+
+/// \brief Appender; every Append is flushed and fsynced before returning.
+class WalWriter {
+ public:
+  /// Atomically (re)creates the log at `path` holding `records` (the first
+  /// should be the `base` checkpoint), then opens it for appending. Also
+  /// the torn-tail repair path: re-create from the intact prefix.
+  static Result<std::unique_ptr<WalWriter>> CreateWithRecords(
+      const std::string& path, FileEnv* env,
+      const std::vector<WalRecord>& records);
+
+  /// Opens an existing, clean log for appending.
+  static Result<std::unique_ptr<WalWriter>> OpenForAppend(
+      const std::string& path, FileEnv* env);
+
+  /// Appends one record and makes it durable (write + fsync).
+  Status Append(std::string_view type, std::string_view payload);
+
+  const std::string& path() const { return path_; }
+
+ private:
+  WalWriter(std::string path, std::unique_ptr<WritableFile> file)
+      : path_(std::move(path)), file_(std::move(file)) {}
+
+  std::string path_;
+  std::unique_ptr<WritableFile> file_;
+};
+
+}  // namespace isis::store
+
+#endif  // ISIS_STORE_WAL_H_

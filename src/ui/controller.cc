@@ -4,6 +4,7 @@
 
 #include "common/strings.h"
 #include "query/eval.h"
+#include "sdm/consistency.h"
 #include "sdm/stats.h"
 #include "store/serializer.h"
 #include "ui/render_util.h"
@@ -68,6 +69,19 @@ void SessionController::Journal(const std::string& action,
 }
 
 Status SessionController::HandleEvent(const Event& event) {
+  wal_event_logged_ = false;
+  Status st = Dispatch(event);
+  // Write-ahead in effect: the event only becomes durable once it has
+  // succeeded in memory, and the next event is not accepted before the
+  // append (Append fsyncs). Failed events are not logged — replay must
+  // reproduce exactly the successful history.
+  if (st.ok() && wal_ != nullptr && !wal_replaying_ && !wal_event_logged_) {
+    WalAppendEvent(event);
+  }
+  return st;
+}
+
+Status SessionController::Dispatch(const Event& event) {
   if (state_.stopped) {
     return Fail(Status::InvalidArgument("session has stopped"));
   }
@@ -99,7 +113,152 @@ Status SessionController::RunScript(const std::string& script,
 }
 
 Status SessionController::SaveAs(const std::string& path) const {
-  return store::SaveToFile(*ws_, path);
+  return store::SaveToFile(*ws_, path, env());
+}
+
+// --- Durability. ---
+
+store::FileEnv* SessionController::env() const {
+  return env_ != nullptr ? env_ : store::FileEnv::Default();
+}
+
+std::string SessionController::SavePathFor(const std::string& name) const {
+  if (durable_dir_.empty()) return name + ".isis";
+  return durable_dir_ + "/" + name + ".isis";
+}
+
+std::string SessionController::WalPathFor(const std::string& name) const {
+  return durable_dir_ + "/" + name + ".isis.wal";
+}
+
+void SessionController::WalAppendEvent(const Event& event) {
+  Status st = wal_->Append("event", input::EncodeEvent(event));
+  if (!st.ok()) {
+    // The action already succeeded in memory; surface the durability gap
+    // without failing it.
+    Say(message_ + " [WAL append failed: " + st.ToString() + "]");
+  }
+}
+
+void SessionController::WalAppendNote(const std::string& action,
+                                      const std::string& detail) {
+  if (wal_ == nullptr || wal_replaying_) return;
+  (void)wal_->Append("note", Escape(action) + "|" + Escape(detail));
+}
+
+void SessionController::RotateWalForLoad() {
+  // The just-dispatched `load` event must not be appended to the old log:
+  // its whole effect is captured by the new base checkpoint.
+  wal_event_logged_ = true;
+  std::vector<store::WalRecord> records;
+  records.push_back({"base", store::Save(*ws_)});
+  // The journal survives loads, so carry it into the new log as notes —
+  // recovery rebuilds it without replaying pre-load events.
+  for (const JournalEntry& e : journal_.entries()) {
+    records.push_back({"note", Escape(e.action) + "|" + Escape(e.detail)});
+  }
+  Result<std::unique_ptr<store::WalWriter>> w =
+      store::WalWriter::CreateWithRecords(WalPathFor(ws_->name()), env(),
+                                          records);
+  if (!w.ok()) {
+    // Fail safe: a log that no longer matches the workspace is worse than
+    // no log. Drop durability and tell the user.
+    wal_.reset();
+    Say(message_ + " [durability lost: " + w.status().ToString() + "]");
+    return;
+  }
+  wal_ = std::move(*w);
+}
+
+Result<std::unique_ptr<SessionController>> SessionController::OpenDurable(
+    std::unique_ptr<query::Workspace> ws, const DurabilityConfig& config) {
+  store::FileEnv* env =
+      config.env != nullptr ? config.env : store::FileEnv::Default();
+  const std::string wal_path =
+      config.dir + "/" + ws->name() + ".isis.wal";
+
+  std::vector<store::WalRecord> records;
+  bool torn = false;
+  if (env->Exists(wal_path)) {
+    ISIS_ASSIGN_OR_RETURN(store::WalContents contents,
+                          store::ReadWal(wal_path, env));
+    records = std::move(contents.records);
+    torn = contents.truncated_tail;
+  }
+  if (!records.empty() && records[0].type != "base") {
+    return Status::ParseError("'" + wal_path +
+                              "': first record is not a base checkpoint");
+  }
+
+  if (records.empty()) {
+    // Fresh durable session — or a log torn before its base checkpoint
+    // made it to disk, which holds nothing recoverable: start from `ws`.
+    std::unique_ptr<SessionController> session(
+        new SessionController(std::move(ws)));
+    session->durable_dir_ = config.dir;
+    session->env_ = config.env;
+    records.push_back({"base", store::Save(session->workspace())});
+    ISIS_ASSIGN_OR_RETURN(
+        session->wal_,
+        store::WalWriter::CreateWithRecords(wal_path, env, records));
+    return session;
+  }
+
+  // Crash recovery: load the base checkpoint the log was written against,
+  // then replay its notes (journal entries) and events in order.
+  Result<std::unique_ptr<query::Workspace>> base =
+      store::Load(records[0].payload);
+  if (!base.ok()) {
+    return Status(base.status().code(),
+                  "'" + wal_path +
+                      "' base checkpoint: " + base.status().message());
+  }
+  std::unique_ptr<SessionController> session(
+      new SessionController(std::move(*base)));
+  session->durable_dir_ = config.dir;
+  session->env_ = config.env;
+  session->wal_replaying_ = true;
+  int replayed_events = 0;
+  for (size_t i = 1; i < records.size(); ++i) {
+    const store::WalRecord& r = records[i];
+    auto bad = [&](const std::string& why) {
+      return Status::ParseError("'" + wal_path + "' record " +
+                                std::to_string(i) + ": " + why);
+    };
+    if (r.type == "note") {
+      size_t bar = r.payload.find('|');
+      if (bar == std::string::npos) return bad("malformed journal note");
+      session->journal_.Record(Unescape(r.payload.substr(0, bar)),
+                               Unescape(r.payload.substr(bar + 1)));
+    } else if (r.type == "event") {
+      Result<input::Event> ev = input::DecodeEvent(r.payload);
+      if (!ev.ok()) return bad(ev.status().ToString());
+      Status st = session->Dispatch(*ev);
+      if (!st.ok()) return bad("replay failed: " + st.ToString());
+      ++replayed_events;
+    } else {
+      return bad("unknown record type '" + r.type + "'");
+    }
+  }
+  session->wal_replaying_ = false;
+
+  // The log only ever holds events that succeeded against a consistent
+  // workspace, but recovery trusts nothing: re-validate the whole result.
+  ISIS_RETURN_NOT_OK(session->ws_->db().schema().Validate());
+  ISIS_RETURN_NOT_OK(sdm::ConsistencyChecker(session->ws_->db()).Check());
+
+  if (torn) {
+    // Rewrite the log from its intact prefix before appending again.
+    ISIS_ASSIGN_OR_RETURN(
+        session->wal_,
+        store::WalWriter::CreateWithRecords(wal_path, env, records));
+  } else {
+    ISIS_ASSIGN_OR_RETURN(session->wal_,
+                          store::WalWriter::OpenForAppend(wal_path, env));
+  }
+  session->Say("recovered '" + session->ws_->name() + "' from its edit log (" +
+               std::to_string(replayed_events) + " event(s) replayed)");
+  return session;
 }
 
 // --- Picks. ---
@@ -1537,17 +1696,30 @@ Status SessionController::HandleText(const std::string& text) {
       return Status::OK();
     }
     case Prompt::kSaveName: {
+      const std::string prev_name = ws_->name();
       ws_->set_name(text);
-      Status st = SaveAs(text + ".isis");
-      if (!st.ok()) return Fail(st);
+      Status st = SaveAs(SavePathFor(text));
+      if (!st.ok()) {
+        // A failed save leaves no event in the WAL, so its replay must see
+        // no effect at all — undo the rename. The journal still records
+        // the attempt (failures are design history too).
+        ws_->set_name(prev_name);
+        Journal("save FAILED", text + ": " + st.ToString());
+        WalAppendNote("save FAILED", text + ": " + st.ToString());
+        return Fail(st);
+      }
       Journal("save", text);
       Say("database saved as '" + text + "'");
       return Status::OK();
     }
     case Prompt::kLoadName: {
       Result<std::unique_ptr<query::Workspace>> loaded =
-          store::LoadFromFile(text + ".isis");
-      if (!loaded.ok()) return Fail(loaded.status());
+          store::LoadFromFile(SavePathFor(text));
+      if (!loaded.ok()) {
+        Journal("load FAILED", text + ": " + loaded.status().ToString());
+        WalAppendNote("load FAILED", text + ": " + loaded.status().ToString());
+        return Fail(loaded.status());
+      }
       live_.reset();  // Observes the old database; must go before ws_.
       ws_ = std::move(loaded).ValueOrDie();
       AttachLiveEngine();
@@ -1557,6 +1729,8 @@ Status SessionController::HandleText(const std::string& text) {
       undo_.clear();
       redo_.clear();
       Journal("load", text);
+      // The old edit log described the old workspace; start a fresh one.
+      if (wal_ != nullptr && !wal_replaying_) RotateWalForLoad();
       Say("database '" + ws_->name() + "' loaded; pick an object to focus "
           "on");
       return Status::OK();

@@ -25,6 +25,8 @@
 #include "input/event.h"
 #include "live/engine.h"
 #include "query/workspace.h"
+#include "store/file.h"
+#include "store/wal.h"
 #include "ui/journal.h"
 #include "ui/screen.h"
 #include "ui/state.h"
@@ -32,12 +34,42 @@
 
 namespace isis::ui {
 
+/// \brief How a durable session persists itself (see
+/// SessionController::OpenDurable).
+struct DurabilityConfig {
+  /// Directory holding `<name>.isis` checkpoints and the `<name>.isis.wal`
+  /// edit log. Must already exist.
+  std::string dir;
+  /// File system to use; nullptr means store::FileEnv::Default(). Tests
+  /// pass a store::FaultInjectingEnv here.
+  store::FileEnv* env = nullptr;
+};
+
 /// \brief Owns a Workspace and a SessionState and interprets events.
 class SessionController {
  public:
   /// Starts a session over `ws` (takes ownership) at the inheritance forest
   /// with no schema selection, as on database load.
   explicit SessionController(std::unique_ptr<query::Workspace> ws);
+
+  /// Opens a *durable* session in `config.dir`: every successful input
+  /// event is appended to a checksummed write-ahead log before the next
+  /// event is accepted, so a crash loses at most the action in flight.
+  ///
+  /// If `<dir>/<ws-name>.isis.wal` is left over from a crashed session, the
+  /// log's base checkpoint is loaded, the logged events are replayed
+  /// through the normal dispatch path (rebuilding the design journal from
+  /// the logged notes), the result is re-validated with the full
+  /// ConsistencyChecker, and `ws` is discarded in favour of the recovered
+  /// state. A torn final record is truncated and the log repaired;
+  /// mid-log corruption fails the open with a record-level error.
+  static Result<std::unique_ptr<SessionController>> OpenDurable(
+      std::unique_ptr<query::Workspace> ws, const DurabilityConfig& config);
+
+  /// True when this session has a live write-ahead log.
+  bool durable() const { return wal_ != nullptr; }
+  /// Path of the live WAL ("" when not durable).
+  std::string wal_path() const { return wal_ ? wal_->path() : ""; }
 
   const query::Workspace& workspace() const { return *ws_; }
   query::Workspace& workspace() { return *ws_; }
@@ -77,6 +109,24 @@ class SessionController {
   const live::LiveViewEngine* live_engine() const { return live_.get(); }
 
  private:
+  /// HandleEvent minus the WAL append: interprets one event. Recovery
+  /// replays logged events through this so they are not re-logged.
+  Status Dispatch(const input::Event& event);
+
+  // Durability helpers.
+  store::FileEnv* env() const;
+  /// `<dir>/<name>.isis` in durable mode, `<name>.isis` otherwise.
+  std::string SavePathFor(const std::string& name) const;
+  std::string WalPathFor(const std::string& name) const;
+  /// Best-effort append of one logged event / journal note; a failed
+  /// append degrades the message but never fails the action itself.
+  void WalAppendEvent(const input::Event& event);
+  void WalAppendNote(const std::string& action, const std::string& detail);
+  /// After a successful `load`, the old log no longer describes the
+  /// workspace: start a fresh one whose base is the just-loaded state,
+  /// carrying the journal forward as notes.
+  void RotateWalForLoad();
+
   // Event handlers.
   Status HandlePick(int x, int y);
   Status HandleNamedPick(const std::string& target);
@@ -155,6 +205,16 @@ class SessionController {
   std::vector<std::string> undo_;
   std::vector<std::string> redo_;
   DesignJournal journal_;
+
+  // Durability state (empty/null outside OpenDurable sessions).
+  std::string durable_dir_;
+  store::FileEnv* env_ = nullptr;
+  std::unique_ptr<store::WalWriter> wal_;
+  /// True while OpenDurable replays logged events: suppresses re-logging.
+  bool wal_replaying_ = false;
+  /// Set by handlers (load) whose effect is already captured in the log by
+  /// other means, so HandleEvent must not also append the raw event.
+  bool wal_event_logged_ = false;
 };
 
 }  // namespace isis::ui

@@ -4,10 +4,14 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
+#include "common/strings.h"
 #include "datasets/instrumental_music.h"
 #include "datasets/synthetic.h"
 #include "query/eval.h"
 #include "sdm/consistency.h"
+#include "store/crc32.h"
 #include "store/serializer.h"
 
 namespace isis::store {
@@ -107,11 +111,44 @@ TEST(StoreTest, FileRoundTrip) {
   EXPECT_TRUE(LoadFromFile("/nonexistent/x.isis").status().IsIOError());
 }
 
+/// Strips the v2 sealing: returns the bare record payloads (no header, no
+/// per-line CRC suffixes, no trailer).
+std::vector<std::string> PayloadLines(const std::string& blob) {
+  std::vector<std::string> lines = Split(blob, '\n');
+  // Split leaves one empty element after the final newline.
+  EXPECT_EQ(lines.back(), "");
+  lines.pop_back();
+  std::vector<std::string> out;
+  for (size_t i = 1; i + 1 < lines.size(); ++i) {
+    out.push_back(lines[i].substr(0, lines[i].rfind('|')));
+  }
+  return out;
+}
+
+/// Re-seals edited payload lines into a checksum-valid v2 file, so tests can
+/// prove the *semantic* validation fires even when every CRC is intact.
+std::string SealV2(const std::vector<std::string>& payloads) {
+  std::string out = "ISIS|2\n";
+  std::uint32_t body_crc = 0;
+  for (const std::string& p : payloads) {
+    out += p + "|" + Crc32Hex(Crc32(p)) + "\n";
+    body_crc = Crc32("\n", Crc32(p, body_crc));
+  }
+  std::string trailer =
+      "end|" + std::to_string(payloads.size()) + "|" + Crc32Hex(body_crc);
+  out += trailer + "|" + Crc32Hex(Crc32(trailer)) + "\n";
+  return out;
+}
+
 class CorruptInputTest : public ::testing::Test {
  protected:
   void SetUp() override { blob_ = Save(*datasets::BuildInstrumentalMusic()); }
   std::string blob_;
 };
+
+TEST_F(CorruptInputTest, UnsealResealIsIdentity) {
+  EXPECT_EQ(SealV2(PayloadLines(blob_)), blob_);
+}
 
 TEST_F(CorruptInputTest, EmptyAndHeaderless) {
   EXPECT_TRUE(Load("").status().IsParseError());
@@ -120,30 +157,99 @@ TEST_F(CorruptInputTest, EmptyAndHeaderless) {
 }
 
 TEST_F(CorruptInputTest, TruncationDetected) {
-  // Cut the file in half: the missing `end` marker must be noticed.
+  // Cut the file in half at a line boundary: the sealed trailer is gone.
   std::string half = blob_.substr(0, blob_.size() / 2);
   half = half.substr(0, half.rfind('\n') + 1);
-  EXPECT_FALSE(Load(half).ok());
+  Status st = Load(half).status();
+  EXPECT_TRUE(st.IsParseError());
+  EXPECT_NE(st.message().find("trailer"), std::string::npos) << st.ToString();
+}
+
+TEST_F(CorruptInputTest, HeaderCutMidLine) {
+  // A crash while the very first bytes were written: the header line has
+  // no newline yet.
+  EXPECT_TRUE(Load("ISI").status().IsParseError());
+  EXPECT_TRUE(Load("ISIS|2").status().IsParseError());
+}
+
+TEST_F(CorruptInputTest, RecordTruncatedMidLine) {
+  // Cut inside a record line: its checksum suffix is incomplete or gone.
+  size_t cut = blob_.find('\n', blob_.size() / 3);
+  ASSERT_NE(cut, std::string::npos);
+  Status st = Load(blob_.substr(0, cut - 3)).status();
+  EXPECT_TRUE(st.IsParseError()) << st.ToString();
+}
+
+TEST_F(CorruptInputTest, TrailingGarbageRejected) {
+  Status st = Load(blob_ + "junk|after|the|seal\n").status();
+  EXPECT_TRUE(st.IsParseError());
+  EXPECT_NE(st.message().find("after sealed trailer"), std::string::npos)
+      << st.ToString();
+}
+
+TEST_F(CorruptInputTest, SingleBitFlipNamesTheLine) {
+  std::string tampered = blob_;
+  size_t pos = tampered.find("instruments");
+  ASSERT_NE(pos, std::string::npos);
+  tampered[pos] ^= 0x20;  // 'i' -> 'I'
+  const auto line =
+      1 + std::count(tampered.begin(),
+                     tampered.begin() + static_cast<long>(pos), '\n');
+  Status st = Load(tampered).status();
+  ASSERT_TRUE(st.IsParseError());
+  EXPECT_NE(st.message().find("line " + std::to_string(line)),
+            std::string::npos)
+      << st.ToString();
+  EXPECT_NE(st.message().find("checksum mismatch"), std::string::npos)
+      << st.ToString();
+}
+
+TEST_F(CorruptInputTest, RecordDeletionDetectedBySealedTrailer) {
+  // Remove one whole record line, original trailer kept: every per-line
+  // checksum is still valid, so only the trailer's record count and body
+  // checksum can notice the splice.
+  std::vector<std::string> lines = Split(blob_, '\n');
+  ASSERT_GT(lines.size(), 8u);
+  lines.erase(lines.begin() + 5);
+  std::string tampered;
+  for (size_t i = 0; i + 1 < lines.size(); ++i) tampered += lines[i] + "\n";
+  Status st = Load(tampered).status();
+  ASSERT_TRUE(st.IsParseError()) << st.ToString();
+  EXPECT_NE(st.message().find("mismatch"), std::string::npos)
+      << st.ToString();
+}
+
+TEST_F(CorruptInputTest, Version1WithoutChecksumsStillLoads) {
+  // Files written before the sealing existed carry bare records and a bare
+  // `end` marker; they must keep loading (and re-save as v2).
+  std::string v1 = "ISIS|1\n";
+  for (const std::string& p : PayloadLines(blob_)) v1 += p + "\n";
+  v1 += "end\n";
+  auto loaded = Load(v1);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(Save(**loaded), blob_);
 }
 
 TEST_F(CorruptInputTest, UnknownTagRejected) {
-  std::string tampered = blob_;
-  tampered.insert(tampered.find("end\n"), "mystery|1|2\n");
-  EXPECT_TRUE(Load(tampered).status().IsParseError());
+  // Seal the tampered record properly: the tag check itself must fire.
+  std::vector<std::string> payloads = PayloadLines(blob_);
+  payloads.push_back("mystery|1|2");
+  EXPECT_TRUE(Load(SealV2(payloads)).status().IsParseError());
 }
 
 TEST_F(CorruptInputTest, InconsistentDataRejected) {
-  // Splice a membership record that violates the subclass-subset rule:
-  // entity 9999 does not exist.
-  std::string tampered = blob_;
-  size_t pos = tampered.find("subpred|");
-  ASSERT_NE(pos, std::string::npos);
-  // Find the soloists class id from the live schema to target its record.
+  // Splice a checksum-valid membership record that violates the
+  // subclass-subset rule: entity 9999 does not exist.
+  std::vector<std::string> payloads = PayloadLines(blob_);
   auto ws = datasets::BuildInstrumentalMusic();
   ClassId soloists = *ws->db().schema().FindClass("soloists");
-  tampered.insert(pos, "members|" + std::to_string(soloists.value()) +
-                           "|9999\n");
-  Status st = Load(tampered).status();
+  auto it = std::find_if(
+      payloads.begin(), payloads.end(),
+      [](const std::string& p) { return StartsWith(p, "subpred|"); });
+  ASSERT_NE(it, payloads.end());
+  payloads.insert(
+      it, "members|" + std::to_string(soloists.value()) + "|9999");
+  Status st = Load(SealV2(payloads)).status();
   EXPECT_FALSE(st.ok());
 }
 

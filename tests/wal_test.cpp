@@ -1,0 +1,275 @@
+/// \file wal_test.cpp
+/// \brief Tests for the write-ahead log framing and the atomic-write /
+/// fault-injection layer underneath it: round-trips, torn-tail truncation
+/// and repair, mid-log corruption rejection, and the old-state-or-new-state
+/// guarantee of AtomicWriteFile under injected crashes.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "store/file.h"
+#include "store/wal.h"
+
+namespace isis::store {
+namespace {
+
+std::string TestPath(const std::string& name) {
+  std::string path = ::testing::TempDir() + "/" + name;
+  (void)FileEnv::Default()->Remove(path);
+  return path;
+}
+
+std::string MustRead(const std::string& path) {
+  Result<std::string> data = FileEnv::Default()->ReadFile(path);
+  EXPECT_TRUE(data.ok()) << data.status().ToString();
+  return data.ok() ? *data : "";
+}
+
+void AppendRaw(const std::string& path, std::string_view bytes) {
+  auto f = FileEnv::Default()->OpenForWrite(path, /*append=*/true);
+  ASSERT_TRUE(f.ok());
+  ASSERT_TRUE((*f)->Write(bytes).ok());
+  ASSERT_TRUE((*f)->Close().ok());
+}
+
+TEST(WalTest, RoundTripsAwkwardPayloads) {
+  std::string path = TestPath("wal_roundtrip.wal");
+  std::vector<WalRecord> initial = {
+      {"base", "ISIS|2\nname|demo\n"},
+      {"note", "create subclass|brass"},
+  };
+  auto w = WalWriter::CreateWithRecords(path, FileEnv::Default(), initial);
+  ASSERT_TRUE(w.ok()) << w.status().ToString();
+  // Payloads with pipes, newlines and nothing at all: the length prefix,
+  // not any delimiter, bounds them.
+  ASSERT_TRUE((*w)->Append("event", "type a|b\\c").ok());
+  ASSERT_TRUE((*w)->Append("event", "multi\nline\npayload").ok());
+  ASSERT_TRUE((*w)->Append("note", "").ok());
+
+  auto contents = ReadWal(path, FileEnv::Default());
+  ASSERT_TRUE(contents.ok()) << contents.status().ToString();
+  EXPECT_FALSE(contents->truncated_tail);
+  ASSERT_EQ(contents->records.size(), 5u);
+  EXPECT_EQ(contents->records[0].type, "base");
+  EXPECT_EQ(contents->records[0].payload, "ISIS|2\nname|demo\n");
+  EXPECT_EQ(contents->records[3].payload, "multi\nline\npayload");
+  EXPECT_EQ(contents->records[4].payload, "");
+}
+
+TEST(WalTest, MissingFileIsIOError) {
+  EXPECT_TRUE(ReadWal(::testing::TempDir() + "/no_such.wal",
+                      FileEnv::Default())
+                  .status()
+                  .IsIOError());
+}
+
+TEST(WalTest, EmptyAndPartialHeaderAreTornCreations) {
+  std::string path = TestPath("wal_torn_header.wal");
+  AppendRaw(path, "");
+  auto empty = ReadWal(path, FileEnv::Default());
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty->truncated_tail);
+  EXPECT_TRUE(empty->records.empty());
+
+  AppendRaw(path, "ISISW");
+  auto partial = ReadWal(path, FileEnv::Default());
+  ASSERT_TRUE(partial.ok());
+  EXPECT_TRUE(partial->truncated_tail);
+}
+
+TEST(WalTest, WrongMagicRejected) {
+  std::string path = TestPath("wal_bad_magic.wal");
+  AppendRaw(path, "NOTAWAL|1\n");
+  EXPECT_TRUE(ReadWal(path, FileEnv::Default()).status().IsParseError());
+}
+
+class TornTailTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Unique per test: ctest runs the cases as concurrent processes.
+    path_ = TestPath(
+        std::string("wal_torn_tail_") +
+        ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+        ".wal");
+    auto w = WalWriter::CreateWithRecords(
+        path_, FileEnv::Default(),
+        {{"base", "alpha"}, {"event", "bravo"}});
+    ASSERT_TRUE(w.ok()) << w.status().ToString();
+  }
+  std::string path_;
+};
+
+TEST_F(TornTailTest, TornRecordHeaderTruncated) {
+  AppendRaw(path_, "R|42|0011");
+  auto contents = ReadWal(path_, FileEnv::Default());
+  ASSERT_TRUE(contents.ok()) << contents.status().ToString();
+  EXPECT_TRUE(contents->truncated_tail);
+  ASSERT_EQ(contents->records.size(), 2u);
+  EXPECT_EQ(contents->records[1].payload, "bravo");
+}
+
+TEST_F(TornTailTest, TornPayloadTruncatedAndRepaired) {
+  // A frame announcing 40 payload bytes of which only a few made it.
+  AppendRaw(path_, "R|40|00000000|event\nonly a bit");
+  auto contents = ReadWal(path_, FileEnv::Default());
+  ASSERT_TRUE(contents.ok()) << contents.status().ToString();
+  EXPECT_TRUE(contents->truncated_tail);
+  ASSERT_EQ(contents->records.size(), 2u);
+
+  // Repair: rewrite from the intact prefix, then appending works again.
+  auto w = WalWriter::CreateWithRecords(path_, FileEnv::Default(),
+                                        contents->records);
+  ASSERT_TRUE(w.ok()) << w.status().ToString();
+  ASSERT_TRUE((*w)->Append("event", "charlie").ok());
+  auto repaired = ReadWal(path_, FileEnv::Default());
+  ASSERT_TRUE(repaired.ok());
+  EXPECT_FALSE(repaired->truncated_tail);
+  ASSERT_EQ(repaired->records.size(), 3u);
+  EXPECT_EQ(repaired->records[2].payload, "charlie");
+}
+
+TEST_F(TornTailTest, MidLogCorruptionRejectedWithRecordIndex) {
+  std::string data = MustRead(path_);
+  size_t pos = data.find("bravo");
+  ASSERT_NE(pos, std::string::npos);
+  data[pos] = 'B';
+  (void)FileEnv::Default()->Remove(path_);
+  AppendRaw(path_, data);
+  Status st = ReadWal(path_, FileEnv::Default()).status();
+  ASSERT_TRUE(st.IsParseError());
+  EXPECT_NE(st.message().find("record 1"), std::string::npos)
+      << st.ToString();
+  EXPECT_NE(st.message().find("checksum mismatch"), std::string::npos)
+      << st.ToString();
+}
+
+TEST_F(TornTailTest, MalformedHeaderWithDataAfterItRejected) {
+  // Garbage that is *followed* by a newline is not a torn tail — it is
+  // corruption and must not be silently dropped.
+  AppendRaw(path_, "garbage line\nR|1|00000000|x\ny\n");
+  EXPECT_TRUE(ReadWal(path_, FileEnv::Default()).status().IsParseError());
+}
+
+TEST_F(TornTailTest, BadLengthFieldRejected) {
+  AppendRaw(path_, "R|notanumber|00000000|event\nzz\n");
+  EXPECT_TRUE(ReadWal(path_, FileEnv::Default()).status().IsParseError());
+}
+
+TEST_F(TornTailTest, PayloadOverrunRejected) {
+  // Length says 2 but the payload's closing newline is not where it
+  // should be: the frame lies about its own extent.
+  AppendRaw(path_, "R|2|00000000|event\nzzzz\n");
+  EXPECT_TRUE(ReadWal(path_, FileEnv::Default()).status().IsParseError());
+}
+
+// --- AtomicWriteFile under injected crashes. ---
+
+class AtomicWriteFaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = TestPath("atomic_fault.txt");
+    (void)FileEnv::Default()->Remove(path_ + ".tmp");
+    ASSERT_TRUE(AtomicWriteFile(FileEnv::Default(), path_, kOld).ok());
+  }
+
+  static constexpr std::string_view kOld = "old contents\n";
+  static constexpr std::string_view kNew =
+      "new contents, rather longer than the old ones\n";
+  std::string path_;
+};
+
+TEST_F(AtomicWriteFaultTest, EveryFaultPointLeavesOldOrNew) {
+  // Plan run: count the fault points of one atomic overwrite.
+  FaultInjectingEnv plan_env{FaultPlan{}};
+  ASSERT_TRUE(AtomicWriteFile(&plan_env, path_, kNew).ok());
+  EXPECT_EQ(MustRead(path_), kNew);
+  ASSERT_TRUE(AtomicWriteFile(FileEnv::Default(), path_, kOld).ok());
+
+  struct Case {
+    FaultPlan plan;
+    const char* what;
+  };
+  std::vector<Case> cases;
+  for (int i = 0; i < plan_env.opens(); ++i) {
+    cases.push_back({FaultPlan{.fail_open = i}, "open"});
+  }
+  for (int i = 0; i < plan_env.writes(); ++i) {
+    for (long prefix : {0L, 5L, 1000L}) {
+      cases.push_back(
+          {FaultPlan{.fail_write = i, .persist_prefix = prefix}, "write"});
+    }
+  }
+  for (int i = 0; i < plan_env.syncs(); ++i) {
+    cases.push_back({FaultPlan{.fail_sync = i, .persist_prefix = 7},
+                     "fsync"});
+  }
+  for (int i = 0; i < plan_env.renames(); ++i) {
+    cases.push_back({FaultPlan{.fail_rename = i}, "rename"});
+  }
+  cases.push_back({FaultPlan{.fail_write = 0, .enospc = true}, "enospc"});
+  ASSERT_GT(cases.size(), 4u);
+
+  for (const Case& c : cases) {
+    FaultInjectingEnv env{c.plan};
+    Status st = AtomicWriteFile(&env, path_, kNew);
+    EXPECT_FALSE(st.ok()) << c.what;
+    EXPECT_TRUE(env.crashed()) << c.what;
+    // The crash invariant: the published file is byte-identical to the
+    // old contents — never empty, torn, or mixed.
+    EXPECT_EQ(MustRead(path_), kOld) << c.what << ": " << st.ToString();
+  }
+
+  // ENOSPC faults say so.
+  FaultInjectingEnv env{FaultPlan{.fail_write = 0, .enospc = true}};
+  Status st = AtomicWriteFile(&env, path_, kNew);
+  EXPECT_NE(st.message().find("no space left"), std::string::npos)
+      << st.ToString();
+
+  // And a clean retry after the crash publishes the new contents.
+  ASSERT_TRUE(AtomicWriteFile(FileEnv::Default(), path_, kNew).ok());
+  EXPECT_EQ(MustRead(path_), kNew);
+}
+
+TEST(WalFaultTest, FaultedAppendNeverCorruptsTheLog) {
+  std::string path = TestPath("wal_fault_append.wal");
+  auto seed = WalWriter::CreateWithRecords(path, FileEnv::Default(),
+                                           {{"base", "alpha"}});
+  ASSERT_TRUE(seed.ok());
+  ASSERT_TRUE((*seed)->Append("event", "bravo").ok());
+  seed->reset();
+
+  // Crash the append at every write/sync point, with and without a torn
+  // prefix reaching the disk.
+  for (int fail_write : {0, -1}) {
+    for (long prefix : {0L, 1L, 9L, 26L}) {
+      // Restore the two-record log.
+      auto w = WalWriter::CreateWithRecords(
+          path, FileEnv::Default(), {{"base", "alpha"}, {"event", "bravo"}});
+      ASSERT_TRUE(w.ok());
+      w->reset();
+      FaultPlan plan;
+      plan.fail_write = fail_write;
+      plan.fail_sync = fail_write == -1 ? 0 : -1;
+      plan.persist_prefix = prefix;
+      FaultInjectingEnv env{plan};
+      auto a = WalWriter::OpenForAppend(path, &env);
+      ASSERT_TRUE(a.ok());
+      EXPECT_FALSE((*a)->Append("event", "charlie").ok());
+      a->reset();
+
+      // Whatever prefix of the frame hit the disk, the log reads back as
+      // the intact records, at worst flagged for torn-tail repair.
+      auto contents = ReadWal(path, FileEnv::Default());
+      ASSERT_TRUE(contents.ok()) << contents.status().ToString();
+      ASSERT_GE(contents->records.size(), 2u);
+      EXPECT_EQ(contents->records[0].payload, "alpha");
+      EXPECT_EQ(contents->records[1].payload, "bravo");
+      EXPECT_EQ(contents->records.size(), 2u);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace isis::store
