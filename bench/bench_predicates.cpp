@@ -1,187 +1,181 @@
 /// \file bench_predicates.cpp
-/// \brief Experiment A2: predicate evaluation scaling.
+/// \brief Planned vs naive predicate evaluation on scaled_music.
 ///
-/// Sweeps the three cost drivers of the worksheet's commit: candidate-class
-/// size, number of clauses, and map length, on the scaled music database.
+/// Times the same predicate through the index-aware planner (the default
+/// Evaluator path: value-index probes, selectivity-ordered clauses, term
+/// memo) and through the naive per-entity scan (planner and grouping fast
+/// path disabled), and emits one machine-readable JSON line per
+/// (op, scale), in the bench_store format:
+///
+///   {"name":"predicate_planner","op":"equality_single","scale":64,
+///    "result_size":...,"probes":...,"prefiltered":...,"scanned":...,
+///    "planned_ns":...,"naive_ns":...,"speedup":...}
+///
+/// ops:
+///   equality_single    e.family = {f}          singlevalued equality probe
+///   membership_multi   e.plays )= {i}          inverted-index membership
+///   weakmatch_multi    e.plays ~ {i1,i2}       union of two probe blocks
+///   conjunctive_mixed  (e.plays ~ {i1,i2}) and not (e.union = {true})
+///                      probe prefilter + residual scan of survivors
+///                      (the negated conjunct is not probe-eligible)
+///   disjunctive_probe  (e.family = {f1}) or (e.family = {f2})
+///                      both disjuncts answered set-at-a-time
+///
+/// `probes` counts value-index probes issued per planned run,
+/// `prefiltered`/`scanned` are the planner's own stage counters. Both
+/// paths' results are compared every iteration; a mismatch aborts. A
+/// custom main (not Google Benchmark): the JSON-lines contract is the
+/// point, and one process run doubles as the CI smoke test.
 
-#include <benchmark/benchmark.h>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
 
 #include "datasets/scaled_music.h"
 #include "query/eval.h"
+#include "query/plan.h"
 
 namespace {
 
-using isis::AttributeId;
+using Clock = std::chrono::steady_clock;
 using isis::ClassId;
-using isis::datasets::BuildScaledMusic;
+using isis::EntityId;
 using isis::datasets::ResolveScaledMusic;
 using isis::datasets::ScaledMusicHandles;
 using isis::query::Atom;
 using isis::query::Evaluator;
 using isis::query::NormalForm;
+using isis::query::PlannedPredicate;
 using isis::query::Predicate;
 using isis::query::SetOp;
 using isis::query::Term;
-using isis::query::Workspace;
+using isis::sdm::Database;
+using isis::sdm::EntitySet;
 
-/// Entities scanned vs scale: one-atom selection (size > 3) over groups.
-void BM_Selection_Scale(benchmark::State& state) {
-  int scale = static_cast<int>(state.range(0));
-  auto ws = BuildScaledMusic(scale);
-  ScaledMusicHandles h = ResolveScaledMusic(*ws);
-  Predicate p;
-  Atom a;
-  a.lhs = Term::Candidate({h.size});
-  a.op = SetOp::kGreater;
-  a.rhs = Term::Constant({ws->db().InternInteger(3)});
-  p.AddAtom(a, 0);
-  Evaluator eval(ws->db());
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(eval.EvaluateSubclass(p, h.music_groups));
-  }
-  state.counters["candidates"] =
-      static_cast<double>(ws->db().Members(h.music_groups).size());
-  state.SetItemsProcessed(state.iterations() *
-                          ws->db().Members(h.music_groups).size());
+double NsSince(Clock::time_point t0) {
+  return static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - t0)
+          .count());
 }
-BENCHMARK(BM_Selection_Scale)->RangeMultiplier(4)->Range(1, 256);
 
-/// Map length 1..3 at fixed scale: e.members / e.members.plays /
-/// e.members.plays.family.
-void BM_MapLength(benchmark::State& state) {
-  auto ws = BuildScaledMusic(32);
-  ScaledMusicHandles h = ResolveScaledMusic(*ws);
-  int len = static_cast<int>(state.range(0));
-  std::vector<AttributeId> path;
-  if (len >= 1) path.push_back(h.members);
-  if (len >= 2) path.push_back(h.plays);
-  if (len >= 3) path.push_back(h.family);
-  Predicate p;
-  Atom a;
-  a.lhs = Term::Candidate(path);
-  a.op = SetOp::kWeakMatch;
-  // A one-entity constant from the map's terminal class, so the rhs cost is
-  // identical across path lengths and only the map is measured.
-  ClassId tip = len >= 3 ? h.families
-                         : (len >= 2 ? h.instruments : h.musicians);
-  a.rhs = Term::Constant({*ws->db().Members(tip).begin()});
-  p.AddAtom(a, 0);
-  Evaluator eval(ws->db());
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(eval.EvaluateSubclass(p, h.music_groups));
+void RunCase(const char* op, const Database& db, const Predicate& pred,
+             ClassId v, int scale, int iters) {
+  Evaluator planned(db);
+  Evaluator naive(db);
+  naive.set_use_planner(false);
+  naive.set_use_grouping_index(false);
+
+  // Warm both paths once: builds the value indexes outside the timed loop
+  // (they are maintained incrementally from then on) and checks agreement.
+  EntitySet want = naive.EvaluateSubclass(pred, v);
+  if (planned.EvaluateSubclass(pred, v) != want) std::abort();
+
+  const std::int64_t probes_before = db.stats().value_index_probes;
+  auto t0 = Clock::now();
+  for (int i = 0; i < iters; ++i) {
+    if (planned.EvaluateSubclass(pred, v).size() != want.size()) std::abort();
   }
-  state.SetItemsProcessed(state.iterations() *
-                          ws->db().Members(h.music_groups).size());
-}
-BENCHMARK(BM_MapLength)->DenseRange(1, 3, 1);
+  const double planned_ns = NsSince(t0) / iters;
+  const long long probes = static_cast<long long>(
+      (db.stats().value_index_probes - probes_before) / iters);
 
-/// Clause count sweep (CNF), each clause a distinct size test.
-void BM_ClauseCount(benchmark::State& state) {
-  auto ws = BuildScaledMusic(32);
-  ScaledMusicHandles h = ResolveScaledMusic(*ws);
-  int clauses = static_cast<int>(state.range(0));
+  t0 = Clock::now();
+  for (int i = 0; i < iters; ++i) {
+    if (naive.EvaluateSubclass(pred, v).size() != want.size()) std::abort();
+  }
+  const double naive_ns = NsSince(t0) / iters;
+
+  // Stage counters from one instrumented run.
+  PlannedPredicate plan(db, pred, v);
+  if (plan.Evaluate(db.Members(v)) != want) std::abort();
+
+  std::printf(
+      "{\"name\":\"predicate_planner\",\"op\":\"%s\",\"scale\":%d,"
+      "\"result_size\":%lld,\"probes\":%lld,\"prefiltered\":%lld,"
+      "\"scanned\":%lld,\"planned_ns\":%.0f,\"naive_ns\":%.0f,"
+      "\"speedup\":%.2f}\n",
+      op, scale, static_cast<long long>(want.size()), probes,
+      static_cast<long long>(plan.stats().after_prefilter),
+      static_cast<long long>(plan.stats().scanned), planned_ns, naive_ns,
+      naive_ns / planned_ns);
+  std::fflush(stdout);
+}
+
+Predicate OneAtom(Atom a, NormalForm form = NormalForm::kConjunctive) {
   Predicate p;
-  for (int c = 0; c < clauses; ++c) {
+  p.form = form;
+  p.AddAtom(std::move(a), 0);
+  return p;
+}
+
+void RunScale(int scale) {
+  auto ws = isis::datasets::BuildScaledMusic(scale, /*seed=*/7);
+  const Database& db = ws->db();
+  ScaledMusicHandles h = ResolveScaledMusic(*ws);
+  const int iters = scale <= 64 ? 50 : 10;
+
+  std::vector<EntityId> families(db.Members(h.families).begin(),
+                                 db.Members(h.families).end());
+  std::vector<EntityId> instruments(db.Members(h.instruments).begin(),
+                                    db.Members(h.instruments).end());
+
+  {
     Atom a;
-    a.lhs = Term::Candidate({h.size});
-    a.op = SetOp::kGreater;
-    a.rhs = Term::Constant({ws->db().InternInteger(c)});
-    p.AddAtom(a, c);
-  }
-  p.form = NormalForm::kConjunctive;
-  Evaluator eval(ws->db());
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(eval.EvaluateSubclass(p, h.music_groups));
-  }
-  state.SetItemsProcessed(state.iterations() *
-                          ws->db().Members(h.music_groups).size());
-}
-BENCHMARK(BM_ClauseCount)->DenseRange(1, 8, 1);
-
-/// CNF vs DNF over the same atoms (short-circuit behaviour differs).
-void BM_NormalForm(benchmark::State& state) {
-  auto ws = BuildScaledMusic(32);
-  ScaledMusicHandles h = ResolveScaledMusic(*ws);
-  Predicate p;
-  for (int c = 0; c < 4; ++c) {
-    Atom a;
-    a.lhs = Term::Candidate({h.size});
+    a.lhs = Term::Candidate({h.family});
     a.op = SetOp::kEqual;
-    a.rhs = Term::Constant({ws->db().InternInteger(2 + c)});
-    p.AddAtom(a, c);
+    a.rhs = Term::Constant({families[0]});
+    RunCase("equality_single", db, OneAtom(a), h.instruments, scale, iters);
   }
-  p.form = state.range(0) == 0 ? NormalForm::kConjunctive
-                               : NormalForm::kDisjunctive;
-  state.SetLabel(state.range(0) == 0 ? "CNF" : "DNF");
-  Evaluator eval(ws->db());
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(eval.EvaluateSubclass(p, h.music_groups));
+  {
+    Atom a;
+    a.lhs = Term::Candidate({h.plays});
+    a.op = SetOp::kSuperset;
+    a.rhs = Term::Constant({instruments[0]});
+    RunCase("membership_multi", db, OneAtom(a), h.musicians, scale, iters);
+  }
+  {
+    Atom a;
+    a.lhs = Term::Candidate({h.plays});
+    a.op = SetOp::kWeakMatch;
+    a.rhs = Term::Constant({instruments[0], instruments[1]});
+    RunCase("weakmatch_multi", db, OneAtom(a), h.musicians, scale, iters);
+  }
+  {
+    Predicate p;
+    Atom probe;
+    probe.lhs = Term::Candidate({h.plays});
+    probe.op = SetOp::kWeakMatch;
+    probe.rhs = Term::Constant({instruments[0], instruments[1]});
+    p.AddAtom(probe, 0);
+    Atom scan;
+    scan.lhs = Term::Candidate({h.union_attr});
+    scan.op = SetOp::kEqual;
+    scan.negated = true;
+    scan.rhs = Term::Constant({db.InternBoolean(true)});
+    p.AddAtom(scan, 1);
+    RunCase("conjunctive_mixed", db, p, h.musicians, scale, iters);
+  }
+  {
+    Predicate p;
+    p.form = NormalForm::kDisjunctive;
+    Atom f1;
+    f1.lhs = Term::Candidate({h.family});
+    f1.op = SetOp::kEqual;
+    f1.rhs = Term::Constant({families[0]});
+    p.AddAtom(f1, 0);
+    Atom f2;
+    f2.lhs = Term::Candidate({h.family});
+    f2.op = SetOp::kEqual;
+    f2.rhs = Term::Constant({families[1]});
+    p.AddAtom(f2, 1);
+    RunCase("disjunctive_probe", db, p, h.instruments, scale, iters);
   }
 }
-BENCHMARK(BM_NormalForm)->Arg(0)->Arg(1);
-
-/// Whole-workspace re-evaluation (the worksheet commit + fixpoint chase).
-void BM_ReevaluateAll(benchmark::State& state) {
-  int scale = static_cast<int>(state.range(0));
-  auto ws = BuildScaledMusic(scale);
-  ScaledMusicHandles h = ResolveScaledMusic(*ws);
-  // Two chained derived classes: piano-quartet style and its subclass.
-  ClassId big = ws->db()
-                    .CreateSubclass("big_groups", h.music_groups,
-                                    isis::sdm::Membership::kEnumerated)
-                    .ValueOrDie();
-  Predicate p1;
-  Atom a1;
-  a1.lhs = Term::Candidate({h.size});
-  a1.op = SetOp::kGreater;
-  a1.rhs = Term::Constant({ws->db().InternInteger(3)});
-  p1.AddAtom(a1, 0);
-  benchmark::DoNotOptimize(ws->DefineSubclassMembership(big, p1).ok());
-  ClassId stringy = ws->db()
-                        .CreateSubclass("stringy_big", big,
-                                        isis::sdm::Membership::kEnumerated)
-                        .ValueOrDie();
-  Predicate p2;
-  Atom a2;
-  a2.lhs = Term::Candidate({h.members, h.plays, h.family});
-  a2.op = SetOp::kWeakMatch;
-  a2.rhs = Term::Constant(
-      {ws->db().FindEntity(h.families, "family0").ValueOrDie()});
-  p2.AddAtom(a2, 0);
-  benchmark::DoNotOptimize(ws->DefineSubclassMembership(stringy, p2).ok());
-  for (auto _ : state) {
-    isis::Status st = ws->ReevaluateAll();
-    if (!st.ok()) state.SkipWithError(st.ToString().c_str());
-  }
-}
-BENCHMARK(BM_ReevaluateAll)->RangeMultiplier(4)->Range(1, 64);
-
-/// Ablation: grouping-as-index fast path vs full scan for a selection on a
-/// grouped attribute (`e.family = {family0}` with by_family defined).
-void BM_IndexedSelection(benchmark::State& state) {
-  int scale = static_cast<int>(state.range(0));
-  bool use_index = state.range(1) != 0;
-  auto ws = BuildScaledMusic(scale);
-  ScaledMusicHandles h = ResolveScaledMusic(*ws);
-  Predicate p;
-  Atom a;
-  a.lhs = Term::Candidate({h.family});
-  a.op = SetOp::kEqual;
-  a.rhs = Term::Constant(
-      {ws->db().FindEntity(h.families, "family0").ValueOrDie()});
-  p.AddAtom(a, 0);
-  Evaluator eval(ws->db());
-  eval.set_use_grouping_index(use_index);
-  (void)ws->db().GroupingBlocks(h.by_family);  // warm
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(eval.EvaluateSubclass(p, h.instruments).size());
-  }
-  state.SetLabel(use_index ? "grouping-index" : "scan");
-  state.counters["members"] =
-      static_cast<double>(ws->db().Members(h.instruments).size());
-}
-BENCHMARK(BM_IndexedSelection)->ArgsProduct({{4, 32, 256}, {0, 1}});
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main() {
+  for (int scale : {16, 64, 256}) RunScale(scale);
+  return 0;
+}

@@ -13,8 +13,9 @@
 ///
 /// plus REPL-only conveniences: `screen` (reprint), `hits` (list pickable
 /// targets), `query <class> <predicate>` (ad-hoc textual query, e.g.
-/// `query music_groups e.size = {4} and e.members.plays ]= {piano}`), and
-/// `quit`.
+/// `query music_groups e.size = {4} and e.members.plays ]= {piano}`),
+/// `explain <class> <predicate>` (print the query plan — which atoms probe
+/// the value index vs scan, execution order, cardinalities), and `quit`.
 ///
 /// Run: ./isis_repl [--durable <dir>] [database.isis]
 ///   with no database argument the paper's Instrumental_Music database
@@ -46,10 +47,14 @@ void PrintScreen(ui::SessionController* session) {
 }
 
 /// `query <class> <predicate>`: parse, evaluate, print the answer.
-void RunAdHocQuery(ui::SessionController* session, const std::string& args) {
+/// `explain <class> <predicate>`: same parse, but print the query plan
+/// (probe vs scan per atom, execution order, cardinalities) instead.
+void RunAdHocQuery(ui::SessionController* session, const std::string& args,
+                   bool explain) {
   size_t sp = args.find(' ');
   if (sp == std::string::npos) {
-    std::printf("usage: query <class> <predicate>\n");
+    std::printf("usage: %s <class> <predicate>\n",
+                explain ? "explain" : "query");
     return;
   }
   const sdm::Database& db = session->workspace().db();
@@ -62,6 +67,10 @@ void RunAdHocQuery(ui::SessionController* session, const std::string& args) {
       query::ParsePredicate(db, *cls, args.substr(sp + 1));
   if (!pred.ok()) {
     std::printf("%s\n", pred.status().ToString().c_str());
+    return;
+  }
+  if (explain) {
+    std::printf("%s", query::Evaluator(db).Explain(*pred, *cls).c_str());
     return;
   }
   sdm::EntitySet answer =
@@ -167,7 +176,13 @@ int main(int argc, char** argv) {
       continue;
     }
     if (StartsWith(trimmed, "query ")) {
-      RunAdHocQuery(&session, trimmed.substr(6));
+      RunAdHocQuery(&session, trimmed.substr(6), /*explain=*/false);
+      std::printf("> ");
+      std::fflush(stdout);
+      continue;
+    }
+    if (StartsWith(trimmed, "explain ")) {
+      RunAdHocQuery(&session, trimmed.substr(8), /*explain=*/true);
       std::printf("> ");
       std::fflush(stdout);
       continue;

@@ -1,8 +1,10 @@
 #include "live/engine.h"
 
+#include <optional>
 #include <utility>
 
 #include "query/eval.h"
+#include "query/plan.h"
 
 namespace isis::live {
 
@@ -10,6 +12,7 @@ using query::AttributeDerivation;
 using query::Constraint;
 using query::ConstraintViolation;
 using query::Evaluator;
+using query::PlannedPredicate;
 using query::Predicate;
 using sdm::AttributeDef;
 using sdm::ClassDef;
@@ -228,7 +231,8 @@ void LiveViewEngine::RetestCandidate(View* v, EntityId e) {
         if (!candidate) break;
         candidate = db_->IsMember(e, p);
       }
-      bool should = candidate && Evaluator(*db_).EvalPredicate(*pred, e);
+      bool should =
+          candidate && PlannedPredicate(*db_, *pred, v->cls).Test(e);
       bool is = db_->IsMember(e, v->cls);
       if (should == is) return;
       Note(should ? db_->AddToDerivedClass(e, v->cls)
@@ -246,13 +250,23 @@ void LiveViewEngine::RetestCandidate(View* v, EntityId e) {
       const AttributeDef& def = db_->schema().GetAttribute(v->attr);
       bool is_value = e != kNullEntity && db_->HasEntity(e) &&
                       db_->IsMember(e, def.value_class);
+      // The loop below mutates v->attr per owner. A PlannedPredicate may
+      // only be cached across those mutations when the predicate never
+      // reads v->attr (the usual case — reading it would be a cycle);
+      // otherwise fall back to the naive per-pair test.
+      const bool plan_safe =
+          !query::PredicateMentionsAttribute(der->predicate, v->attr);
+      std::optional<PlannedPredicate> plan;
+      if (plan_safe) plan.emplace(*db_, der->predicate, def.value_class);
       Evaluator eval(*db_);
       const EntitySet& owners = db_->Members(def.owner);
       std::vector<EntityId> owner_list(owners.begin(), owners.end());
       for (EntityId x : owner_list) {
         if (abort_drain_) return;
         ++v->stats.entities_retested;
-        bool should = is_value && eval.EvalPredicate(der->predicate, e, x);
+        bool should =
+            is_value && (plan_safe ? plan->Test(e, x)
+                                   : eval.EvalPredicate(der->predicate, e, x));
         bool is = db_->GetMulti(x, v->attr).count(e) > 0;
         if (should && !is) {
           Note(db_->AddToMulti(x, v->attr, e));
@@ -270,7 +284,7 @@ void LiveViewEngine::RetestCandidate(View* v, EntityId e) {
       bool member =
           e != kNullEntity && db_->HasEntity(e) && db_->IsMember(e, v->cls);
       bool violates =
-          member && !Evaluator(*db_).EvalPredicate(c->predicate, e);
+          member && !PlannedPredicate(*db_, c->predicate, v->cls).Test(e);
       EntitySet& set = violators_[v->constraint];
       if (violates) {
         set.insert(e);

@@ -80,12 +80,14 @@ Result<ConstraintViolation> ConstraintCatalog::Check(
   if (!db.schema().HasClass(c->cls)) {
     return Status::NotFound("constrained class no longer exists");
   }
-  Evaluator eval(db);
   ConstraintViolation v;
   v.constraint = name;
   v.cls = c->cls;
+  // The satisfier set comes through the planner (index probes where the
+  // predicate's shape allows); the violators are the complement.
+  sdm::EntitySet ok = Evaluator(db).EvaluateSubclass(c->predicate, c->cls);
   for (EntityId e : db.Members(c->cls)) {
-    if (!eval.EvalPredicate(c->predicate, e)) v.violators.insert(e);
+    if (ok.count(e) == 0) v.violators.insert(e);
   }
   return v;
 }

@@ -378,26 +378,100 @@ std::optional<EntitySet> Evaluator::TryGroupingIndex(
   return out;
 }
 
+std::unordered_map<const Term*, EntitySet> Evaluator::HoistExtents(
+    const Predicate& pred) const {
+  std::unordered_map<const Term*, EntitySet> hoisted;
+  for (const std::vector<int>& clause : pred.clauses) {
+    for (int idx : clause) {
+      const Atom& atom = pred.atoms[idx];
+      for (const Term* t : {&atom.lhs, &atom.rhs}) {
+        if (t->origin == Operand::kClassExtent && hoisted.count(t) == 0) {
+          hoisted.emplace(t, EvalTerm(*t, kNullEntity, kNullEntity));
+        }
+      }
+    }
+  }
+  return hoisted;
+}
+
+bool Evaluator::EvalAtomWith(
+    const Atom& atom, EntityId e, EntityId x,
+    const std::unordered_map<const Term*, EntitySet>& hoisted) const {
+  auto image = [&](const Term& t) {
+    auto it = hoisted.find(&t);
+    return it != hoisted.end() ? it->second : EvalTerm(t, e, x);
+  };
+  bool truth = Compare(image(atom.lhs), atom.op, image(atom.rhs));
+  return atom.negated ? !truth : truth;
+}
+
+bool Evaluator::EvalPredicateWith(
+    const Predicate& pred, EntityId e, EntityId x,
+    const std::unordered_map<const Term*, EntitySet>& hoisted) const {
+  if (pred.form == NormalForm::kConjunctive) {
+    for (const std::vector<int>& clause : pred.clauses) {
+      if (clause.empty()) continue;
+      bool any = false;
+      for (int idx : clause) {
+        if (EvalAtomWith(pred.atoms[idx], e, x, hoisted)) {
+          any = true;
+          break;
+        }
+      }
+      if (!any) return false;
+    }
+    return true;
+  }
+  for (const std::vector<int>& clause : pred.clauses) {
+    if (clause.empty()) continue;
+    bool all = true;
+    for (int idx : clause) {
+      if (!EvalAtomWith(pred.atoms[idx], e, x, hoisted)) {
+        all = false;
+        break;
+      }
+    }
+    if (all) return true;
+  }
+  return false;
+}
+
 EntitySet Evaluator::EvaluateSubclass(const Predicate& pred, ClassId v,
                                       const EntitySet& candidates) const {
+  if (use_planner_) {
+    PlannedPredicate plan(db_, pred, v);
+    return plan.Evaluate(candidates);
+  }
   if (use_grouping_index_) {
     std::optional<EntitySet> indexed = TryGroupingIndex(pred, v, candidates);
     if (indexed.has_value()) return std::move(*indexed);
   }
+  std::unordered_map<const Term*, EntitySet> hoisted = HoistExtents(pred);
   EntitySet out;
   for (EntityId e : candidates) {
-    if (EvalPredicate(pred, e)) out.insert(e);
+    if (EvalPredicateWith(pred, e, kNullEntity, hoisted)) out.insert(e);
   }
   return out;
 }
 
 EntitySet Evaluator::EvaluateAttributeFor(const Predicate& pred, ClassId v,
                                           EntityId x) const {
+  if (use_planner_) {
+    PlannedPredicate plan(db_, pred, v);
+    return plan.Evaluate(db_.Members(v), x);
+  }
+  std::unordered_map<const Term*, EntitySet> hoisted = HoistExtents(pred);
   EntitySet out;
   for (EntityId e : db_.Members(v)) {
-    if (EvalPredicate(pred, e, x)) out.insert(e);
+    if (EvalPredicateWith(pred, e, x, hoisted)) out.insert(e);
   }
   return out;
+}
+
+std::string Evaluator::Explain(const Predicate& pred, ClassId v) const {
+  PlannedPredicate plan(db_, pred, v);
+  plan.Evaluate(db_.Members(v));
+  return plan.Explain();
 }
 
 }  // namespace isis::query

@@ -12,7 +12,10 @@
 #define ISIS_QUERY_EVAL_H_
 
 #include <optional>
+#include <string>
+#include <unordered_map>
 
+#include "query/plan.h"
 #include "query/predicate.h"
 #include "sdm/database.h"
 
@@ -28,19 +31,27 @@ struct PredicateContext {
 
 /// \brief Stateless predicate checker/evaluator over a Database.
 ///
-/// Evaluation normally scans the candidate set and tests the predicate per
-/// entity. When `use_grouping_index` is on (the default), single-step
-/// equality/weak-match atoms against constants are answered from an
-/// existing grouping on the same attribute when one is defined — the
-/// grouping's blocks are exactly the inverted index value -> owners, so
+/// With `use_planner` on (the default), set-level evaluation routes through
+/// PlannedPredicate (plan.h): one-placed equality/membership atoms probe
+/// the database's attribute-value indexes, clauses are ordered by estimated
+/// selectivity, and term images are memoized per query. With the planner
+/// off, evaluation scans the candidate set and tests the predicate per
+/// entity; `use_grouping_index` (also default-on) then still answers
+/// single-atom predicates from an existing grouping on the same attribute —
+/// the grouping's blocks are exactly the inverted index value -> owners, so
 /// "instruments with family = percussion" reads one block of `by_family`
-/// instead of scanning the class. Results are identical either way
-/// (asserted by tests); bench_predicates measures the ablation.
+/// instead of scanning the class. Results are identical every way
+/// (asserted by tests); bench_predicates measures the ablations.
 class Evaluator {
  public:
   explicit Evaluator(const sdm::Database& db) : db_(db) {}
 
-  /// Enables/disables the grouping-as-index fast path (ablation hook).
+  /// Enables/disables the index-aware planner (ablation hook).
+  void set_use_planner(bool on) { use_planner_ = on; }
+  bool use_planner() const { return use_planner_; }
+
+  /// Enables/disables the grouping-as-index fast path used when the
+  /// planner is off (ablation hook).
   void set_use_grouping_index(bool on) { use_grouping_index_ = on; }
   bool use_grouping_index() const { return use_grouping_index_; }
 
@@ -89,6 +100,11 @@ class Evaluator {
   sdm::EntitySet EvaluateAttributeFor(const Predicate& pred, ClassId v,
                                       EntityId x) const;
 
+  /// Plans `pred` over class `v`, runs it, and returns the plan dump
+  /// (probe vs scan per atom, execution order, estimated and actual
+  /// cardinalities). For tests and the REPL's `explain` command.
+  std::string Explain(const Predicate& pred, ClassId v) const;
+
   /// Set comparison per the paper's operator list. Ordering operators apply
   /// to singleton sets only (false otherwise); entities of predefined
   /// baseclasses compare by value (INTEGER and REAL interoperate), user
@@ -106,7 +122,19 @@ class Evaluator {
       const Predicate& pred, ClassId v,
       const sdm::EntitySet& candidates) const;
 
+  /// Images of e/x-independent (class-extent) terms of placed atoms,
+  /// fetched once per predicate evaluation instead of once per candidate.
+  std::unordered_map<const Term*, sdm::EntitySet> HoistExtents(
+      const Predicate& pred) const;
+  bool EvalAtomWith(
+      const Atom& atom, EntityId e, EntityId x,
+      const std::unordered_map<const Term*, sdm::EntitySet>& hoisted) const;
+  bool EvalPredicateWith(
+      const Predicate& pred, EntityId e, EntityId x,
+      const std::unordered_map<const Term*, sdm::EntitySet>& hoisted) const;
+
   const sdm::Database& db_;
+  bool use_planner_ = true;
   bool use_grouping_index_ = true;
 };
 

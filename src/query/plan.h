@@ -1,0 +1,147 @@
+/// \file plan.h
+/// \brief Index-aware predicate planning and execution.
+///
+/// A PlannedPredicate sits between the stored predicate and the naive
+/// per-entity scan of Evaluator::EvalPredicate. At construction it analyzes
+/// every placed atom: one-placed equality/membership atoms against constant
+/// sets (the shape `e.A <op> {c1,...,ck}`) are rewritten into probes of the
+/// database's attribute-value indexes, everything else stays a scan atom.
+/// Selectivities are estimated from index cardinalities (probes) or
+/// per-operator priors (scans), atoms inside a clause are ordered so the
+/// short-circuit fires as early as possible, and clauses are ordered
+/// most-selective-first (CNF) / most-likely-true-first (DNF).
+///
+/// Execution then runs in up to two stages: clauses made entirely of probe
+/// atoms are answered set-at-a-time from the index (CNF: intersected into
+/// the candidate set as a prefilter; DNF: unioned straight into the result),
+/// and only the residual clauses are tested entity-at-a-time over whatever
+/// candidates survive. Term images computed during the scan are memoized per
+/// query (entity x map-path -> image), so a composition `A1 A2 ... An`
+/// shared by several atoms is evaluated once per entity, constants once per
+/// query, and class extents once per query instead of once per candidate.
+///
+/// The plan is an optimization only: results are bit-identical to the naive
+/// scan (property-tested in plan_test.cpp). Atoms whose probe rewrite cannot
+/// be proven equivalent -- negated atoms, dead or null constants, maps
+/// longer than one step, unindexable attributes -- simply stay scan atoms.
+
+#ifndef ISIS_QUERY_PLAN_H_
+#define ISIS_QUERY_PLAN_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "query/predicate.h"
+#include "sdm/database.h"
+
+namespace isis::query {
+
+/// True when any atom of `pred` (placed or not) walks through `attr` on
+/// either side. Used by callers that cache a PlannedPredicate across
+/// mutations of one attribute: the cache is only sound when the predicate
+/// never reads that attribute.
+bool PredicateMentionsAttribute(const Predicate& pred, AttributeId attr);
+
+/// How one atom will be executed.
+struct AtomPlan {
+  int atom_index = 0;       ///< Index into Predicate::atoms.
+  bool probe = false;       ///< Answered from the value index.
+  bool always_empty = false;  ///< Provably false for every candidate
+                              ///< (singlevalued equality vs a 2+ element
+                              ///< constant set).
+  double est_selectivity = 1.0;  ///< Estimated P(atom true) per candidate.
+  double cost = 1.0;             ///< Relative per-entity test cost.
+  std::int64_t est_cardinality = -1;  ///< Estimated matches (probes only).
+  /// Filled in after set-at-a-time execution; -1 until then.
+  std::int64_t actual_cardinality = -1;
+
+  // Probe execution state (lazily materialized).
+  sdm::EntitySet matched;
+  bool matched_built = false;
+};
+
+/// One clause in execution order.
+struct ClausePlan {
+  std::vector<AtomPlan> atoms;   ///< Short-circuit test order.
+  bool probe_only = false;       ///< Every atom is a probe: set-at-a-time.
+  double est_selectivity = 1.0;  ///< Estimated P(clause true) per candidate.
+  sdm::EntitySet matched;        ///< Probe-only clauses: combined match set.
+  bool matched_built = false;
+};
+
+/// Counters from the last Evaluate() call.
+struct PlanStats {
+  std::int64_t candidates_in = 0;    ///< |candidates| handed to Evaluate.
+  std::int64_t after_prefilter = 0;  ///< Survivors of the probe prefilter.
+  std::int64_t scanned = 0;          ///< Entities tested entity-at-a-time.
+  std::int64_t result = 0;           ///< |result|.
+  std::int64_t probe_clauses = 0;    ///< Clauses answered set-at-a-time.
+  std::int64_t probe_atoms = 0;      ///< Atoms planned as probes.
+};
+
+/// \brief A predicate compiled against one candidate class.
+///
+/// Holds per-query memo state, so one instance serves one logical query:
+/// either a single Evaluate() over a candidate set, or a run of Test()
+/// calls against an unchanging database. Callers interleaving mutations
+/// must build a fresh instance (or prove, via PredicateMentionsAttribute,
+/// that the mutated attribute is invisible to the predicate).
+class PlannedPredicate {
+ public:
+  /// Builds the plan. Probe analysis may lazily build value indexes (they
+  /// are maintained incrementally afterwards).
+  PlannedPredicate(const sdm::Database& db, const Predicate& pred, ClassId v);
+
+  /// { e in candidates | P_x(e) } -- bit-identical to filtering candidates
+  /// with Evaluator::EvalPredicate.
+  sdm::EntitySet Evaluate(const sdm::EntitySet& candidates,
+                          EntityId x = sdm::kNullEntity);
+
+  /// Truth of the predicate for one entity, through the plan (probe atoms
+  /// become point probes of the index; scan atoms are memoized).
+  bool Test(EntityId e, EntityId x = sdm::kNullEntity);
+
+  /// Multi-line dump of the chosen plan: probe vs scan per atom in execution
+  /// order, estimated and (after Evaluate) actual cardinalities.
+  std::string Explain() const;
+
+  const PlanStats& stats() const { return stats_; }
+
+ private:
+  AtomPlan AnalyzeAtom(int atom_index);
+  /// Combined matched set of a probe-only clause (CNF: union of its atoms'
+  /// matches; DNF: intersection).
+  const sdm::EntitySet& ClauseMatched(ClausePlan* cp);
+  const sdm::EntitySet& AtomMatched(AtomPlan* ap);
+  bool TestProbeAtom(const AtomPlan& ap, EntityId e);
+  bool TestScanAtom(const Atom& atom, EntityId e, EntityId x);
+  bool TestClause(ClausePlan* cp, EntityId e, EntityId x);
+  /// Memoized term image; see file comment for the memo scopes.
+  const sdm::EntitySet& TermImage(const Term& term, EntityId e, EntityId x);
+
+  const sdm::Database& db_;
+  const Predicate& pred_;
+  ClassId class_;
+  std::int64_t class_size_ = 0;
+  std::vector<ClausePlan> clauses_;
+  PlanStats stats_;
+
+  // --- Per-query map-image memo. ---
+  // Candidate-rooted images are valid for one e, self-rooted for one x;
+  // constants and class extents are e/x-independent and live for the query.
+  std::map<std::vector<AttributeId>, sdm::EntitySet> cand_memo_;
+  EntityId memo_e_ = sdm::kNullEntity;
+  std::map<std::vector<AttributeId>, sdm::EntitySet> self_memo_;
+  EntityId memo_x_ = sdm::kNullEntity;
+  std::unordered_map<const Term*, sdm::EntitySet> const_memo_;
+  std::map<std::pair<std::int64_t, std::vector<AttributeId>>, sdm::EntitySet>
+      extent_memo_;
+};
+
+}  // namespace isis::query
+
+#endif  // ISIS_QUERY_PLAN_H_

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <map>
+#include <set>
 
 namespace isis::rel {
 
@@ -18,9 +19,9 @@ int QbeQuery::FilledCellCount() const {
 Result<Relation> QbeQuery::Evaluate(const RelDatabase& db) const {
   if (rows_.empty()) return Status::InvalidArgument("empty QBE query");
 
-  // Working relation: columns are variable names (plus synthetic names for
+  // Per-row relations: columns are variable names (plus synthetic names for
   // anonymous constrained columns, which are filtered then dropped).
-  std::optional<Relation> acc;
+  std::vector<Relation> parts;
   std::vector<std::string> print_order;
 
   for (size_t ri = 0; ri < rows_.size(); ++ri) {
@@ -80,17 +81,46 @@ Result<Relation> QbeQuery::Evaluate(const RelDatabase& db) const {
       }
       ISIS_RETURN_NOT_OK(row_rel.Insert(std::move(p)));
     }
-    if (!acc.has_value()) {
-      acc = std::move(row_rel);
-    } else {
-      ISIS_ASSIGN_OR_RETURN(*acc, NaturalJoin(*acc, row_rel));
-    }
+    parts.push_back(std::move(row_rel));
   }
 
   if (print_order.empty()) {
     return Status::InvalidArgument("QBE query prints nothing (no P. cells)");
   }
-  return Project(*acc, print_order);
+
+  // Natural join is commutative and associative, so any join order yields
+  // the same relation; pick one by selectivity: start from the smallest
+  // part, then greedily add the smallest part sharing a column with the
+  // accumulated schema (a real join) before any that shares none (a cross
+  // product, deferred as long as possible).
+  std::vector<bool> used(parts.size(), false);
+  size_t first = 0;
+  for (size_t i = 1; i < parts.size(); ++i) {
+    if (parts[i].size() < parts[first].size()) first = i;
+  }
+  Relation acc = std::move(parts[first]);
+  used[first] = true;
+  std::set<std::string> acc_cols(acc.columns().begin(), acc.columns().end());
+  for (size_t joined = 1; joined < parts.size(); ++joined) {
+    size_t best = parts.size();
+    bool best_shares = false;
+    for (size_t i = 0; i < parts.size(); ++i) {
+      if (used[i]) continue;
+      bool shares = std::any_of(
+          parts[i].columns().begin(), parts[i].columns().end(),
+          [&](const std::string& c) { return acc_cols.count(c) > 0; });
+      if (best == parts.size() || (shares && !best_shares) ||
+          (shares == best_shares && parts[i].size() < parts[best].size())) {
+        best = i;
+        best_shares = shares;
+      }
+    }
+    ISIS_ASSIGN_OR_RETURN(acc, NaturalJoin(acc, parts[best]));
+    used[best] = true;
+    acc_cols.insert(parts[best].columns().begin(),
+                    parts[best].columns().end());
+  }
+  return Project(acc, print_order);
 }
 
 }  // namespace isis::rel

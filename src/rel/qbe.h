@@ -69,7 +69,10 @@ class QbeQuery {
 
   /// Evaluates against `db`: joins rows on shared variables, applies
   /// constant conditions, projects the printed variables (columns named by
-  /// their variables, in first-appearance order).
+  /// their variables, in first-appearance order). Rows are pre-filtered by
+  /// their constant cells and then joined smallest-and-connected-first —
+  /// natural join is commutative/associative, so the reorder only changes
+  /// intermediate sizes, never the result.
   Result<Relation> Evaluate(const RelDatabase& db) const;
 
  private:

@@ -119,6 +119,8 @@ Status Database::SetValueClass(AttributeId attr, ClassId value_class) {
     }
   }
   MarkGroupingsDirtyOn(attr);
+  auto vit = value_index_.find(attr.value());
+  if (vit != value_index_.end()) vit->second.dirty = true;
   NotifySchemaChange();
   return Status::OK();
 }
@@ -128,6 +130,7 @@ Status Database::DeleteAttribute(AttributeId attr) {
   ISIS_RETURN_NOT_OK(schema_.DeleteAttribute(attr));
   single_.erase(attr.value());
   multi_.erase(attr.value());
+  value_index_.erase(attr.value());
   NotifySchemaChange();
   return Status::OK();
 }
@@ -301,14 +304,19 @@ Status Database::DeleteEntity(EntityId e) {
     }
   }
   ScrubAllReferences(e);
-  // Drop the entity's own attribute rows.
+  // Drop the entity's own attribute rows (keeping the value indexes in
+  // step: these drops fire no value-change notification).
   for (auto& [attr, rows] : single_) {
-    (void)attr;
-    rows.erase(e);
+    if (rows.count(e) > 0) {
+      ValueIndexDropRow(AttributeId(attr), e);
+      rows.erase(e);
+    }
   }
   for (auto& [attr, rows] : multi_) {
-    (void)attr;
-    rows.erase(e);
+    if (rows.count(e) > 0) {
+      ValueIndexDropRow(AttributeId(attr), e);
+      rows.erase(e);
+    }
   }
   if (ent.has_value) {
     interned_.erase(ent.value);
@@ -329,6 +337,7 @@ const Entity& Database::GetEntity(EntityId e) const {
 
 std::vector<EntityId> Database::AllEntities() const {
   std::vector<EntityId> out;
+  out.reserve(entities_.size() > 0 ? entities_.size() - 1 : 0);
   for (size_t i = 1; i < entities_.size(); ++i) {
     if (entity_live_[i]) out.push_back(EntityId(static_cast<std::int64_t>(i)));
   }
@@ -413,9 +422,15 @@ Status Database::RemoveFromClass(EntityId e, ClassId cls) {
   for (ClassId c : affected) {
     for (AttributeId a : schema_.GetClass(c).own_attributes) {
       auto sit = single_.find(a.value());
-      if (sit != single_.end()) sit->second.erase(e);
+      if (sit != single_.end() && sit->second.count(e) > 0) {
+        ValueIndexDropRow(a, e);
+        sit->second.erase(e);
+      }
       auto mit = multi_.find(a.value());
-      if (mit != multi_.end()) mit->second.erase(e);
+      if (mit != multi_.end() && mit->second.count(e) > 0) {
+        ValueIndexDropRow(a, e);
+        mit->second.erase(e);
+      }
     }
   }
   return Status::OK();
@@ -727,6 +742,93 @@ void Database::IncrementalGroupingUpdate(GroupingId g, EntityId e,
   ++stats_.grouping_incremental_updates;
 }
 
+// --- Attribute-value indexes. ---
+
+bool Database::ValueIndexable(AttributeId attr) const {
+  return schema_.HasAttribute(attr) && !schema_.GetAttribute(attr).naming;
+}
+
+Database::ValueIndex* Database::EnsureValueIndex(AttributeId attr) const {
+  if (!ValueIndexable(attr)) return nullptr;
+  ValueIndex& idx = value_index_[attr.value()];
+  if (!idx.dirty) return &idx;
+  idx.owners_by_value.clear();
+  idx.postings = 0;
+  // Built from the stored rows, not by scanning members: rows exist exactly
+  // for owners with a (non-default) value, which is also the set of entities
+  // a probe may legally return.
+  if (!schema_.GetAttribute(attr).multivalued) {
+    auto it = single_.find(attr.value());
+    if (it != single_.end()) {
+      for (const auto& [owner, v] : it->second) {
+        if (v == kNullEntity) continue;
+        idx.owners_by_value[v].insert(owner);
+        ++idx.postings;
+      }
+    }
+  } else {
+    auto it = multi_.find(attr.value());
+    if (it != multi_.end()) {
+      for (const auto& [owner, values] : it->second) {
+        for (EntityId v : values) {
+          idx.owners_by_value[v].insert(owner);
+          ++idx.postings;
+        }
+      }
+    }
+  }
+  idx.dirty = false;
+  ++stats_.value_index_rebuilds;
+  return &idx;
+}
+
+const EntitySet& Database::ValueIndexProbe(AttributeId attr,
+                                           EntityId value) const {
+  ValueIndex* idx = EnsureValueIndex(attr);
+  ++stats_.value_index_probes;
+  if (idx == nullptr) return kEmptySet;
+  auto it = idx->owners_by_value.find(value);
+  return it == idx->owners_by_value.end() ? kEmptySet : it->second;
+}
+
+std::int64_t Database::ValueIndexDistinctValues(AttributeId attr) const {
+  ValueIndex* idx = EnsureValueIndex(attr);
+  return idx == nullptr
+             ? 0
+             : static_cast<std::int64_t>(idx->owners_by_value.size());
+}
+
+std::int64_t Database::ValueIndexPostings(AttributeId attr) const {
+  ValueIndex* idx = EnsureValueIndex(attr);
+  return idx == nullptr ? 0 : idx->postings;
+}
+
+void Database::ValueIndexUpdate(AttributeId attr, EntityId e,
+                                const EntitySet& before,
+                                const EntitySet& after) {
+  auto it = value_index_.find(attr.value());
+  if (it == value_index_.end() || it->second.dirty) return;
+  ValueIndex& idx = it->second;
+  for (EntityId v : before) {
+    if (after.count(v) > 0) continue;
+    auto oit = idx.owners_by_value.find(v);
+    if (oit == idx.owners_by_value.end()) continue;
+    idx.postings -= static_cast<std::int64_t>(oit->second.erase(e));
+    if (oit->second.empty()) idx.owners_by_value.erase(oit);
+  }
+  for (EntityId v : after) {
+    if (before.count(v) > 0) continue;
+    if (idx.owners_by_value[v].insert(e).second) ++idx.postings;
+  }
+  ++stats_.value_index_incremental_updates;
+}
+
+void Database::ValueIndexDropRow(AttributeId attr, EntityId e) {
+  auto it = value_index_.find(attr.value());
+  if (it == value_index_.end() || it->second.dirty) return;
+  ValueIndexUpdate(attr, e, GetValueSet(e, attr), kEmptySet);
+}
+
 void Database::OnAttributeValueChange(EntityId e, AttributeId attr,
                                       const EntitySet& before,
                                       const EntitySet& after) {
@@ -734,6 +836,7 @@ void Database::OnAttributeValueChange(EntityId e, AttributeId attr,
   for (MutationObserver* o : observers_) {
     o->OnAttributeValue(e, attr, before, after);
   }
+  ValueIndexUpdate(attr, e, before, after);
   for (GroupingId g : schema_.AllGroupings()) {
     const GroupingDef& def = schema_.GetGrouping(g);
     if (def.on_attribute != attr) continue;
@@ -859,6 +962,8 @@ Status Database::RestoreSingle(AttributeId attr, EntityId e, EntityId value) {
     return Status::ParseError("bad singlevalued attribute slot on restore");
   }
   if (value != kNullEntity) single_[attr.value()][e] = value;
+  auto it = value_index_.find(attr.value());
+  if (it != value_index_.end()) it->second.dirty = true;
   return Status::OK();
 }
 
@@ -867,6 +972,8 @@ Status Database::RestoreMulti(AttributeId attr, EntityId e, EntitySet values) {
     return Status::ParseError("bad multivalued attribute slot on restore");
   }
   if (!values.empty()) multi_[attr.value()][e] = std::move(values);
+  auto it = value_index_.find(attr.value());
+  if (it != value_index_.end()) it->second.dirty = true;
   return Status::OK();
 }
 

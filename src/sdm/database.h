@@ -262,6 +262,33 @@ class Database {
   /// The block of `g` indexed by `index` (empty if none).
   EntitySet GetGroupingBlock(GroupingId g, EntityId index) const;
 
+  // --- Attribute-value indexes (query-layer acceleration). ---
+  //
+  // A per-attribute inverted index value -> { owners }: for a singlevalued
+  // attribute the owners whose value *is* the entity, for a multivalued one
+  // the owners whose value set *contains* it. Unlike groupings these exist
+  // for every stored attribute, need no schema object, and are what the
+  // query planner probes for one-placed equality/membership atoms. Built
+  // lazily from the attribute's value rows on first probe and then kept
+  // fresh through the same mutation hooks that maintain groupings.
+
+  /// True if `attr` can be served by the value index. Naming attributes are
+  /// not indexable: their values are computed from entity names, and renames
+  /// bypass the value-change hooks.
+  bool ValueIndexable(AttributeId attr) const;
+
+  /// Owners of `value` through `attr` (empty for unindexable attributes or
+  /// unseen values). Builds the index on first use.
+  const EntitySet& ValueIndexProbe(AttributeId attr, EntityId value) const;
+
+  /// Number of distinct values in `attr`'s index (0 when unindexable).
+  /// Builds the index; the planner uses it for selectivity estimation.
+  std::int64_t ValueIndexDistinctValues(AttributeId attr) const;
+
+  /// Number of (owner, value) postings in `attr`'s index (0 when
+  /// unindexable). Builds the index.
+  std::int64_t ValueIndexPostings(AttributeId attr) const;
+
   // --- Restore API (store/ deserialization only). ---
   //
   // Direct state reconstruction bypassing the mutation checks; the loader
@@ -282,6 +309,9 @@ class Database {
   struct Stats {
     std::int64_t grouping_rebuilds = 0;
     std::int64_t grouping_incremental_updates = 0;
+    std::int64_t value_index_rebuilds = 0;
+    std::int64_t value_index_incremental_updates = 0;
+    std::int64_t value_index_probes = 0;
   };
   const Stats& stats() const { return stats_; }
 
@@ -314,7 +344,13 @@ class Database {
   struct GroupingCache {
     bool dirty = true;
     std::vector<GroupingBlock> blocks;
-    std::map<EntityId, size_t> block_of_index;
+    std::unordered_map<EntityId, size_t> block_of_index;
+  };
+
+  struct ValueIndex {
+    bool dirty = true;
+    std::unordered_map<EntityId, EntitySet> owners_by_value;
+    std::int64_t postings = 0;
   };
 
   Status CheckAttributeApplies(EntityId e, AttributeId attr,
@@ -336,6 +372,14 @@ class Database {
   void NotifyRename(EntityId e, ClassId base, const std::string& old_name,
                     const std::string& new_name);
   void MarkGroupingsDirtyOn(AttributeId attr);
+  /// Lazily (re)builds `attr`'s value index; nullptr when unindexable.
+  ValueIndex* EnsureValueIndex(AttributeId attr) const;
+  /// Applies a before/after value-set delta to `attr`'s index if built.
+  void ValueIndexUpdate(AttributeId attr, EntityId e, const EntitySet& before,
+                        const EntitySet& after);
+  /// Index fix-up for attribute rows dropped without a value-change
+  /// notification (entity deletion, class removal).
+  void ValueIndexDropRow(AttributeId attr, EntityId e);
   void RebuildGrouping(GroupingId g, GroupingCache* cache) const;
   void IncrementalGroupingUpdate(GroupingId g, EntityId e,
                                  const EntitySet& before,
@@ -363,6 +407,7 @@ class Database {
       multi_;
 
   mutable std::unordered_map<std::int64_t, GroupingCache> grouping_cache_;
+  mutable std::unordered_map<std::int64_t, ValueIndex> value_index_;
   mutable Stats stats_;
   std::vector<MutationObserver*> observers_;
   int mutation_depth_ = 0;

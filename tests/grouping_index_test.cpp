@@ -30,15 +30,19 @@ class GroupingIndexTest : public ::testing::Test {
     plays_ = *s.FindAttribute(musicians_, "plays");
   }
 
-  /// Evaluates with and without the index and asserts equal answers.
+  /// Evaluates three ways — the planner (the default), the grouping fast
+  /// path alone (planner off), and the naive scan — and asserts all agree.
   EntitySet BothWays(const Predicate& p, ClassId v) {
-    Evaluator with(*db_);
-    Evaluator without(*db_);
-    without.set_use_grouping_index(false);
-    EntitySet fast = with.EvaluateSubclass(p, v);
-    EntitySet scan = without.EvaluateSubclass(p, v);
-    EXPECT_EQ(fast, scan);
-    return fast;
+    Evaluator planned(*db_);
+    Evaluator grouped(*db_);
+    grouped.set_use_planner(false);
+    Evaluator naive(*db_);
+    naive.set_use_planner(false);
+    naive.set_use_grouping_index(false);
+    EntitySet scan = naive.EvaluateSubclass(p, v);
+    EXPECT_EQ(planned.EvaluateSubclass(p, v), scan);
+    EXPECT_EQ(grouped.EvaluateSubclass(p, v), scan);
+    return scan;
   }
 
   Predicate OneAtom(Atom a) {
@@ -177,6 +181,7 @@ TEST_F(GroupingIndexTest, RandomizedAgreementOnScaledData) {
     Evaluator with(ws->db());
     Evaluator without(ws->db());
     without.set_use_grouping_index(false);
+    without.set_use_planner(false);
     EXPECT_EQ(with.EvaluateSubclass(p, h.instruments),
               without.EvaluateSubclass(p, h.instruments))
         << "trial " << trial;

@@ -1,0 +1,223 @@
+/// \file value_index_test.cpp
+/// \brief Tests for the attribute-value indexes (Database::ValueIndexProbe
+/// and friends): probe answers must always equal a brute-force scan of the
+/// attribute rows, and mutations must keep a built index fresh through the
+/// incremental hooks — never by silently rebuilding.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "datasets/instrumental_music.h"
+#include "datasets/scaled_music.h"
+#include "query/workspace.h"
+
+namespace isis::sdm {
+namespace {
+
+using query::Workspace;
+
+/// Owners of `value` through `attr`, the slow way: scan every live entity's
+/// value set. This is exactly what a from-scratch rebuild would produce.
+EntitySet BruteForceOwners(const Database& db, AttributeId attr,
+                           EntityId value) {
+  EntitySet owners;
+  for (EntityId e : db.AllEntities()) {
+    if (db.GetValueSet(e, attr).count(value) > 0) owners.insert(e);
+  }
+  return owners;
+}
+
+/// Probes every member of the attribute's value class (plus the given
+/// extras) and checks the index against brute force.
+void ExpectIndexConsistent(const Database& db, AttributeId attr,
+                           const EntitySet& extra_values = {}) {
+  const AttributeDef& def = db.schema().GetAttribute(attr);
+  EntitySet values = db.Members(def.value_class);
+  values.insert(extra_values.begin(), extra_values.end());
+  for (EntityId v : values) {
+    EXPECT_EQ(db.ValueIndexProbe(attr, v), BruteForceOwners(db, attr, v))
+        << "attr " << db.schema().GetAttribute(attr).name << " value "
+        << db.NameOf(v);
+  }
+}
+
+class ValueIndexTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ws_ = datasets::BuildInstrumentalMusic();
+    db_ = &ws_->db();
+    const Schema& s = db_->schema();
+    musicians_ = *s.FindClass("musicians");
+    instruments_ = *s.FindClass("instruments");
+    families_ = *s.FindClass("families");
+    family_ = *s.FindAttribute(instruments_, "family");
+    plays_ = *s.FindAttribute(musicians_, "plays");
+  }
+
+  EntityId E(ClassId cls, const char* name) {
+    return *db_->FindEntity(cls, name);
+  }
+
+  std::unique_ptr<Workspace> ws_;
+  Database* db_ = nullptr;
+  ClassId musicians_, instruments_, families_;
+  AttributeId family_, plays_;
+};
+
+TEST_F(ValueIndexTest, ProbeMatchesBruteForce) {
+  ExpectIndexConsistent(*db_, family_);   // singlevalued
+  ExpectIndexConsistent(*db_, plays_);    // multivalued
+  EXPECT_EQ(db_->ValueIndexProbe(family_, E(families_, "percussion")).size(),
+            3u);  // drums, cymbals, timpani
+}
+
+TEST_F(ValueIndexTest, NamingAttributesAreNotIndexable) {
+  AttributeId name = *db_->schema().FindAttribute(instruments_, "name");
+  EXPECT_FALSE(db_->ValueIndexable(name));
+  EXPECT_TRUE(
+      db_->ValueIndexProbe(name, db_->InternString("flute")).empty());
+  EXPECT_EQ(db_->ValueIndexDistinctValues(name), 0);
+}
+
+TEST_F(ValueIndexTest, SingleValuedMutationsMaintainTheIndex) {
+  ExpectIndexConsistent(*db_, family_);  // builds the index
+  const std::int64_t rebuilds = db_->stats().value_index_rebuilds;
+
+  ASSERT_TRUE(db_->SetSingle(E(instruments_, "flute"), family_,
+                             E(families_, "percussion"))
+                  .ok());
+  ExpectIndexConsistent(*db_, family_);
+  ASSERT_TRUE(
+      db_->SetSingle(E(instruments_, "flute"), family_, kNullEntity).ok());
+  ExpectIndexConsistent(*db_, family_);
+
+  // Fresh after every mutation without a rebuild: strictly incremental.
+  EXPECT_EQ(db_->stats().value_index_rebuilds, rebuilds);
+  EXPECT_GT(db_->stats().value_index_incremental_updates, 0);
+}
+
+TEST_F(ValueIndexTest, MultiValuedMutationsMaintainTheIndex) {
+  ExpectIndexConsistent(*db_, plays_);
+  const std::int64_t rebuilds = db_->stats().value_index_rebuilds;
+
+  EntityId mark = E(musicians_, "Mark");
+  ASSERT_TRUE(db_->AddToMulti(mark, plays_, E(instruments_, "drums")).ok());
+  ExpectIndexConsistent(*db_, plays_);
+  ASSERT_TRUE(
+      db_->RemoveFromMulti(mark, plays_, E(instruments_, "drums")).ok());
+  ExpectIndexConsistent(*db_, plays_);
+  ASSERT_TRUE(db_->SetMulti(mark, plays_,
+                            {E(instruments_, "organ"), E(instruments_, "oboe")})
+                  .ok());
+  ExpectIndexConsistent(*db_, plays_);
+  EXPECT_EQ(db_->stats().value_index_rebuilds, rebuilds);
+}
+
+TEST_F(ValueIndexTest, EntityDeletionDropsOwnRowsAndPostings) {
+  ExpectIndexConsistent(*db_, plays_);
+  ExpectIndexConsistent(*db_, family_);
+  // Deleting a musician drops its own plays row (owner side); deleting an
+  // instrument scrubs it out of every plays set (value side) and drops its
+  // family row.
+  ASSERT_TRUE(db_->DeleteEntity(E(musicians_, "Edith")).ok());
+  ExpectIndexConsistent(*db_, plays_);
+  EntityId violin = E(instruments_, "violin");
+  ASSERT_TRUE(db_->DeleteEntity(violin).ok());
+  ExpectIndexConsistent(*db_, plays_, {violin});
+  ExpectIndexConsistent(*db_, family_);
+}
+
+TEST_F(ValueIndexTest, ClassRemovalDropsTheRow) {
+  // An attribute owned by the enumerated soloists subclass: leaving the
+  // class drops the row without any value-change notification, and the
+  // index must see it go.
+  ClassId soloists = *db_->schema().FindClass("soloists");
+  Result<AttributeId> fee =
+      db_->CreateAttribute(soloists, "fee", Schema::kIntegers(), false);
+  ASSERT_TRUE(fee.ok());
+  EntityId mark = E(musicians_, "Mark");
+  EntityId hundred = db_->InternInteger(100);
+  ASSERT_TRUE(db_->SetSingle(mark, *fee, hundred).ok());
+  ExpectIndexConsistent(*db_, *fee, {hundred});
+  EXPECT_EQ(db_->ValueIndexProbe(*fee, hundred).count(mark), 1u);
+  ASSERT_TRUE(db_->RemoveFromClass(mark, soloists).ok());
+  ExpectIndexConsistent(*db_, *fee, {hundred});
+  EXPECT_TRUE(db_->ValueIndexProbe(*fee, hundred).empty());
+}
+
+TEST_F(ValueIndexTest, NewEntitiesEnterTheIndex) {
+  ExpectIndexConsistent(*db_, family_);
+  Result<EntityId> kazoo = db_->CreateEntity(instruments_, "kazoo");
+  ASSERT_TRUE(kazoo.ok());
+  ASSERT_TRUE(
+      db_->SetSingle(*kazoo, family_, E(families_, "woodwind")).ok());
+  ExpectIndexConsistent(*db_, family_);
+  EXPECT_GT(db_->ValueIndexProbe(family_, E(families_, "woodwind")).count(
+                *kazoo),
+            0u);
+}
+
+TEST_F(ValueIndexTest, PostingsAndDistinctValuesTrackContent) {
+  std::int64_t postings = db_->ValueIndexPostings(plays_);
+  std::int64_t expected = 0;
+  for (EntityId e : db_->AllEntities()) {
+    expected += static_cast<std::int64_t>(db_->GetValueSet(e, plays_).size());
+  }
+  EXPECT_EQ(postings, expected);
+  EXPECT_GT(db_->ValueIndexDistinctValues(plays_), 0);
+  EntityId mark = E(musicians_, "Mark");
+  EntitySet before = db_->GetMulti(mark, plays_);
+  ASSERT_TRUE(db_->SetMulti(mark, plays_, {}).ok());
+  EXPECT_EQ(db_->ValueIndexPostings(plays_),
+            expected - static_cast<std::int64_t>(before.size()));
+}
+
+TEST_F(ValueIndexTest, RandomizedMutationsAgreeWithRebuild) {
+  auto ws = datasets::BuildScaledMusic(4);
+  Database& db = ws->db();
+  datasets::ScaledMusicHandles h = datasets::ResolveScaledMusic(*ws);
+  std::vector<EntityId> musicians(db.Members(h.musicians).begin(),
+                                  db.Members(h.musicians).end());
+  std::vector<EntityId> instruments(db.Members(h.instruments).begin(),
+                                    db.Members(h.instruments).end());
+  std::vector<EntityId> families(db.Members(h.families).begin(),
+                                 db.Members(h.families).end());
+  // Build both indexes, then churn: every probe afterwards must match the
+  // brute-force answer while rebuild counters stay flat.
+  (void)db.ValueIndexPostings(h.plays);
+  (void)db.ValueIndexPostings(h.family);
+  const std::int64_t rebuilds = db.stats().value_index_rebuilds;
+  Rng rng(99);
+  for (int step = 0; step < 200; ++step) {
+    EntityId m = musicians[rng.Below(musicians.size())];
+    EntityId i = instruments[rng.Below(instruments.size())];
+    switch (rng.Below(4)) {
+      case 0:
+        ASSERT_TRUE(db.AddToMulti(m, h.plays, i).ok());
+        break;
+      case 1:
+        (void)db.RemoveFromMulti(m, h.plays, i);
+        break;
+      case 2:
+        ASSERT_TRUE(
+            db.SetSingle(i, h.family, families[rng.Below(families.size())])
+                .ok());
+        break;
+      case 3:
+        ASSERT_TRUE(db.SetSingle(i, h.family, kNullEntity).ok());
+        break;
+    }
+    if (step % 20 == 0) {
+      ExpectIndexConsistent(db, h.family);
+      EXPECT_EQ(db.ValueIndexProbe(h.plays, i),
+                BruteForceOwners(db, h.plays, i));
+    }
+  }
+  ExpectIndexConsistent(db, h.family);
+  ExpectIndexConsistent(db, h.plays);
+  EXPECT_EQ(db.stats().value_index_rebuilds, rebuilds);
+  EXPECT_GT(db.stats().value_index_incremental_updates, 0);
+}
+
+}  // namespace
+}  // namespace isis::sdm
