@@ -1,0 +1,184 @@
+/// \file bench_server.cpp
+/// \brief Multi-session server throughput as the worker pool grows.
+///
+/// K client threads each drive one session over the in-process loopback
+/// transport (full wire framing, no socket) against one shared scaled_music
+/// database, with a 95/5 query/assign mix. Writes are disjoint by session
+/// -- session s only reassigns its own slice of musicians, to fixed values
+/// -- so the final database state is interleaving-independent and the run
+/// can assert byte-identical query answers across every thread count.
+///
+/// One JSON line per worker-pool size, bench_predicates-style:
+///
+///   {"name":"server_throughput","threads":4,"sessions":8,"ops":3200,
+///    "read_frac":0.95,"ops_per_sec":...,"p50_us":...,"p95_us":...,
+///    "max_us":...,"sheds":...,"promotions":...,"write_lock_wait_us":...}
+///
+/// plus a summary line:
+///
+///   {"name":"server_scaling","speedup_4x":...,"speedup_8x":...,
+///    "final_state_identical":true}
+///
+/// speedup_4x is ops_per_sec(4 threads) / ops_per_sec(1 thread). The
+/// numbers are hardware-dependent: on a single-core container the pool
+/// cannot run requests in parallel, and speedup_4x mostly measures how well
+/// the executor overlaps one session's wait with another's work; multi-core
+/// hosts see the shared-lock read parallelism directly. A custom main (not
+/// Google Benchmark): the JSON-lines contract is the point, and one process
+/// run doubles as the CI smoke test.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "datasets/scaled_music.h"
+#include "server/loopback.h"
+#include "server/session.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using isis::Result;
+using isis::datasets::BuildScaledMusic;
+using isis::server::Frame;
+using isis::server::JoinFields;
+using isis::server::LoopbackClient;
+using isis::server::MsgType;
+using isis::server::Server;
+using isis::server::ServerOptions;
+using isis::server::StatsSnapshot;
+
+constexpr int kScale = 4;      // ~64 musicians, 8 instruments, 12 groups.
+constexpr int kSessions = 8;
+constexpr int kOpsPerSession = 400;
+constexpr int kWriteEvery = 20;  // 1 write per 20 ops: a 95/5 mix.
+
+/// The canonical post-run probe: answers must be byte-identical across
+/// every worker-pool size.
+const char* const kFinalQueries[][2] = {
+    {"musicians", "e.plays ]= {inst0}"},
+    {"musicians", "e.plays ]= {inst1}"},
+    {"music_groups", "e.size = {3}"},
+};
+
+struct RunResult {
+  double ops_per_sec = 0.0;
+  StatsSnapshot stats;
+  std::vector<std::string> final_payloads;
+};
+
+/// One client session's script: mostly queries, every kWriteEvery-th op a
+/// write into this session's own slice of musicians (disjoint across
+/// sessions, idempotent values).
+void ClientScript(Server* srv, int session_index, char* ok) {
+  LoopbackClient client(srv);
+  if (!client.Connect("bench" + std::to_string(session_index)).ok()) {
+    *ok = false;
+    return;
+  }
+  const int total_musicians = 16 * kScale;
+  const int slice = total_musicians / kSessions;
+  const int base = session_index * slice;
+  int next_write = 0;
+  for (int op = 0; op < kOpsPerSession; ++op) {
+    if (op % kWriteEvery == kWriteEvery - 1) {
+      // Deterministic target and value: musician (base + i) plays
+      // inst(i % 2), regardless of interleaving.
+      int i = next_write++ % slice;
+      if (!client
+               .Assign("musicians", "musician" + std::to_string(base + i),
+                       "plays", "inst" + std::to_string(i % 2))
+               .ok()) {
+        *ok = false;
+        return;
+      }
+    } else {
+      const char* const* q = kFinalQueries[op % 3];
+      Result<Frame> resp =
+          client.Call(MsgType::kQuery, JoinFields({q[0], q[1]}));
+      // kRetry is a legitimate answer under load; anything else but a
+      // result is not.
+      if (!resp.ok() || (resp->type != MsgType::kQueryResult &&
+                         resp->type != MsgType::kRetry)) {
+        *ok = false;
+        return;
+      }
+    }
+  }
+}
+
+RunResult RunConfig(int threads) {
+  ServerOptions options;
+  options.threads = threads;
+  Result<std::unique_ptr<Server>> opened =
+      Server::Open(BuildScaledMusic(kScale), options);
+  if (!opened.ok()) std::abort();
+  std::unique_ptr<Server> srv = std::move(opened).ValueOrDie();
+
+  std::vector<std::thread> clients;
+  std::vector<char> oks(kSessions, 1);
+  auto t0 = Clock::now();
+  clients.reserve(kSessions);
+  for (int s = 0; s < kSessions; ++s) {
+    clients.emplace_back(ClientScript, srv.get(), s, &oks[s]);
+  }
+  for (std::thread& t : clients) t.join();
+  const double secs =
+      std::chrono::duration_cast<std::chrono::duration<double>>(Clock::now() -
+                                                                t0)
+          .count();
+  for (char ok : oks) {
+    if (!ok) std::abort();
+  }
+
+  RunResult r;
+  r.ops_per_sec = (kSessions * kOpsPerSession) / secs;
+  r.stats = srv->stats().Snapshot();
+  LoopbackClient probe(srv.get());
+  if (!probe.Connect("probe").ok()) std::abort();
+  for (const auto& q : kFinalQueries) {
+    Result<Frame> resp = probe.Call(MsgType::kQuery, JoinFields({q[0], q[1]}));
+    if (!resp.ok() || resp->type != MsgType::kQueryResult) std::abort();
+    r.final_payloads.push_back(resp->payload);
+  }
+  srv->Shutdown();
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  const int thread_counts[] = {1, 4, 8};
+  std::vector<RunResult> results;
+  for (int threads : thread_counts) {
+    RunResult r = RunConfig(threads);
+    std::printf(
+        "{\"name\":\"server_throughput\",\"threads\":%d,\"sessions\":%d,"
+        "\"ops\":%d,\"read_frac\":%.2f,\"ops_per_sec\":%.0f,"
+        "\"p50_us\":%.1f,\"p95_us\":%.1f,\"max_us\":%lld,\"sheds\":%lld,"
+        "\"promotions\":%lld,\"write_lock_wait_us\":%lld}\n",
+        threads, kSessions, kSessions * kOpsPerSession,
+        1.0 - 1.0 / kWriteEvery, r.ops_per_sec, r.stats.p50_us,
+        r.stats.p95_us, static_cast<long long>(r.stats.max_us),
+        static_cast<long long>(r.stats.sheds),
+        static_cast<long long>(r.stats.promotions),
+        static_cast<long long>(r.stats.write_lock_wait_us));
+    results.push_back(std::move(r));
+  }
+
+  bool identical = true;
+  for (const RunResult& r : results) {
+    if (r.final_payloads != results[0].final_payloads) identical = false;
+  }
+  std::printf(
+      "{\"name\":\"server_scaling\",\"speedup_4x\":%.2f,\"speedup_8x\":%.2f,"
+      "\"final_state_identical\":%s}\n",
+      results[1].ops_per_sec / results[0].ops_per_sec,
+      results[2].ops_per_sec / results[0].ops_per_sec,
+      identical ? "true" : "false");
+  if (!identical) return 1;
+  return 0;
+}

@@ -1,0 +1,169 @@
+/// \file isis_client.cpp
+/// \brief Interactive client for isis_serve: the wire protocol from a
+/// terminal.
+///
+/// Run: ./isis_client [--host 127.0.0.1] [--port 7459]
+///
+/// Commands (one per line):
+///   query <class> <predicate>     e.g. query musicians e.plays ]= {flute}
+///   explain <class> <predicate>   print the server-side query plan
+///   assign <class> <entity> <attr> <v1,v2,...>   direct write
+///   render | screen               print this session's current view
+///   pick/pickat/cmd/type ...      raw UI events (input/event.h syntax)
+///   subscribe <class|*>           watch changes; unsubscribe <class|*>
+///   poll                          fetch pending change notifications
+///   stats                         server metrics JSON
+///   quit
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "common/strings.h"
+#include "server/net.h"
+
+using namespace isis;  // NOLINT — example brevity
+
+namespace {
+
+void PrintResponse(const server::Frame& resp) {
+  using server::MsgType;
+  switch (resp.type) {
+    case MsgType::kQueryResult: {
+      std::vector<std::string> fields = server::SplitFields(resp.payload);
+      if (fields.empty()) break;
+      std::printf("%s members:", fields[0].c_str());
+      for (std::size_t i = 1; i < fields.size(); ++i) {
+        std::printf(" %s", fields[i].c_str());
+      }
+      std::printf("\n");
+      break;
+    }
+    case MsgType::kScreen: {
+      std::vector<std::string> fields = server::SplitFields(resp.payload);
+      if (fields.size() == 2) {
+        std::fputs(fields[1].c_str(), stdout);
+        std::printf("[%s]\n", fields[0].c_str());
+      }
+      break;
+    }
+    case MsgType::kExplainResult:
+    case MsgType::kStatsResult:
+      std::printf("%s\n", resp.payload.c_str());
+      break;
+    case MsgType::kOk: {
+      if (resp.payload.empty()) {
+        std::printf("ok\n");
+        break;
+      }
+      std::vector<std::string> fields = server::SplitFields(resp.payload);
+      std::printf("ok");
+      for (const std::string& f : fields) std::printf(" | %s", f.c_str());
+      std::printf("\n");
+      break;
+    }
+    case MsgType::kRetry:
+      std::printf("server busy, retry: %s\n", resp.payload.c_str());
+      break;
+    case MsgType::kError:
+      std::printf("error: %s\n", resp.payload.c_str());
+      break;
+    default:
+      std::printf("%s: %s\n", server::MsgTypeName(resp.type),
+                  resp.payload.c_str());
+      break;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  int port = 7459;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--host" && i + 1 < argc) {
+      host = argv[++i];
+    } else if (arg == "--port" && i + 1 < argc) {
+      port = std::stoi(argv[++i]);
+    } else {
+      std::fprintf(stderr, "usage: %s [--host H] [--port N]\n", argv[0]);
+      return 1;
+    }
+  }
+
+  server::TcpClient client;
+  Status st = client.Connect(host, port, "isis_client");
+  if (!st.ok()) {
+    std::fprintf(stderr, "cannot connect to %s:%d: %s\n", host.c_str(), port,
+                 st.ToString().c_str());
+    return 1;
+  }
+  std::printf("connected, session %lld\n",
+              static_cast<long long>(client.session_id()));
+  std::printf("> ");
+  std::fflush(stdout);
+
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    std::string trimmed(Trim(line));
+    using server::MsgType;
+    Result<server::Frame> resp = Status::OK();
+    if (trimmed.empty() || trimmed[0] == '#') {
+      std::printf("> ");
+      std::fflush(stdout);
+      continue;
+    } else if (trimmed == "quit" || trimmed == "exit") {
+      (void)client.Call(MsgType::kBye, "");
+      break;
+    } else if (trimmed == "render" || trimmed == "screen") {
+      resp = client.Call(MsgType::kRender, "");
+    } else if (trimmed == "poll") {
+      resp = client.Call(MsgType::kPoll, "");
+    } else if (trimmed == "stats") {
+      resp = client.Call(MsgType::kStats, "");
+    } else if (StartsWith(trimmed, "subscribe ")) {
+      resp = client.Call(MsgType::kSubscribe,
+                         server::JoinFields({trimmed.substr(10)}));
+    } else if (StartsWith(trimmed, "unsubscribe ")) {
+      resp = client.Call(MsgType::kUnsubscribe,
+                         server::JoinFields({trimmed.substr(12)}));
+    } else if (StartsWith(trimmed, "query ") ||
+               StartsWith(trimmed, "explain ")) {
+      bool explain = StartsWith(trimmed, "explain ");
+      std::string rest = trimmed.substr(explain ? 8 : 6);
+      std::size_t sp = rest.find(' ');
+      if (sp == std::string::npos) {
+        std::printf("usage: %s <class> <predicate>\n",
+                    explain ? "explain" : "query");
+        std::printf("> ");
+        std::fflush(stdout);
+        continue;
+      }
+      resp = client.Call(
+          explain ? MsgType::kExplain : MsgType::kQuery,
+          server::JoinFields({rest.substr(0, sp), rest.substr(sp + 1)}));
+    } else if (StartsWith(trimmed, "assign ")) {
+      std::vector<std::string> parts = Split(trimmed.substr(7), ' ');
+      if (parts.size() != 4) {
+        std::printf("usage: assign <class> <entity> <attr> <v1,v2,...>\n");
+        std::printf("> ");
+        std::fflush(stdout);
+        continue;
+      }
+      resp = client.Call(MsgType::kAssign, server::JoinFields(parts));
+    } else {
+      // Anything else is a raw UI event line (pick/pickat/cmd/type).
+      resp = client.Call(MsgType::kEvent, trimmed);
+    }
+    if (!resp.ok()) {
+      std::fprintf(stderr, "transport error: %s\n",
+                   resp.status().ToString().c_str());
+      return 1;
+    }
+    PrintResponse(*resp);
+    std::printf("> ");
+    std::fflush(stdout);
+  }
+  return 0;
+}

@@ -103,16 +103,19 @@ void PrintHits(ui::SessionController* session) {
 
 int main(int argc, char** argv) {
   std::string durable_dir;
+  std::string data_dir;
   std::string db_path;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
-    if (arg == "--durable") {
+    if (arg == "--durable" || arg == "--data_dir") {
       if (i + 1 >= argc) {
-        std::fprintf(stderr, "usage: %s [--durable <dir>] [database.isis]\n",
+        std::fprintf(stderr,
+                     "usage: %s [--durable <dir>] [--data_dir <dir>] "
+                     "[database.isis]\n",
                      argv[0]);
         return 1;
       }
-      durable_dir = argv[++i];
+      (arg == "--durable" ? durable_dir : data_dir) = argv[++i];
     } else {
       db_path = arg;
     }
@@ -120,6 +123,9 @@ int main(int argc, char** argv) {
 
   std::unique_ptr<query::Workspace> ws;
   if (!db_path.empty()) {
+    // Relative paths resolve against --data_dir / $ISIS_DATA_DIR, so the
+    // binary works from any working directory.
+    db_path = store::ResolveDataPath(db_path, data_dir);
     Result<std::unique_ptr<query::Workspace>> loaded =
         store::LoadFromFile(db_path);
     if (!loaded.ok()) {

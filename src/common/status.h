@@ -32,6 +32,9 @@ enum class StatusCode {
   kParseError = 7,        ///< Serialized form or script is malformed.
   kUnimplemented = 8,     ///< Feature behind an option that is disabled.
   kInternal = 9,          ///< Invariant breakage inside the engine (a bug).
+  kUnavailable = 10,      ///< Retryable: the operation needs a stronger lock
+                          ///< (e.g. interning while frozen) or a full queue
+                          ///< drained. The server retries these.
 };
 
 /// \brief Human-readable name of a status code, e.g. "Consistency".
@@ -92,6 +95,9 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return state_ == nullptr; }
 
@@ -116,6 +122,7 @@ class Status {
   bool IsParseError() const { return code() == StatusCode::kParseError; }
   bool IsUnimplemented() const { return code() == StatusCode::kUnimplemented; }
   bool IsInternal() const { return code() == StatusCode::kInternal; }
+  bool IsUnavailable() const { return code() == StatusCode::kUnavailable; }
 
   /// "OK" or "<CodeName>: <message>".
   std::string ToString() const;

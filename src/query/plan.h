@@ -24,6 +24,15 @@
 /// scan (property-tested in plan_test.cpp). Atoms whose probe rewrite cannot
 /// be proven equivalent -- negated atoms, dead or null constants, maps
 /// longer than one step, unindexable attributes -- simply stay scan atoms.
+///
+/// Thread-safety: a PlannedPredicate instance holds per-query memo state and
+/// must stay confined to one thread; the multi-session server builds one
+/// per request. It is safe to build and run many instances concurrently
+/// under the server's *shared* lock: the only database state a plan touches
+/// lazily (value indexes, index cardinalities) is built and probed under
+/// the database's internal mutex (see the "Concurrency" section of
+/// sdm/database.h), and everything else it reads is immutable while the
+/// shared lock is held.
 
 #ifndef ISIS_QUERY_PLAN_H_
 #define ISIS_QUERY_PLAN_H_

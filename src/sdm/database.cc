@@ -8,6 +8,15 @@ namespace isis::sdm {
 
 const EntitySet Database::kEmptySet;
 
+namespace {
+/// Per-thread count of reads degraded by frozen interning (see the
+/// "Concurrency" section of database.h). Thread-local so concurrent
+/// shared-phase readers can each detect their own misses race-free.
+thread_local std::int64_t tls_intern_misses = 0;
+}  // namespace
+
+std::int64_t Database::InternMissCount() { return tls_intern_misses; }
+
 Database::Database() : Database(Options{}) {}
 
 Database::Database(Options options)
@@ -203,6 +212,14 @@ Result<EntityId> Database::InternValue(const Value& v) const {
   ClassId base = Schema::PredefinedClassFor(v.kind());
   if (!base.valid()) {
     return Status::InvalidArgument("cannot intern a value with no kind");
+  }
+  if (intern_frozen_) {
+    // Shared-phase read of a never-seen value: creating it here would
+    // mutate the entity universe under concurrent readers. The caller
+    // retries under the exclusive lock (see database.h, "Concurrency").
+    return Status::Unavailable("interning is frozen; value '" +
+                               v.ToDisplayString() +
+                               "' needs the exclusive lock");
   }
   Entity e;
   e.id = EntityId(static_cast<std::int64_t>(entities_.size()));
@@ -581,7 +598,16 @@ EntityId Database::GetSingle(EntityId e, AttributeId attr) const {
   const AttributeDef& def = schema_.GetAttribute(attr);
   if (def.naming) {
     if (!HasEntity(e) || e == kNullEntity) return kNullEntity;
-    return InternString(NameOf(e));
+    // The name string is interned on first read. With interning frozen a
+    // miss cannot be served; record it thread-locally and degrade — the
+    // caller (the server's shared-lock read path) detects the bumped
+    // counter and retries under the exclusive lock.
+    Result<EntityId> interned = InternValue(Value::String(NameOf(e)));
+    if (!interned.ok()) {
+      ++tls_intern_misses;
+      return kNullEntity;
+    }
+    return *interned;
   }
   auto it = single_.find(attr.value());
   if (it == single_.end()) return kNullEntity;
@@ -655,17 +681,22 @@ Result<ClassId> Database::MapTerminalClass(
 // --- Groupings as data. ---
 
 const std::vector<GroupingBlock>& Database::GroupingBlocks(GroupingId g) const {
+  // Build-then-publish under lazy_mu_: concurrent shared-phase readers
+  // serialize on the (at most one) rebuild; the returned reference stays
+  // valid and immutable until the next exclusive-phase mutation.
+  std::lock_guard<std::mutex> lock(lazy_mu_);
   GroupingCache& cache = grouping_cache_[g.value()];
   if (cache.dirty) RebuildGrouping(g, &cache);
   return cache.blocks;
 }
 
 EntitySet Database::GetGroupingBlock(GroupingId g, EntityId index) const {
-  const std::vector<GroupingBlock>& blocks = GroupingBlocks(g);
+  std::lock_guard<std::mutex> lock(lazy_mu_);
   GroupingCache& cache = grouping_cache_[g.value()];
+  if (cache.dirty) RebuildGrouping(g, &cache);
   auto it = cache.block_of_index.find(index);
   if (it == cache.block_of_index.end()) return {};
-  return blocks[it->second].members;
+  return cache.blocks[it->second].members;
 }
 
 void Database::RebuildGrouping(GroupingId g, GroupingCache* cache) const {
@@ -748,7 +779,7 @@ bool Database::ValueIndexable(AttributeId attr) const {
   return schema_.HasAttribute(attr) && !schema_.GetAttribute(attr).naming;
 }
 
-Database::ValueIndex* Database::EnsureValueIndex(AttributeId attr) const {
+Database::ValueIndex* Database::EnsureValueIndexLocked(AttributeId attr) const {
   if (!ValueIndexable(attr)) return nullptr;
   ValueIndex& idx = value_index_[attr.value()];
   if (!idx.dirty) return &idx;
@@ -784,7 +815,8 @@ Database::ValueIndex* Database::EnsureValueIndex(AttributeId attr) const {
 
 const EntitySet& Database::ValueIndexProbe(AttributeId attr,
                                            EntityId value) const {
-  ValueIndex* idx = EnsureValueIndex(attr);
+  std::lock_guard<std::mutex> lock(lazy_mu_);
+  ValueIndex* idx = EnsureValueIndexLocked(attr);
   ++stats_.value_index_probes;
   if (idx == nullptr) return kEmptySet;
   auto it = idx->owners_by_value.find(value);
@@ -792,14 +824,16 @@ const EntitySet& Database::ValueIndexProbe(AttributeId attr,
 }
 
 std::int64_t Database::ValueIndexDistinctValues(AttributeId attr) const {
-  ValueIndex* idx = EnsureValueIndex(attr);
+  std::lock_guard<std::mutex> lock(lazy_mu_);
+  ValueIndex* idx = EnsureValueIndexLocked(attr);
   return idx == nullptr
              ? 0
              : static_cast<std::int64_t>(idx->owners_by_value.size());
 }
 
 std::int64_t Database::ValueIndexPostings(AttributeId attr) const {
-  ValueIndex* idx = EnsureValueIndex(attr);
+  std::lock_guard<std::mutex> lock(lazy_mu_);
+  ValueIndex* idx = EnsureValueIndexLocked(attr);
   return idx == nullptr ? 0 : idx->postings;
 }
 

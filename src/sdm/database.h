@@ -19,6 +19,7 @@
 #define ISIS_SDM_DATABASE_H_
 
 #include <map>
+#include <mutex>
 #include <set>
 #include <span>
 #include <string>
@@ -322,6 +323,48 @@ class Database {
   void AddObserver(MutationObserver* observer);
   void RemoveObserver(MutationObserver* observer);
 
+  // --- Concurrency (the server's shared-read phases; see server/). ---
+  //
+  // A Database is not thread-safe in general: every mutator requires
+  // exclusive access. The multi-session server nevertheless runs read-only
+  // requests from many threads at once under a shared (reader) lock, with
+  // mutations serialized under the matching exclusive (writer) lock. Three
+  // internal rules make the const surface safe in that regime:
+  //
+  //  1. Lazily-built structures reached from const reads — attribute-value
+  //     indexes and grouping caches — are built and probed under an
+  //     internal mutex (`lazy_mu_`). A build publishes a structure that no
+  //     one modifies again until the next exclusive-phase mutation, so the
+  //     references these accessors return stay valid for the whole shared
+  //     phase (build-then-publish).
+  //  2. Interning — a logical read that physically creates an entity — can
+  //     be *frozen*. While frozen, looking up an already-interned value is
+  //     a plain read, but a value never seen before is NOT created:
+  //     InternValue/FindEntity fail with Unavailable, and the naming-
+  //     attribute read inside GetSingle records a thread-local miss
+  //     (InternMissCount) and degrades to the null entity. A caller holding
+  //     only the shared lock detects either signal and retries the whole
+  //     request under the exclusive lock with interning unfrozen — the
+  //     "promote to exclusive" discipline. Freeze toggles themselves must
+  //     happen under the exclusive lock.
+  //  3. Stats counters bumped on read paths are updated under `lazy_mu_`;
+  //     counters bumped on mutation paths need no lock (exclusive phase).
+  //
+  // Everything else reachable from const methods (schema, entities, member
+  // sets, value rows) is only mutated by exclusive-phase mutators, so the
+  // reader/writer lock alone orders those accesses.
+
+  /// Freezes/unfreezes interning. Toggle only while no other thread is
+  /// reading the database (the server toggles under its exclusive lock).
+  void set_intern_frozen(bool frozen) { intern_frozen_ = frozen; }
+  bool intern_frozen() const { return intern_frozen_; }
+
+  /// Monotone per-thread count of reads that degraded because interning was
+  /// frozen (see rule 2 above). Snapshot before a shared-phase request and
+  /// compare after: a change means the result is unreliable and the request
+  /// must be retried under the exclusive lock.
+  static std::int64_t InternMissCount();
+
  private:
   /// RAII depth guard wrapping every public mutator: OnMutationsSettled
   /// fires when the outermost one returns, so observers never mutate the
@@ -373,7 +416,8 @@ class Database {
                     const std::string& new_name);
   void MarkGroupingsDirtyOn(AttributeId attr);
   /// Lazily (re)builds `attr`'s value index; nullptr when unindexable.
-  ValueIndex* EnsureValueIndex(AttributeId attr) const;
+  /// Caller must hold `lazy_mu_`.
+  ValueIndex* EnsureValueIndexLocked(AttributeId attr) const;
   /// Applies a before/after value-set delta to `attr`'s index if built.
   void ValueIndexUpdate(AttributeId attr, EntityId e, const EntitySet& before,
                         const EntitySet& after);
@@ -406,6 +450,11 @@ class Database {
   std::unordered_map<std::int64_t, std::unordered_map<EntityId, EntitySet>>
       multi_;
 
+  /// Guards the lazily-built structures (grouping caches, value indexes)
+  /// and read-path stats counters against concurrent shared-phase builds;
+  /// see the "Concurrency" section above.
+  mutable std::mutex lazy_mu_;
+  bool intern_frozen_ = false;
   mutable std::unordered_map<std::int64_t, GroupingCache> grouping_cache_;
   mutable std::unordered_map<std::int64_t, ValueIndex> value_index_;
   mutable Stats stats_;

@@ -1,0 +1,152 @@
+#include "server/executor.h"
+
+#include <chrono>
+#include <utility>
+
+#include "server/stats.h"
+
+namespace isis::server {
+
+void RwMutex::LockShared() {
+  std::unique_lock<std::mutex> lock(mu_);
+  // Writer preference: a reader arriving while a writer waits queues behind
+  // it, so mutations cannot be starved by a saturating read load.
+  cv_.wait(lock, [&] { return !writer_active_ && waiting_writers_ == 0; });
+  ++active_readers_;
+}
+
+void RwMutex::UnlockShared() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (--active_readers_ == 0) cv_.notify_all();
+}
+
+void RwMutex::LockExclusive() {
+  std::unique_lock<std::mutex> lock(mu_);
+  ++waiting_writers_;
+  cv_.wait(lock, [&] { return !writer_active_ && active_readers_ == 0; });
+  --waiting_writers_;
+  writer_active_ = true;
+}
+
+void RwMutex::UnlockExclusive() {
+  std::lock_guard<std::mutex> lock(mu_);
+  writer_active_ = false;
+  cv_.notify_all();
+}
+
+Executor::Executor(const Options& options, ServerStats* stats)
+    : options_(options), stats_(stats) {
+  int n = options_.threads > 0 ? options_.threads : 1;
+  workers_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+Executor::~Executor() { Shutdown(); }
+
+void Executor::AddLane(std::int64_t lane) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = lanes_[lane];
+  if (slot == nullptr) slot = std::make_shared<Lane>();
+  slot->removed = false;
+}
+
+void Executor::RemoveLane(std::int64_t lane) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = lanes_.find(lane);
+  if (it == lanes_.end()) return;
+  if (!it->second->running && it->second->queue.empty()) {
+    lanes_.erase(it);
+  } else {
+    it->second->removed = true;  // Drains, then the worker erases it.
+  }
+}
+
+SubmitResult Executor::Submit(std::int64_t lane, TaskMode mode,
+                              std::function<void()> task, bool important) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (closed_) return SubmitResult::kClosed;
+  auto it = lanes_.find(lane);
+  if (it == lanes_.end() || it->second->removed) return SubmitResult::kClosed;
+  Lane& l = *it->second;
+  if (!important &&
+      l.queue.size() >= static_cast<std::size_t>(options_.queue_capacity)) {
+    return SubmitResult::kShed;
+  }
+  l.queue.push_back(Task{mode, std::move(task)});
+  if (stats_) stats_->AdjustQueueDepth(+1);
+  if (!l.running && l.queue.size() == 1) {
+    ready_.push_back(lane);
+    work_cv_.notify_one();
+  }
+  return SubmitResult::kAccepted;
+}
+
+void Executor::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    work_cv_.wait(lock, [&] {
+      return !ready_.empty() || (closed_ && in_flight_ == 0);
+    });
+    if (ready_.empty()) {
+      if (closed_ && in_flight_ == 0) return;
+      continue;
+    }
+    std::int64_t lane_id = ready_.front();
+    ready_.pop_front();
+    auto it = lanes_.find(lane_id);
+    if (it == lanes_.end()) continue;
+    std::shared_ptr<Lane> lane = it->second;
+    if (lane->queue.empty() || lane->running) continue;
+    Task task = std::move(lane->queue.front());
+    lane->queue.pop_front();
+    lane->running = true;
+    ++in_flight_;
+    lock.unlock();
+
+    if (stats_) stats_->AdjustQueueDepth(-1);
+    auto t0 = std::chrono::steady_clock::now();
+    if (task.mode == TaskMode::kShared) {
+      db_lock_.LockShared();
+    } else if (task.mode == TaskMode::kExclusive) {
+      db_lock_.LockExclusive();
+    }
+    if (stats_ && task.mode != TaskMode::kNone) {
+      auto waited = std::chrono::duration_cast<std::chrono::microseconds>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+      stats_->RecordDispatch(task.mode == TaskMode::kExclusive, waited);
+    }
+    task.fn();
+    if (task.mode == TaskMode::kShared) {
+      db_lock_.UnlockShared();
+    } else if (task.mode == TaskMode::kExclusive) {
+      db_lock_.UnlockExclusive();
+    }
+
+    lock.lock();
+    lane->running = false;
+    --in_flight_;
+    if (!lane->queue.empty()) {
+      ready_.push_back(lane_id);
+      work_cv_.notify_one();
+    } else if (lane->removed) {
+      lanes_.erase(lane_id);
+    }
+    if (closed_ && in_flight_ == 0 && ready_.empty()) work_cv_.notify_all();
+  }
+}
+
+void Executor::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+}  // namespace isis::server

@@ -1,0 +1,140 @@
+/// \file executor.h
+/// \brief Thread pool with reader-writer dispatch and per-lane FIFO queues.
+///
+/// The executor is the server's concurrency layer. Work arrives as tasks on
+/// *lanes* (one lane per client session); each task declares whether it
+/// needs the database shared (reads: query, explain, render, stats) or
+/// exclusive (mutations: events, assigns). Three rules govern dispatch:
+///
+///   1. Lane order: tasks on one lane run in submission order, at most one
+///      in flight -- a session is serial, the server is parallel.
+///   2. Lock mode: before running a task the worker acquires the shared
+///      RwMutex in the declared mode, so any number of reads overlap but a
+///      mutation runs alone. The RwMutex is writer-preferring: arriving
+///      readers queue behind a waiting writer, so a steady read load cannot
+///      starve mutations.
+///   3. Bounded queues: each lane holds at most `queue_capacity` tasks.
+///      Submitting to a full lane is *shed* -- the caller gets kShed and is
+///      expected to answer the client with a retry hint rather than buffer
+///      unboundedly.
+///
+/// Shutdown() closes submission, drains every queued task, then joins the
+/// workers -- accepted work always runs exactly once.
+
+#ifndef ISIS_SERVER_EXECUTOR_H_
+#define ISIS_SERVER_EXECUTOR_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+namespace isis::server {
+
+class ServerStats;
+
+/// \brief Writer-preferring reader-writer mutex.
+///
+/// Built on std::mutex + condition_variable rather than std::shared_mutex so
+/// the preference policy is ours (glibc's pthread rwlock default prefers
+/// readers, which lets a saturating read load starve writers indefinitely)
+/// and so ThreadSanitizer sees plain mutex/condvar operations it fully
+/// understands. New readers block while a writer is waiting.
+class RwMutex {
+ public:
+  void LockShared();
+  void UnlockShared();
+  void LockExclusive();
+  void UnlockExclusive();
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  int active_readers_ = 0;
+  int waiting_writers_ = 0;
+  bool writer_active_ = false;
+};
+
+/// Which database lock a task needs.
+enum class TaskMode {
+  kShared,     ///< Read-only; overlaps with other kShared tasks.
+  kExclusive,  ///< Mutation; runs alone.
+  kNone,       ///< Touches no shared state (e.g. a pure protocol reply).
+};
+
+/// Outcome of Executor::Submit.
+enum class SubmitResult {
+  kAccepted,  ///< Queued; will run exactly once.
+  kShed,      ///< Lane full; answer the client with a retry hint.
+  kClosed,    ///< Executor is shutting down.
+};
+
+class Executor {
+ public:
+  struct Options {
+    int threads = 4;
+    int queue_capacity = 64;  ///< Per-lane task bound; beyond this, shed.
+  };
+
+  /// `stats` may be null (tests); if set, queue depth and lock-wait times
+  /// are recorded there.
+  explicit Executor(const Options& options, ServerStats* stats = nullptr);
+  ~Executor();  ///< Calls Shutdown() if the caller has not.
+
+  Executor(const Executor&) = delete;
+  Executor& operator=(const Executor&) = delete;
+
+  /// Registers a lane. Submitting to an unknown lane is an error (kClosed).
+  void AddLane(std::int64_t lane);
+  /// Unregisters a lane; queued tasks still drain.
+  void RemoveLane(std::int64_t lane);
+
+  /// Enqueues `task` on `lane`. `important` bypasses the capacity bound --
+  /// used for promoted retries and session teardown, which must not be shed.
+  SubmitResult Submit(std::int64_t lane, TaskMode mode,
+                      std::function<void()> task, bool important = false);
+
+  /// Closes submission, runs every queued task, joins the workers.
+  /// Idempotent.
+  void Shutdown();
+
+  /// The RW lock workers take around tasks. Exposed so the server can run
+  /// inline work (recovery, checkpointing) under the same discipline.
+  RwMutex& db_lock() { return db_lock_; }
+
+  int threads() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  struct Task {
+    TaskMode mode;
+    std::function<void()> fn;
+  };
+  struct Lane {
+    std::deque<Task> queue;
+    bool running = false;  ///< A worker is executing this lane's head task.
+    bool removed = false;
+  };
+
+  void WorkerLoop();
+
+  const Options options_;
+  ServerStats* const stats_;
+  RwMutex db_lock_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::unordered_map<std::int64_t, std::shared_ptr<Lane>> lanes_;
+  std::deque<std::int64_t> ready_;  ///< Lanes with queued, not-running work.
+  bool closed_ = false;
+  int in_flight_ = 0;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace isis::server
+
+#endif  // ISIS_SERVER_EXECUTOR_H_

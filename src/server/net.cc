@@ -1,0 +1,336 @@
+#include "server/net.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "common/strings.h"
+
+namespace isis::server {
+
+namespace {
+
+Status SetNonBlocking(int fd) {
+  int flags = fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Status::IOError(std::string("fcntl: ") + std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+// --- TcpServer. ---
+
+TcpServer::~TcpServer() { Stop(); }
+
+Status TcpServer::Start(int port) {
+  listen_fd_ = socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  }
+  int one = 1;
+  setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    Status st(StatusCode::kIOError,
+              std::string("bind: ") + std::strerror(errno));
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return st;
+  }
+  socklen_t len = sizeof(addr);
+  getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+  if (listen(listen_fd_, 64) < 0) {
+    Status st(StatusCode::kIOError,
+              std::string("listen: ") + std::strerror(errno));
+    close(listen_fd_);
+    listen_fd_ = -1;
+    return st;
+  }
+  ISIS_RETURN_NOT_OK(SetNonBlocking(listen_fd_));
+  int pipefd[2];
+  if (pipe(pipefd) < 0) {
+    return Status::IOError(std::string("pipe: ") + std::strerror(errno));
+  }
+  wake_read_fd_ = pipefd[0];
+  wake_write_fd_ = pipefd[1];
+  ISIS_RETURN_NOT_OK(SetNonBlocking(wake_read_fd_));
+  stop_.store(false);
+  io_thread_ = std::thread([this] { Run(); });
+  return Status::OK();
+}
+
+void TcpServer::Stop() {
+  if (listen_fd_ < 0) return;
+  stop_.store(true);
+  Wake();
+  if (io_thread_.joinable()) io_thread_.join();
+  for (const std::shared_ptr<Conn>& c : conns_) {
+    if (c->fd >= 0) close(c->fd);
+  }
+  conns_.clear();
+  close(listen_fd_);
+  listen_fd_ = -1;
+  close(wake_read_fd_);
+  close(wake_write_fd_);
+  wake_read_fd_ = wake_write_fd_ = -1;
+}
+
+void TcpServer::Wake() {
+  if (wake_write_fd_ >= 0) {
+    char b = 'w';
+    [[maybe_unused]] ssize_t n = write(wake_write_fd_, &b, 1);
+  }
+}
+
+void TcpServer::QueueResponse(const std::shared_ptr<Conn>& conn,
+                              const Frame& resp) {
+  {
+    std::lock_guard<std::mutex> lock(conn->out_mu);
+    // The hello response carries the session id this connection will tag
+    // all later requests with.
+    if (conn->hello_pending && resp.seq == conn->hello_seq) {
+      conn->hello_pending = false;
+      if (resp.type == MsgType::kOk) {
+        std::vector<std::string> fields = SplitFields(resp.payload);
+        if (!fields.empty()) {
+          try {
+            conn->session_id = std::stoll(fields[0]);
+          } catch (...) {
+            conn->broken = true;
+          }
+        }
+      }
+    }
+    conn->out += EncodeFrame(resp);
+  }
+  Wake();  // Worker thread -> poll loop: there is output to flush.
+}
+
+void TcpServer::HandleReadable(const std::shared_ptr<Conn>& conn) {
+  char buf[16384];
+  for (;;) {
+    ssize_t n = read(conn->fd, buf, sizeof(buf));
+    if (n > 0) {
+      conn->reader.Feed(buf, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n == 0) {
+      conn->broken = true;  // Peer closed.
+      return;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    conn->broken = true;
+    return;
+  }
+  for (;;) {
+    Frame req;
+    std::string error;
+    DecodeResult r = conn->reader.Next(&req, &error);
+    if (r == DecodeResult::kNeedMore) break;
+    if (r == DecodeResult::kError) {
+      conn->broken = true;  // No resync point inside a corrupt stream.
+      return;
+    }
+    std::int64_t sid;
+    {
+      std::lock_guard<std::mutex> lock(conn->out_mu);
+      sid = conn->session_id;
+      if (req.type == MsgType::kHello) {
+        conn->hello_seq = req.seq;
+        conn->hello_pending = true;
+      }
+    }
+    std::shared_ptr<Conn> target = conn;
+    server_->HandleFrame(sid, req, [this, target](const Frame& resp) {
+      QueueResponse(target, resp);
+    });
+  }
+}
+
+void TcpServer::FlushWrites(const std::shared_ptr<Conn>& conn) {
+  std::lock_guard<std::mutex> lock(conn->out_mu);
+  while (!conn->out.empty()) {
+    ssize_t n = write(conn->fd, conn->out.data(), conn->out.size());
+    if (n > 0) {
+      conn->out.erase(0, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    conn->broken = true;
+    break;
+  }
+}
+
+void TcpServer::Run() {
+  while (!stop_.load()) {
+    std::vector<pollfd> fds;
+    fds.push_back({listen_fd_, POLLIN, 0});
+    fds.push_back({wake_read_fd_, POLLIN, 0});
+    for (const std::shared_ptr<Conn>& c : conns_) {
+      short events = POLLIN;
+      {
+        std::lock_guard<std::mutex> lock(c->out_mu);
+        if (!c->out.empty()) events |= POLLOUT;
+      }
+      fds.push_back({c->fd, events, 0});
+    }
+    int rc = poll(fds.data(), fds.size(), 500);
+    if (rc < 0 && errno != EINTR) break;
+    if (stop_.load()) break;
+    if (fds[0].revents & POLLIN) {
+      for (;;) {
+        int cfd = accept(listen_fd_, nullptr, nullptr);
+        if (cfd < 0) break;
+        if (!SetNonBlocking(cfd).ok()) {
+          close(cfd);
+          continue;
+        }
+        int one = 1;
+        setsockopt(cfd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+        auto conn = std::make_shared<Conn>();
+        conn->fd = cfd;
+        conns_.push_back(conn);
+      }
+    }
+    if (fds[1].revents & POLLIN) {
+      char drain[64];
+      while (read(wake_read_fd_, drain, sizeof(drain)) > 0) {
+      }
+    }
+    for (std::size_t i = 0; i < conns_.size(); ++i) {
+      pollfd& p = fds[2 + i];
+      const std::shared_ptr<Conn>& c = conns_[i];
+      if (p.revents & (POLLERR | POLLHUP)) c->broken = true;
+      if (!c->broken && (p.revents & POLLIN)) HandleReadable(c);
+      if (!c->broken && (p.revents & POLLOUT)) FlushWrites(c);
+    }
+    // Reap broken connections (late worker responses hit a closed fd's
+    // buffer harmlessly: the Conn outlives the fd via shared_ptr).
+    std::vector<std::shared_ptr<Conn>> alive;
+    for (const std::shared_ptr<Conn>& c : conns_) {
+      if (c->broken) {
+        close(c->fd);
+        std::lock_guard<std::mutex> lock(c->out_mu);
+        c->fd = -1;
+      } else {
+        alive.push_back(c);
+      }
+    }
+    conns_ = std::move(alive);
+  }
+}
+
+// --- TcpClient. ---
+
+TcpClient::~TcpClient() {
+  if (fd_ >= 0) close(fd_);
+}
+
+Status TcpClient::Connect(const std::string& host, int port,
+                          const std::string& client_name) {
+  fd_ = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("bad host address: " + host);
+  }
+  if (connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    return Status::IOError(std::string("connect: ") + std::strerror(errno));
+  }
+  int one = 1;
+  setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  Result<Frame> resp = Call(MsgType::kHello, JoinFields({client_name}));
+  ISIS_RETURN_NOT_OK(resp.status());
+  if (resp->type != MsgType::kOk) {
+    return Status::Unavailable("hello rejected: " + resp->payload);
+  }
+  std::vector<std::string> fields = SplitFields(resp->payload);
+  if (fields.empty()) return Status::ParseError("malformed hello response");
+  try {
+    session_id_ = std::stoll(fields[0]);
+  } catch (...) {
+    return Status::ParseError("bad session id: " + fields[0]);
+  }
+  return Status::OK();
+}
+
+Status TcpClient::WriteAll(const std::string& bytes) {
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    ssize_t n = write(fd_, bytes.data() + off, bytes.size() - off);
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (errno == EINTR) continue;
+    return Status::IOError(std::string("write: ") + std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+Result<Frame> TcpClient::ReadFrame() {
+  for (;;) {
+    Frame f;
+    std::string error;
+    DecodeResult r = reader_.Next(&f, &error);
+    if (r == DecodeResult::kOk) return f;
+    if (r == DecodeResult::kError) {
+      return Status::ParseError("bad frame from server: " + error);
+    }
+    char buf[16384];
+    ssize_t n = read(fd_, buf, sizeof(buf));
+    if (n > 0) {
+      reader_.Feed(buf, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n == 0) return Status::IOError("server closed the connection");
+    if (errno == EINTR) continue;
+    return Status::IOError(std::string("read: ") + std::strerror(errno));
+  }
+}
+
+Result<Frame> TcpClient::Call(MsgType type, const std::string& payload) {
+  Frame req;
+  req.type = type;
+  req.seq = next_seq_++;
+  req.payload = payload;
+  ISIS_RETURN_NOT_OK(WriteAll(EncodeFrame(req)));
+  for (;;) {
+    Result<Frame> resp = ReadFrame();
+    ISIS_RETURN_NOT_OK(resp.status());
+    if (resp->type == MsgType::kNotify || resp->seq != req.seq) {
+      notifications_.push_back(*resp);
+      continue;
+    }
+    return resp;
+  }
+}
+
+std::vector<Frame> TcpClient::TakeNotifications() {
+  std::vector<Frame> out;
+  out.swap(notifications_);
+  return out;
+}
+
+}  // namespace isis::server

@@ -1,0 +1,112 @@
+/// \file net.h
+/// \brief Poll-based TCP transport for the wire protocol. POSIX sockets
+/// only -- no third-party dependencies.
+///
+/// One I/O thread multiplexes every connection with poll(2): the listener
+/// and all client sockets are non-blocking, incoming bytes stream through a
+/// per-connection FrameReader, decoded requests go to Server::HandleFrame,
+/// and responses -- produced on worker threads -- are queued on the
+/// connection's output buffer and flushed when poll reports the socket
+/// writable (a self-pipe wakes the poll loop when a worker queues output).
+/// A malformed frame closes the connection: mid-stream there is no
+/// trustworthy resynchronization point.
+///
+/// TcpClient is the matching blocking client used by isis_client and the
+/// tests; it is not thread-safe (one per thread).
+
+#ifndef ISIS_SERVER_NET_H_
+#define ISIS_SERVER_NET_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/result.h"
+#include "server/proto.h"
+#include "server/session.h"
+
+namespace isis::server {
+
+/// \brief TCP front end for one Server.
+class TcpServer {
+ public:
+  explicit TcpServer(Server* server) : server_(server) {}
+  ~TcpServer();  ///< Calls Stop().
+
+  TcpServer(const TcpServer&) = delete;
+  TcpServer& operator=(const TcpServer&) = delete;
+
+  /// Binds 127.0.0.1:`port` (0 picks a free port; see port()) and starts
+  /// the I/O thread.
+  Status Start(int port);
+
+  /// Closes the listener and every connection, then joins the I/O thread.
+  void Stop();
+
+  /// The bound port; valid after Start().
+  int port() const { return port_; }
+
+ private:
+  struct Conn {
+    int fd = -1;
+    std::int64_t session_id = -1;
+    FrameReader reader;
+    std::mutex out_mu;
+    std::string out;          ///< Encoded responses awaiting write.
+    bool broken = false;      ///< Decode error or peer gone; reap.
+    std::uint32_t hello_seq = 0;
+    bool hello_pending = false;
+  };
+
+  void Run();
+  void HandleReadable(const std::shared_ptr<Conn>& conn);
+  void QueueResponse(const std::shared_ptr<Conn>& conn, const Frame& resp);
+  void FlushWrites(const std::shared_ptr<Conn>& conn);
+  void Wake();
+
+  Server* const server_;
+  int listen_fd_ = -1;
+  int wake_read_fd_ = -1;
+  int wake_write_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> stop_{false};
+  std::thread io_thread_;
+  std::vector<std::shared_ptr<Conn>> conns_;  ///< I/O thread only.
+};
+
+/// \brief Blocking protocol client over one TCP connection.
+class TcpClient {
+ public:
+  ~TcpClient();
+
+  /// Connects and performs the hello handshake.
+  Status Connect(const std::string& host, int port,
+                 const std::string& client_name);
+
+  /// Sends one request and blocks for the matching response. Notifications
+  /// or other unsolicited frames arriving first are queued aside and
+  /// returned by TakeNotifications().
+  Result<Frame> Call(MsgType type, const std::string& payload);
+
+  std::vector<Frame> TakeNotifications();
+
+  std::int64_t session_id() const { return session_id_; }
+
+ private:
+  Status WriteAll(const std::string& bytes);
+  Result<Frame> ReadFrame();
+
+  int fd_ = -1;
+  std::int64_t session_id_ = -1;
+  std::uint32_t next_seq_ = 1;
+  FrameReader reader_;
+  std::vector<Frame> notifications_;
+};
+
+}  // namespace isis::server
+
+#endif  // ISIS_SERVER_NET_H_

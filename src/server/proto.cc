@@ -1,0 +1,150 @@
+#include "server/proto.h"
+
+#include <cstring>
+
+#include "common/strings.h"
+#include "store/crc32.h"
+
+namespace isis::server {
+
+namespace {
+
+void PutU32(std::string* out, std::uint32_t v) {
+  out->push_back(static_cast<char>(v & 0xff));
+  out->push_back(static_cast<char>((v >> 8) & 0xff));
+  out->push_back(static_cast<char>((v >> 16) & 0xff));
+  out->push_back(static_cast<char>((v >> 24) & 0xff));
+}
+
+std::uint32_t GetU32(const char* p) {
+  return static_cast<std::uint32_t>(static_cast<unsigned char>(p[0])) |
+         (static_cast<std::uint32_t>(static_cast<unsigned char>(p[1])) << 8) |
+         (static_cast<std::uint32_t>(static_cast<unsigned char>(p[2])) << 16) |
+         (static_cast<std::uint32_t>(static_cast<unsigned char>(p[3])) << 24);
+}
+
+}  // namespace
+
+const char* MsgTypeName(MsgType t) {
+  switch (t) {
+    case MsgType::kHello:
+      return "kHello";
+    case MsgType::kEvent:
+      return "kEvent";
+    case MsgType::kAssign:
+      return "kAssign";
+    case MsgType::kQuery:
+      return "kQuery";
+    case MsgType::kExplain:
+      return "kExplain";
+    case MsgType::kRender:
+      return "kRender";
+    case MsgType::kSubscribe:
+      return "kSubscribe";
+    case MsgType::kUnsubscribe:
+      return "kUnsubscribe";
+    case MsgType::kStats:
+      return "kStats";
+    case MsgType::kPoll:
+      return "kPoll";
+    case MsgType::kBye:
+      return "kBye";
+    case MsgType::kOk:
+      return "kOk";
+    case MsgType::kError:
+      return "kError";
+    case MsgType::kScreen:
+      return "kScreen";
+    case MsgType::kQueryResult:
+      return "kQueryResult";
+    case MsgType::kExplainResult:
+      return "kExplainResult";
+    case MsgType::kStatsResult:
+      return "kStatsResult";
+    case MsgType::kRetry:
+      return "kRetry";
+    case MsgType::kNotify:
+      return "kNotify";
+  }
+  return "kUnknown";
+}
+
+bool IsValidMsgType(std::uint8_t t) {
+  return (t >= static_cast<std::uint8_t>(MsgType::kHello) &&
+          t <= static_cast<std::uint8_t>(MsgType::kBye)) ||
+         (t >= static_cast<std::uint8_t>(MsgType::kOk) &&
+          t <= static_cast<std::uint8_t>(MsgType::kNotify));
+}
+
+std::string EncodeFrame(const Frame& frame) {
+  std::string out;
+  out.reserve(kHeaderSize + frame.payload.size());
+  out += "IS";
+  out.push_back(static_cast<char>(frame.type));
+  out.push_back('\0');  // reserved
+  PutU32(&out, frame.seq);
+  PutU32(&out, static_cast<std::uint32_t>(frame.payload.size()));
+  PutU32(&out, store::Crc32(frame.payload));
+  out += frame.payload;
+  return out;
+}
+
+DecodeResult DecodeFrame(const std::string& buf, Frame* out,
+                         std::size_t* consumed, std::string* error) {
+  *consumed = 0;
+  if (buf.size() < kHeaderSize) return DecodeResult::kNeedMore;
+  const char* p = buf.data();
+  if (p[0] != 'I' || p[1] != 'S') {
+    if (error) *error = "bad magic";
+    return DecodeResult::kError;
+  }
+  std::uint8_t type = static_cast<std::uint8_t>(p[2]);
+  if (!IsValidMsgType(type)) {
+    if (error) *error = "unknown message type";
+    return DecodeResult::kError;
+  }
+  if (p[3] != '\0') {
+    if (error) *error = "nonzero reserved byte";
+    return DecodeResult::kError;
+  }
+  std::uint32_t seq = GetU32(p + 4);
+  std::uint32_t len = GetU32(p + 8);
+  std::uint32_t crc = GetU32(p + 12);
+  if (len > kMaxPayload) {
+    if (error) *error = "payload too large";
+    return DecodeResult::kError;
+  }
+  if (buf.size() < kHeaderSize + len) return DecodeResult::kNeedMore;
+  std::string_view payload(buf.data() + kHeaderSize, len);
+  if (store::Crc32(payload) != crc) {
+    if (error) *error = "payload checksum mismatch";
+    return DecodeResult::kError;
+  }
+  out->type = static_cast<MsgType>(type);
+  out->seq = seq;
+  out->payload.assign(payload);
+  *consumed = kHeaderSize + len;
+  return DecodeResult::kOk;
+}
+
+DecodeResult FrameReader::Next(Frame* out, std::string* error) {
+  std::size_t consumed = 0;
+  DecodeResult r = DecodeFrame(buf_, out, &consumed, error);
+  if (r == DecodeResult::kOk) buf_.erase(0, consumed);
+  return r;
+}
+
+std::string JoinFields(const std::vector<std::string>& fields) {
+  std::vector<std::string> escaped;
+  escaped.reserve(fields.size());
+  for (const std::string& f : fields) escaped.push_back(Escape(f));
+  return Join(escaped, "|");
+}
+
+std::vector<std::string> SplitFields(const std::string& payload) {
+  std::vector<std::string> out;
+  for (const std::string& f : Split(payload, '|')) out.push_back(Unescape(f));
+  return out;
+}
+
+}  // namespace isis::server

@@ -1,0 +1,144 @@
+/// \file proto.h
+/// \brief The ISIS wire protocol: length-prefixed, checksummed binary frames.
+///
+/// Every message on a connection -- either direction -- is one frame:
+///
+///   offset  size  field
+///        0     2  magic "IS"
+///        2     1  type (MsgType)
+///        3     1  reserved, must be 0
+///        4     4  seq, little-endian u32 (echoed in responses)
+///        8     4  payload length, little-endian u32 (<= kMaxPayload)
+///       12     4  CRC-32 of the payload bytes, little-endian u32
+///       16     n  payload
+///
+/// The fixed 16-byte header makes framing trivial over a byte stream
+/// (FrameReader below), and the CRC catches torn or corrupted frames before
+/// the payload is interpreted. A frame that fails the magic, type, reserved,
+/// length-bound or CRC check is a protocol error: the server drops the
+/// connection rather than resynchronize, because inside a stream there is no
+/// trustworthy resync point.
+///
+/// Payloads are text: `|`-separated fields, each escaped with
+/// isis::Escape so embedded `|`, newlines and backslashes survive (the same
+/// convention as the store/ text formats). Request payloads:
+///
+///   kHello       <client name>                -> kOk "sid|<db name>"
+///   kEvent       <EncodeEvent line>           -> kScreen (rendered UI)
+///   kAssign      class|entity|attr|v1,...,vk  -> kOk  (direct write; multi
+///                                                values comma-split)
+///   kQuery       class|predicate text         -> kQueryResult
+///                                                "count|name1|name2|..."
+///   kExplain     class|predicate text         -> kExplainResult (plan dump)
+///   kRender      (empty)                      -> kScreen
+///   kSubscribe   class name or "*"            -> kOk
+///   kUnsubscribe class name or "*"            -> kOk
+///   kPoll        (empty)                      -> kOk "n|notif1|notif2|..."
+///   kStats       (empty)                      -> kStatsResult (JSON line)
+///   kBye         (empty)                      -> kOk (then close)
+///
+/// Error responses use kError with payload "code|message" (code is the
+/// StatusCode name, e.g. "Consistency"). An overloaded server answers with
+/// kRetry, payload "queue_full|<capacity>"; the client should back off and
+/// resend. Notifications are pulled via kPoll on every transport -- each
+/// entry is an escaped "class|entity|kind" triple (kind is "member+",
+/// "member-" or "attr:<name>"); kNotify is reserved for transports that
+/// push.
+
+#ifndef ISIS_SERVER_PROTO_H_
+#define ISIS_SERVER_PROTO_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace isis::server {
+
+/// Wire message types. Requests are < 64, responses >= 64 -- keep the
+/// numeric values stable, they are the protocol.
+enum class MsgType : std::uint8_t {
+  // Requests.
+  kHello = 1,
+  kEvent = 2,
+  kAssign = 3,
+  kQuery = 4,
+  kExplain = 5,
+  kRender = 6,
+  kSubscribe = 7,
+  kUnsubscribe = 8,
+  kStats = 9,
+  kPoll = 10,
+  kBye = 11,
+  // Responses.
+  kOk = 64,
+  kError = 65,
+  kScreen = 66,
+  kQueryResult = 67,
+  kExplainResult = 68,
+  kStatsResult = 69,
+  kRetry = 70,
+  kNotify = 71,
+};
+
+/// Human-readable name for logs/tests, e.g. "kQuery".
+const char* MsgTypeName(MsgType t);
+
+/// True if `t` is one of the defined MsgType values.
+bool IsValidMsgType(std::uint8_t t);
+
+constexpr std::size_t kHeaderSize = 16;
+constexpr std::uint32_t kMaxPayload = 16u * 1024u * 1024u;
+
+/// One decoded message.
+struct Frame {
+  MsgType type = MsgType::kHello;
+  std::uint32_t seq = 0;
+  std::string payload;
+};
+
+/// Serializes `frame` into wire bytes (header + payload).
+std::string EncodeFrame(const Frame& frame);
+
+enum class DecodeResult {
+  kOk,        ///< A full valid frame was decoded into *out.
+  kNeedMore,  ///< `buf` is a valid prefix; read more bytes and retry.
+  kError,     ///< Malformed (bad magic/type/length/CRC); drop the connection.
+};
+
+/// Attempts to decode one frame from the front of `buf`. On kOk fills *out
+/// and sets *consumed to the bytes used; on kNeedMore/kError *consumed is 0.
+/// On kError *error (if non-null) says what failed.
+DecodeResult DecodeFrame(const std::string& buf, Frame* out,
+                         std::size_t* consumed, std::string* error = nullptr);
+
+/// \brief Incremental decoder for a byte stream.
+///
+/// Feed() appends received bytes; Next() pops decoded frames until it
+/// returns kNeedMore (keep reading) or kError (drop the connection).
+class FrameReader {
+ public:
+  void Feed(const char* data, std::size_t n) { buf_.append(data, n); }
+  void Feed(const std::string& data) { buf_ += data; }
+
+  /// Decodes the next buffered frame, consuming its bytes.
+  DecodeResult Next(Frame* out, std::string* error = nullptr);
+
+  /// Bytes buffered but not yet decoded.
+  std::size_t pending() const { return buf_.size(); }
+
+ private:
+  std::string buf_;
+};
+
+// --- Payload helpers (the `|`-separated escaped-field convention). ---
+
+/// Joins fields into a payload, escaping each.
+std::string JoinFields(const std::vector<std::string>& fields);
+
+/// Splits a payload into unescaped fields. A malformed escape decodes to
+/// '?' (Unescape's behavior) rather than failing.
+std::vector<std::string> SplitFields(const std::string& payload);
+
+}  // namespace isis::server
+
+#endif  // ISIS_SERVER_PROTO_H_

@@ -1,0 +1,600 @@
+#include "server/session.h"
+
+#include <cstdio>
+#include <utility>
+
+#include "common/strings.h"
+#include "input/event.h"
+#include "query/eval.h"
+#include "query/parser.h"
+#include "store/serializer.h"
+
+namespace isis::server {
+
+namespace {
+
+Frame ErrorFrame(const Frame& req, const Status& st) {
+  Frame resp;
+  resp.type = MsgType::kError;
+  resp.seq = req.seq;
+  resp.payload = std::string(StatusCodeToString(st.code())) + "|" +
+                 Escape(st.message());
+  return resp;
+}
+
+bool IsUnavailableResponse(const Frame& resp) {
+  return resp.type == MsgType::kError &&
+         resp.payload.rfind("Unavailable|", 0) == 0;
+}
+
+}  // namespace
+
+// --- Session. ---
+
+void Session::Subscribe(const std::string& cls) {
+  std::lock_guard<std::mutex> lock(mu_);
+  subs_.insert(cls);
+}
+
+void Session::Unsubscribe(const std::string& cls) {
+  std::lock_guard<std::mutex> lock(mu_);
+  subs_.erase(cls);
+}
+
+bool Session::SubscribedTo(const std::string& cls) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return subs_.count("*") > 0 || subs_.count(cls) > 0;
+}
+
+void Session::PushNotification(const std::string& line) {
+  std::lock_guard<std::mutex> lock(mu_);
+  pending_.push_back(line);
+}
+
+std::vector<std::string> Session::DrainNotifications() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  out.swap(pending_);
+  return out;
+}
+
+// --- DeltaCollector. ---
+
+void Server::DeltaCollector::OnMembership(EntityId e, ClassId cls,
+                                          bool added) {
+  if (db_ == nullptr) return;
+  Change c;
+  c.cls = db_->schema().GetClass(cls).name;
+  c.entity = db_->NameOf(e);
+  c.kind = added ? "member+" : "member-";
+  changes_.push_back(std::move(c));
+}
+
+void Server::DeltaCollector::OnAttributeValue(EntityId e, AttributeId attr,
+                                              const sdm::EntitySet& before,
+                                              const sdm::EntitySet& after) {
+  (void)before;
+  (void)after;
+  if (db_ == nullptr) return;
+  const sdm::AttributeDef& def = db_->schema().GetAttribute(attr);
+  Change c;
+  c.cls = db_->schema().GetClass(def.owner).name;
+  c.entity = db_->NameOf(e);
+  c.kind = "attr:" + def.name;
+  changes_.push_back(std::move(c));
+}
+
+std::vector<Server::DeltaCollector::Change> Server::DeltaCollector::Drain() {
+  std::vector<Change> out;
+  out.swap(changes_);
+  return out;
+}
+
+// --- Server lifecycle. ---
+
+Server::Server(std::unique_ptr<query::Workspace> ws,
+               const ServerOptions& options)
+    : options_(options), ws_(std::move(ws)) {}
+
+Result<std::unique_ptr<Server>> Server::Open(
+    std::unique_ptr<query::Workspace> ws, const ServerOptions& options) {
+  std::unique_ptr<Server> server(new Server(std::move(ws), options));
+  if (!options.durable_dir.empty()) {
+    ISIS_RETURN_NOT_OK(server->InitDurable());
+  }
+  if (server->ws_->db().options().live_views) {
+    server->live_ = std::make_unique<live::LiveViewEngine>(server->ws_.get());
+  }
+  server->deltas_.Attach(&server->ws_->db());
+  server->ws_->db().AddObserver(&server->deltas_);
+  // From here on reads run concurrently: freeze interning (see the
+  // "Concurrency" section of sdm/database.h). Exclusive tasks unfreeze
+  // around themselves.
+  server->ws_->db().set_intern_frozen(true);
+  Executor::Options exec_options;
+  exec_options.threads = options.threads;
+  exec_options.queue_capacity = options.queue_capacity;
+  server->executor_ =
+      std::make_unique<Executor>(exec_options, &server->stats_);
+  return server;
+}
+
+Server::~Server() {
+  // Without a prior Shutdown() this is the crash path: workers are joined
+  // (they must not outlive the object) but no checkpoint or log rotation
+  // happens, so the WAL still holds everything needed for recovery.
+  if (executor_ != nullptr) executor_->Shutdown();
+  ws_->db().RemoveObserver(&deltas_);
+}
+
+Status Server::InitDurable() {
+  store::FileEnv* env =
+      options_.env != nullptr ? options_.env : store::FileEnv::Default();
+  const std::string wal_path =
+      options_.durable_dir + "/" + ws_->name() + ".server.wal";
+  if (env->Exists(wal_path)) {
+    Result<store::WalContents> contents = store::ReadWal(wal_path, env);
+    ISIS_RETURN_NOT_OK(contents.status());
+    const std::vector<store::WalRecord>& records = contents->records;
+    if (records.empty() || records.front().type != "base") {
+      return Status::ParseError("server WAL does not start with a base "
+                                "checkpoint: " + wal_path);
+    }
+    Result<std::unique_ptr<query::Workspace>> loaded =
+        store::Load(records.front().payload);
+    ISIS_RETURN_NOT_OK(loaded.status());
+    ws_ = std::move(loaded).ValueOrDie();
+    // Replay through the same dispatch path that produced the log, one
+    // replay controller per original session (their prompt state machines
+    // are independent).
+    std::map<std::int64_t, std::unique_ptr<ui::SessionController>> ctrls;
+    for (std::size_t i = 1; i < records.size(); ++i) {
+      ISIS_RETURN_NOT_OK(ReplayRecord(records[i], &ctrls));
+    }
+    ISIS_RETURN_NOT_OK(ws_->db().schema().Validate());
+  }
+  // Fresh log on the current state -- also the torn-tail repair (the WAL
+  // reader already dropped a torn final record, and this rewrite makes the
+  // file clean again).
+  std::vector<store::WalRecord> base;
+  base.push_back({"base", store::Save(*ws_)});
+  Result<std::unique_ptr<store::WalWriter>> writer =
+      store::WalWriter::CreateWithRecords(wal_path, env, base);
+  ISIS_RETURN_NOT_OK(writer.status());
+  wal_ = std::move(writer).ValueOrDie();
+  return Status::OK();
+}
+
+Status Server::ReplayRecord(
+    const store::WalRecord& rec,
+    std::map<std::int64_t, std::unique_ptr<ui::SessionController>>* ctrls) {
+  if (rec.type == "sevent") {
+    std::size_t bar = rec.payload.find('|');
+    if (bar == std::string::npos) {
+      return Status::ParseError("malformed sevent record: " + rec.payload);
+    }
+    std::int64_t sid = 0;
+    try {
+      sid = std::stoll(rec.payload.substr(0, bar));
+    } catch (...) {
+      return Status::ParseError("bad session id in sevent record");
+    }
+    Result<input::Event> ev = input::DecodeEvent(rec.payload.substr(bar + 1));
+    ISIS_RETURN_NOT_OK(ev.status());
+    std::unique_ptr<ui::SessionController>& ctrl = (*ctrls)[sid];
+    if (ctrl == nullptr) {
+      ctrl = std::make_unique<ui::SessionController>(ws_.get(), nullptr);
+    }
+    return ctrl->HandleEvent(*ev);
+  }
+  if (rec.type == "assign") {
+    Status st = ApplyAssign(SplitFields(rec.payload));
+    if (!st.ok()) return st;
+    return ws_->ReevaluateAll();
+  }
+  if (rec.type == "note") return Status::OK();  // Journal only.
+  return Status::ParseError("unknown server WAL record type: " + rec.type);
+}
+
+std::string Server::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    if (shut_down_) return stats_.ToJsonLine();
+    shut_down_ = true;
+  }
+  executor_->Shutdown();  // Drains every accepted request.
+  ws_->db().set_intern_frozen(false);
+  if (wal_ != nullptr) {
+    store::FileEnv* env =
+        options_.env != nullptr ? options_.env : store::FileEnv::Default();
+    const std::string save_path =
+        options_.durable_dir + "/" + ws_->name() + ".isis";
+    Status st = store::SaveToFile(*ws_, save_path, env);
+    if (st.ok()) {
+      // The checkpoint captured everything: restart replays nothing.
+      std::vector<store::WalRecord> base;
+      base.push_back({"base", store::Save(*ws_)});
+      Result<std::unique_ptr<store::WalWriter>> writer =
+          store::WalWriter::CreateWithRecords(wal_->path(), env, base);
+      if (writer.ok()) wal_ = std::move(writer).ValueOrDie();
+    }
+    // A failed checkpoint keeps the old log -- recovery still works.
+  }
+  std::string json = stats_.ToJsonLine();
+  std::fprintf(stderr, "%s\n", json.c_str());
+  return json;
+}
+
+int Server::session_count() const {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  return static_cast<int>(sessions_.size());
+}
+
+std::shared_ptr<Session> Server::FindSession(std::int64_t id) const {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  auto it = sessions_.find(id);
+  return it == sessions_.end() ? nullptr : it->second;
+}
+
+void Server::Finish(const Frame& req, const Frame& resp,
+                    ResponseCallback& done,
+                    std::chrono::steady_clock::time_point t0) {
+  auto latency = std::chrono::duration_cast<std::chrono::microseconds>(
+                     std::chrono::steady_clock::now() - t0)
+                     .count();
+  stats_.RecordRequest(static_cast<int>(req.type), latency,
+                       resp.type == MsgType::kError);
+  done(resp);
+}
+
+// --- Request routing. ---
+
+void Server::HandleFrame(std::int64_t session_id, const Frame& request,
+                         ResponseCallback done) {
+  auto t0 = std::chrono::steady_clock::now();
+
+  if (request.type == MsgType::kHello) {
+    std::int64_t id;
+    {
+      std::lock_guard<std::mutex> lock(sessions_mu_);
+      if (shut_down_) {
+        Frame resp = ErrorFrame(
+            request, Status::Unavailable("server is shutting down"));
+        Finish(request, resp, done, t0);
+        return;
+      }
+      id = next_session_id_++;
+    }
+    executor_->AddLane(id);
+    SubmitResult r = executor_->Submit(
+        id, TaskMode::kShared,
+        [this, id, request, done, t0]() mutable {
+          auto s = std::make_shared<Session>(id, ws_.get(), live_.get());
+          {
+            std::lock_guard<std::mutex> lock(sessions_mu_);
+            sessions_[id] = s;
+          }
+          Frame resp;
+          resp.type = MsgType::kOk;
+          resp.seq = request.seq;
+          resp.payload = JoinFields({std::to_string(id), ws_->name()});
+          Finish(request, resp, done, t0);
+        },
+        /*important=*/true);
+    if (r != SubmitResult::kAccepted) {
+      Frame resp =
+          ErrorFrame(request, Status::Unavailable("server is closed"));
+      Finish(request, resp, done, t0);
+    }
+    return;
+  }
+
+  std::shared_ptr<Session> s = FindSession(session_id);
+  if (s == nullptr) {
+    Frame resp = ErrorFrame(
+        request, Status::NotFound("unknown session id " +
+                                  std::to_string(session_id)));
+    Finish(request, resp, done, t0);
+    return;
+  }
+
+  TaskMode mode;
+  bool important = false;
+  switch (request.type) {
+    case MsgType::kQuery:
+    case MsgType::kExplain:
+    case MsgType::kRender:
+      mode = TaskMode::kShared;
+      break;
+    case MsgType::kEvent:
+    case MsgType::kAssign:
+      mode = TaskMode::kExclusive;
+      break;
+    case MsgType::kStats:
+    case MsgType::kPoll:
+    case MsgType::kSubscribe:
+    case MsgType::kUnsubscribe:
+      mode = TaskMode::kNone;
+      break;
+    case MsgType::kBye:
+      mode = TaskMode::kNone;
+      important = true;  // Teardown must not be shed behind a full queue.
+      break;
+    default: {
+      Frame resp = ErrorFrame(
+          request, Status::InvalidArgument(
+                       std::string("not a request type: ") +
+                       MsgTypeName(request.type)));
+      Finish(request, resp, done, t0);
+      return;
+    }
+  }
+
+  std::function<void()> task;
+  if (mode == TaskMode::kShared) {
+    task = [this, s, request, done, t0]() mutable {
+      // Detect reads that needed to intern an unseen value: either the
+      // engine returned Unavailable, or a degraded naming read bumped the
+      // thread-local miss counter. Re-run those under the exclusive lock.
+      std::int64_t misses_before = sdm::Database::InternMissCount();
+      Frame resp = HandleReadLocked(s, request);
+      if (sdm::Database::InternMissCount() != misses_before ||
+          IsUnavailableResponse(resp)) {
+        stats_.RecordPromotion();
+        SubmitResult r = executor_->Submit(
+            s->id(), TaskMode::kExclusive,
+            [this, s, request, done, t0]() mutable {
+              ws_->db().set_intern_frozen(false);
+              Frame retry = HandleReadLocked(s, request);
+              ws_->db().set_intern_frozen(true);
+              FanOutDeltas();  // Interning may have touched memberships.
+              Finish(request, retry, done, t0);
+            },
+            /*important=*/true);
+        if (r != SubmitResult::kAccepted) {
+          Finish(request,
+                 ErrorFrame(request, Status::Unavailable("server is closed")),
+                 done, t0);
+        }
+        return;
+      }
+      Finish(request, resp, done, t0);
+    };
+  } else if (mode == TaskMode::kExclusive) {
+    task = [this, s, request, done, t0]() mutable {
+      ws_->db().set_intern_frozen(false);
+      Frame resp = HandleWriteLocked(s, request);
+      ws_->db().set_intern_frozen(true);
+      FanOutDeltas();
+      Finish(request, resp, done, t0);
+    };
+  } else {
+    task = [this, s, request, done, t0]() mutable {
+      Frame resp;
+      resp.seq = request.seq;
+      switch (request.type) {
+        case MsgType::kStats:
+          resp.type = MsgType::kStatsResult;
+          resp.payload = stats_.ToJsonLine();
+          break;
+        case MsgType::kPoll: {
+          std::vector<std::string> notifs = s->DrainNotifications();
+          std::vector<std::string> fields;
+          fields.push_back(std::to_string(notifs.size()));
+          for (std::string& n : notifs) fields.push_back(std::move(n));
+          resp.type = MsgType::kOk;
+          resp.payload = JoinFields(fields);
+          break;
+        }
+        case MsgType::kSubscribe:
+        case MsgType::kUnsubscribe: {
+          std::vector<std::string> fields = SplitFields(request.payload);
+          const std::string cls = fields.empty() ? "*" : fields[0];
+          if (request.type == MsgType::kSubscribe) {
+            s->Subscribe(cls);
+          } else {
+            s->Unsubscribe(cls);
+          }
+          resp.type = MsgType::kOk;
+          break;
+        }
+        case MsgType::kBye: {
+          {
+            std::lock_guard<std::mutex> lock(sessions_mu_);
+            sessions_.erase(s->id());
+          }
+          executor_->RemoveLane(s->id());  // Drains, then the lane dies.
+          resp.type = MsgType::kOk;
+          break;
+        }
+        default:
+          resp = ErrorFrame(request, Status::Internal("bad kNone dispatch"));
+          break;
+      }
+      Finish(request, resp, done, t0);
+    };
+  }
+
+  SubmitResult r = executor_->Submit(s->id(), mode, std::move(task),
+                                     important);
+  if (r == SubmitResult::kShed) {
+    stats_.RecordShed();
+    Frame resp;
+    resp.type = MsgType::kRetry;
+    resp.seq = request.seq;
+    resp.payload =
+        "queue_full|" + std::to_string(options_.queue_capacity);
+    Finish(request, resp, done, t0);
+  } else if (r == SubmitResult::kClosed) {
+    Frame resp = ErrorFrame(
+        request, Status::Unavailable("server closed or session gone"));
+    Finish(request, resp, done, t0);
+  }
+}
+
+// --- Handlers (lock already held by the worker). ---
+
+Frame Server::HandleReadLocked(std::shared_ptr<Session> s, const Frame& req) {
+  switch (req.type) {
+    case MsgType::kQuery:
+      return DoQuery(req);
+    case MsgType::kExplain:
+      return DoExplain(req);
+    case MsgType::kRender:
+      return DoRender(std::move(s), req);
+    default:
+      return ErrorFrame(req, Status::Internal("bad shared dispatch"));
+  }
+}
+
+Frame Server::HandleWriteLocked(std::shared_ptr<Session> s,
+                                const Frame& req) {
+  switch (req.type) {
+    case MsgType::kEvent:
+      return DoEvent(std::move(s), req);
+    case MsgType::kAssign:
+      return DoAssign(req);
+    default:
+      return ErrorFrame(req, Status::Internal("bad exclusive dispatch"));
+  }
+}
+
+Frame Server::DoQuery(const Frame& req) {
+  std::vector<std::string> fields = SplitFields(req.payload);
+  if (fields.size() != 2) {
+    return ErrorFrame(
+        req, Status::InvalidArgument("kQuery payload is class|predicate"));
+  }
+  const sdm::Database& db = ws_->db();
+  Result<ClassId> cls = db.schema().FindClass(fields[0]);
+  if (!cls.ok()) return ErrorFrame(req, cls.status());
+  Result<query::Predicate> pred =
+      query::ParsePredicate(db, *cls, fields[1]);
+  if (!pred.ok()) return ErrorFrame(req, pred.status());
+  query::Evaluator ev(db);
+  sdm::EntitySet result = ev.EvaluateSubclass(*pred, *cls);
+  std::vector<std::string> out;
+  out.push_back(std::to_string(result.size()));
+  for (EntityId e : result) out.push_back(db.NameOf(e));
+  Frame resp;
+  resp.type = MsgType::kQueryResult;
+  resp.seq = req.seq;
+  resp.payload = JoinFields(out);
+  return resp;
+}
+
+Frame Server::DoExplain(const Frame& req) {
+  std::vector<std::string> fields = SplitFields(req.payload);
+  if (fields.size() != 2) {
+    return ErrorFrame(
+        req, Status::InvalidArgument("kExplain payload is class|predicate"));
+  }
+  const sdm::Database& db = ws_->db();
+  Result<ClassId> cls = db.schema().FindClass(fields[0]);
+  if (!cls.ok()) return ErrorFrame(req, cls.status());
+  Result<query::Predicate> pred =
+      query::ParsePredicate(db, *cls, fields[1]);
+  if (!pred.ok()) return ErrorFrame(req, pred.status());
+  query::Evaluator ev(db);
+  Frame resp;
+  resp.type = MsgType::kExplainResult;
+  resp.seq = req.seq;
+  resp.payload = ev.Explain(*pred, *cls);
+  return resp;
+}
+
+Frame Server::DoRender(std::shared_ptr<Session> s, const Frame& req) {
+  const ui::Screen& screen = s->ctrl().Render();
+  Frame resp;
+  resp.type = MsgType::kScreen;
+  resp.seq = req.seq;
+  resp.payload =
+      JoinFields({s->ctrl().message(), screen.canvas.ToString()});
+  return resp;
+}
+
+Frame Server::DoEvent(std::shared_ptr<Session> s, const Frame& req) {
+  Result<input::Event> ev = input::DecodeEvent(req.payload);
+  if (!ev.ok()) return ErrorFrame(req, ev.status());
+  // Errors surface in the session's message line, exactly like the
+  // single-user interface; the response is still the rendered screen.
+  Status st = s->ctrl().HandleEvent(*ev);
+  if (st.ok() && wal_ != nullptr) {
+    wal_->Append("sevent",
+                 std::to_string(s->id()) + "|" + req.payload);
+  }
+  const ui::Screen& screen = s->ctrl().Render();
+  Frame resp;
+  resp.type = MsgType::kScreen;
+  resp.seq = req.seq;
+  resp.payload =
+      JoinFields({s->ctrl().message(), screen.canvas.ToString()});
+  return resp;
+}
+
+Status Server::ApplyAssign(const std::vector<std::string>& fields) {
+  if (fields.size() != 4) {
+    return Status::InvalidArgument(
+        "kAssign payload is class|entity|attr|v1,v2,...");
+  }
+  sdm::Database& db = ws_->db();
+  Result<ClassId> cls = db.schema().FindClass(fields[0]);
+  ISIS_RETURN_NOT_OK(cls.status());
+  Result<EntityId> e = db.FindMember(*cls, fields[1]);
+  ISIS_RETURN_NOT_OK(e.status());
+  Result<AttributeId> attr = db.schema().FindAttribute(*cls, fields[2]);
+  ISIS_RETURN_NOT_OK(attr.status());
+  const sdm::AttributeDef& def = db.schema().GetAttribute(*attr);
+  sdm::EntitySet values;
+  for (const std::string& raw : Split(fields[3], ',')) {
+    std::string name(Trim(raw));
+    if (name.empty()) continue;
+    Result<EntityId> v = db.FindMember(def.value_class, name);
+    ISIS_RETURN_NOT_OK(v.status());
+    values.insert(*v);
+  }
+  if (def.multivalued) {
+    return db.SetMulti(*e, *attr, values);
+  }
+  if (values.size() > 1) {
+    return Status::InvalidArgument(fields[2] + " is singlevalued");
+  }
+  EntityId v = values.empty() ? sdm::kNullEntity : *values.begin();
+  return db.SetSingle(*e, *attr, v);
+}
+
+Frame Server::DoAssign(const Frame& req) {
+  Status st = ApplyAssign(SplitFields(req.payload));
+  if (!st.ok()) return ErrorFrame(req, st);
+  if (wal_ != nullptr) wal_->Append("assign", req.payload);
+  if (live_ == nullptr) {
+    // No live engine: stored derived views go stale on mutation, so bring
+    // them up to date before anyone reads (same rule as RefreshDerived).
+    Status rs = ws_->ReevaluateAll();
+    if (!rs.ok()) return ErrorFrame(req, rs);
+  }
+  Frame resp;
+  resp.type = MsgType::kOk;
+  resp.seq = req.seq;
+  return resp;
+}
+
+void Server::FanOutDeltas() {
+  std::vector<DeltaCollector::Change> changes = deltas_.Drain();
+  if (changes.empty()) return;
+  std::vector<std::shared_ptr<Session>> targets;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    for (const auto& [id, s] : sessions_) targets.push_back(s);
+  }
+  for (const DeltaCollector::Change& c : changes) {
+    const std::string payload = JoinFields({c.cls, c.entity, c.kind});
+    for (const std::shared_ptr<Session>& s : targets) {
+      if (!s->SubscribedTo(c.cls)) continue;
+      s->PushNotification(payload);
+      stats_.RecordNotification();
+    }
+  }
+}
+
+}  // namespace isis::server

@@ -1,0 +1,207 @@
+/// \file session.h
+/// \brief The multi-session ISIS server: N client sessions over one shared
+/// durable workspace.
+///
+/// Architecture (one Server instance):
+///
+///   transports (loopback / net)  --Frame-->  Server::HandleFrame
+///        |                                        |
+///        |                              per-session lane queue
+///        v                                        v
+///   FrameReader / EncodeFrame            Executor worker pool
+///                                     shared lock: query, explain,
+///                                       render, stats, poll
+///                                     exclusive lock: event, assign
+///                                          |
+///                                one query::Workspace + value indexes
+///                                + one live::LiveViewEngine + one WAL
+///
+/// Each client session keeps its *own* UI state -- a shared-mode
+/// ui::SessionController holds the selection, pages, prompts and worksheet
+/// -- while schema, data, stored queries, value indexes and live views are
+/// one copy shared by everyone. Reads run concurrently under the shared
+/// lock; mutations run alone under the exclusive lock, append to the
+/// server's write-ahead log before the response is sent, and fan change
+/// notifications out to subscribed sessions.
+///
+/// Interning discipline: while read tasks run, the database is
+/// *intern-frozen* (sdm/database.h, "Concurrency"): a read that would have
+/// to intern a never-seen value -- a parse mentioning the constant `3.5`
+/// for the first time -- observes Unavailable or a thread-local miss, and
+/// the server transparently re-runs that one request under the exclusive
+/// lock, where interning is safe. Results are identical to a
+/// single-threaded run; only the lock held differs.
+///
+/// Durability: in a durable server every accepted mutation is in the WAL
+/// (`<dir>/<db>.server.wal`, records "sevent" = `<sid>|<event line>` and
+/// "assign") before its response exists. Open() replays a leftover log
+/// through per-session replay controllers -- the same dispatch path that
+/// produced it -- then rotates it onto a fresh base checkpoint. Shutdown()
+/// drains the executor, checkpoints to `<dir>/<db>.isis`, rotates the log
+/// and emits one stats JSON line.
+
+#ifndef ISIS_SERVER_SESSION_H_
+#define ISIS_SERVER_SESSION_H_
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "live/engine.h"
+#include "query/workspace.h"
+#include "server/executor.h"
+#include "server/proto.h"
+#include "server/stats.h"
+#include "store/file.h"
+#include "store/wal.h"
+#include "ui/controller.h"
+
+namespace isis::server {
+
+struct ServerOptions {
+  int threads = 4;
+  int queue_capacity = 64;  ///< Per-session queued-request bound.
+  /// Non-empty: run durable -- WAL in this directory (must exist), recovery
+  /// on open, checkpoint on shutdown.
+  std::string durable_dir;
+  store::FileEnv* env = nullptr;  ///< nullptr = store::FileEnv::Default().
+};
+
+/// Delivered exactly once per HandleFrame call, possibly on a worker
+/// thread.
+using ResponseCallback = std::function<void(const Frame&)>;
+
+/// \brief One connected client: per-session UI state and subscriptions.
+class Session {
+ public:
+  Session(std::int64_t id, query::Workspace* ws, live::LiveViewEngine* live)
+      : id_(id), ctrl_(ws, live) {}
+
+  std::int64_t id() const { return id_; }
+  /// Only tasks on this session's lane touch the controller.
+  ui::SessionController& ctrl() { return ctrl_; }
+
+  // Subscriptions and pending notifications are written by *other*
+  // sessions' exclusive tasks (the fan-out), so unlike the controller they
+  // are mutex-guarded.
+  void Subscribe(const std::string& cls);
+  void Unsubscribe(const std::string& cls);
+  bool SubscribedTo(const std::string& cls) const;
+  void PushNotification(const std::string& line);
+  std::vector<std::string> DrainNotifications();
+
+ private:
+  const std::int64_t id_;
+  ui::SessionController ctrl_;
+  mutable std::mutex mu_;
+  std::set<std::string> subs_;            ///< Class names, or "*".
+  std::vector<std::string> pending_;      ///< Undelivered kNotify payloads.
+};
+
+/// \brief The server. Owns the shared workspace, executor, WAL and stats.
+class Server {
+ public:
+  /// Builds a server over `ws`. Durable mode (options.durable_dir set)
+  /// first recovers from a leftover WAL -- in that case the recovered state
+  /// replaces `ws` -- and always leaves a fresh log whose base is the
+  /// current state.
+  static Result<std::unique_ptr<Server>> Open(
+      std::unique_ptr<query::Workspace> ws, const ServerOptions& options);
+
+  ~Server();  ///< Without Shutdown(): simulates a crash (WAL left as-is).
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Routes one request. kHello creates a session (`session_id` ignored;
+  /// pass -1): response payload "sid|<db name>". Every other type needs the
+  /// session id from hello. `done` fires exactly once -- kRetry when the
+  /// session's queue is full, kError for protocol/engine errors.
+  void HandleFrame(std::int64_t session_id, const Frame& request,
+                   ResponseCallback done);
+
+  /// Drains every queued request, checkpoints (durable mode), rotates the
+  /// WAL and stops the workers. Requests after this get kError. Returns the
+  /// final stats JSON line.
+  std::string Shutdown();
+
+  const ServerStats& stats() const { return stats_; }
+  const query::Workspace& workspace() const { return *ws_; }
+  /// Sessions currently open (for tests).
+  int session_count() const;
+
+ private:
+  /// Records membership/attribute deltas during an exclusive task; drained
+  /// into kNotify fan-out while the exclusive lock is still held.
+  class DeltaCollector : public sdm::MutationObserver {
+   public:
+    struct Change {
+      std::string cls;     ///< Class scoping the change (subscription key).
+      std::string entity;  ///< Entity display name.
+      std::string kind;    ///< "member+", "member-" or "attr:<name>".
+    };
+    void OnMembership(EntityId e, ClassId cls, bool added) override;
+    void OnAttributeValue(EntityId e, AttributeId attr,
+                          const sdm::EntitySet& before,
+                          const sdm::EntitySet& after) override;
+    void OnSchemaChange() override {}
+    void OnMutationsSettled() override {}
+
+    void Attach(const sdm::Database* db) { db_ = db; }
+    std::vector<Change> Drain();
+
+   private:
+    const sdm::Database* db_ = nullptr;
+    std::vector<Change> changes_;  ///< Only touched under the exclusive lock.
+  };
+
+  Server(std::unique_ptr<query::Workspace> ws, const ServerOptions& options);
+
+  Status InitDurable();  ///< Recovery + fresh log; runs before workers see ws.
+  Status ApplyAssign(const std::vector<std::string>& fields);
+  /// Replays one logged record during recovery (no re-logging, no fan-out).
+  Status ReplayRecord(const store::WalRecord& rec,
+                      std::map<std::int64_t,
+                               std::unique_ptr<ui::SessionController>>* ctrls);
+
+  // Request handlers; `shared` handlers run under the shared lock,
+  // `exclusive` ones alone. All return the response frame.
+  Frame HandleHello(const Frame& req);
+  Frame HandleReadLocked(std::shared_ptr<Session> s, const Frame& req);
+  Frame HandleWriteLocked(std::shared_ptr<Session> s, const Frame& req);
+  Frame DoQuery(const Frame& req);
+  Frame DoExplain(const Frame& req);
+  Frame DoRender(std::shared_ptr<Session> s, const Frame& req);
+  Frame DoEvent(std::shared_ptr<Session> s, const Frame& req);
+  Frame DoAssign(const Frame& req);
+  /// Fan out collected deltas to subscribed sessions (exclusive lock held).
+  void FanOutDeltas();
+
+  std::shared_ptr<Session> FindSession(std::int64_t id) const;
+  void Finish(const Frame& req, const Frame& resp, ResponseCallback& done,
+              std::chrono::steady_clock::time_point t0);
+
+  const ServerOptions options_;
+  std::unique_ptr<query::Workspace> ws_;
+  std::unique_ptr<live::LiveViewEngine> live_;  ///< Iff db options.live_views.
+  DeltaCollector deltas_;
+  ServerStats stats_;
+  std::unique_ptr<Executor> executor_;
+  std::unique_ptr<store::WalWriter> wal_;  ///< Null when not durable.
+
+  mutable std::mutex sessions_mu_;
+  std::map<std::int64_t, std::shared_ptr<Session>> sessions_;
+  std::int64_t next_session_id_ = 1;
+  bool shut_down_ = false;
+};
+
+}  // namespace isis::server
+
+#endif  // ISIS_SERVER_SESSION_H_

@@ -1,0 +1,67 @@
+#include "server/stats.h"
+
+#include <cstdio>
+
+namespace isis::server {
+
+double ServerStats::PercentileLocked(double q) const {
+  std::int64_t total = 0;
+  for (std::int64_t c : latency_buckets_) total += c;
+  if (total == 0) return 0.0;
+  // Rank of the q-th sample, 1-based.
+  std::int64_t rank = static_cast<std::int64_t>(q * static_cast<double>(total));
+  if (rank < 1) rank = 1;
+  if (rank > total) rank = total;
+  std::int64_t seen = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    std::int64_t c = latency_buckets_[static_cast<std::size_t>(b)];
+    if (c == 0) continue;
+    if (seen + c >= rank) {
+      // Interpolate inside bucket b, which spans [lo, 2*lo) microseconds.
+      double lo = b == 0 ? 0.0 : static_cast<double>(std::int64_t{1} << b);
+      double hi = static_cast<double>(std::int64_t{1} << (b + 1));
+      double frac =
+          static_cast<double>(rank - seen) / static_cast<double>(c);
+      return lo + frac * (hi - lo);
+    }
+    seen += c;
+  }
+  return static_cast<double>(max_us_);
+}
+
+std::string ServerStats::ToJsonLine() const {
+  StatsSnapshot s = Snapshot();
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\"name\": \"server_stats\", \"requests\": %lld, \"errors\": %lld, "
+      "\"sheds\": %lld, \"reads\": %lld, \"writes\": %lld, "
+      "\"promotions\": %lld, \"notifications\": %lld, "
+      "\"queue_depth\": %lld, \"queue_peak\": %lld, "
+      "\"read_lock_wait_us\": %lld, \"write_lock_wait_us\": %lld, "
+      "\"p50_us\": %.1f, \"p95_us\": %.1f, \"max_us\": %lld",
+      static_cast<long long>(s.requests), static_cast<long long>(s.errors),
+      static_cast<long long>(s.sheds), static_cast<long long>(s.reads),
+      static_cast<long long>(s.writes), static_cast<long long>(s.promotions),
+      static_cast<long long>(s.notifications),
+      static_cast<long long>(s.queue_depth),
+      static_cast<long long>(s.queue_peak),
+      static_cast<long long>(s.read_lock_wait_us),
+      static_cast<long long>(s.write_lock_wait_us), s.p50_us, s.p95_us,
+      static_cast<long long>(s.max_us));
+  std::string out = buf;
+  out += ", \"by_type\": [";
+  bool first = true;
+  for (std::size_t t = 0; t < s.by_type.size(); ++t) {
+    if (s.by_type[t] == 0) continue;
+    if (!first) out += ", ";
+    first = false;
+    std::snprintf(buf, sizeof(buf), "[%d, %lld]", static_cast<int>(t),
+                  static_cast<long long>(s.by_type[t]));
+    out += buf;
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace isis::server

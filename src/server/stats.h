@@ -1,0 +1,159 @@
+/// \file stats.h
+/// \brief Server-side metrics: request counts, latency histogram, queue and
+/// lock pressure.
+///
+/// One ServerStats instance is shared by every worker thread of a Server, so
+/// all recording goes through a single small mutex. Recording is a handful of
+/// integer adds on a lock that is never held across a request, which is noise
+/// next to the request itself; the simplicity buys TSan-clean code.
+///
+/// Latencies are kept in 64 log2 buckets (bucket i holds samples in
+/// [2^i, 2^(i+1)) microseconds), so percentiles are estimated by linear
+/// interpolation inside the winning bucket -- good to ~2x at the tails, exact
+/// for the max which is tracked separately. That bound is plenty for the
+/// "did p95 explode when threads went 1 -> 8" questions the bench asks.
+
+#ifndef ISIS_SERVER_STATS_H_
+#define ISIS_SERVER_STATS_H_
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+namespace isis::server {
+
+/// Point-in-time copy of the counters; what Snapshot() returns.
+struct StatsSnapshot {
+  std::int64_t requests = 0;        ///< Total requests completed.
+  std::int64_t errors = 0;          ///< Requests answered with kError.
+  std::int64_t sheds = 0;           ///< Requests rejected with kRetry.
+  std::int64_t reads = 0;           ///< Completed under the shared lock.
+  std::int64_t writes = 0;          ///< Completed under the exclusive lock.
+  std::int64_t promotions = 0;      ///< Reads re-run exclusively (intern miss).
+  std::int64_t notifications = 0;   ///< kNotify fan-out messages queued.
+  std::int64_t queue_depth = 0;     ///< Tasks queued across lanes, right now.
+  std::int64_t queue_peak = 0;      ///< High-water mark of queue_depth.
+  std::int64_t read_lock_wait_us = 0;   ///< Cumulative shared-lock wait.
+  std::int64_t write_lock_wait_us = 0;  ///< Cumulative exclusive-lock wait.
+  double p50_us = 0.0;              ///< Median request latency (interpolated).
+  double p95_us = 0.0;              ///< 95th percentile latency (interpolated).
+  std::int64_t max_us = 0;          ///< Exact slowest request.
+  /// Per-request-type completion counts, indexed by the wire MsgType value.
+  std::array<std::int64_t, 32> by_type{};
+};
+
+class ServerStats {
+ public:
+  static constexpr int kBuckets = 64;
+
+  /// Records one completed request of wire type `type` (< 32) that took
+  /// `latency_us` microseconds end to end (enqueue to response).
+  void RecordRequest(int type, std::int64_t latency_us, bool error) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++requests_;
+    if (error) ++errors_;
+    if (type >= 0 && type < static_cast<int>(by_type_.size())) {
+      ++by_type_[static_cast<std::size_t>(type)];
+    }
+    ++latency_buckets_[BucketOf(latency_us)];
+    max_us_ = std::max(max_us_, latency_us);
+  }
+
+  void RecordShed() {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++sheds_;
+  }
+
+  /// `exclusive` says which lock the task ran under; `lock_wait_us` is how
+  /// long the worker blocked acquiring it.
+  void RecordDispatch(bool exclusive, std::int64_t lock_wait_us) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (exclusive) {
+      ++writes_;
+      write_lock_wait_us_ += lock_wait_us;
+    } else {
+      ++reads_;
+      read_lock_wait_us_ += lock_wait_us;
+    }
+  }
+
+  void RecordPromotion() {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++promotions_;
+  }
+
+  void RecordNotification() {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++notifications_;
+  }
+
+  /// Tracks the global queued-task count; delta is +1 on enqueue, -1 on
+  /// dequeue.
+  void AdjustQueueDepth(int delta) {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_depth_ += delta;
+    queue_peak_ = std::max(queue_peak_, queue_depth_);
+  }
+
+  StatsSnapshot Snapshot() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    StatsSnapshot s;
+    s.requests = requests_;
+    s.errors = errors_;
+    s.sheds = sheds_;
+    s.reads = reads_;
+    s.writes = writes_;
+    s.promotions = promotions_;
+    s.notifications = notifications_;
+    s.queue_depth = queue_depth_;
+    s.queue_peak = queue_peak_;
+    s.read_lock_wait_us = read_lock_wait_us_;
+    s.write_lock_wait_us = write_lock_wait_us_;
+    s.p50_us = PercentileLocked(0.50);
+    s.p95_us = PercentileLocked(0.95);
+    s.max_us = max_us_;
+    s.by_type = by_type_;
+    return s;
+  }
+
+  /// One JSON object on one line, the same shape bench_server emits, e.g.
+  /// `{"requests": 1200, "p50_us": 140.0, ...}`. Dumped at shutdown and
+  /// served by the kStats protocol request.
+  std::string ToJsonLine() const;
+
+ private:
+  static int BucketOf(std::int64_t us) {
+    int b = 0;
+    while (us > 1 && b < kBuckets - 1) {
+      us >>= 1;
+      ++b;
+    }
+    return b;
+  }
+
+  /// Latency percentile by interpolating within the log2 bucket that holds
+  /// the q-th sample. Requires mu_ held.
+  double PercentileLocked(double q) const;
+
+  mutable std::mutex mu_;
+  std::int64_t requests_ = 0;
+  std::int64_t errors_ = 0;
+  std::int64_t sheds_ = 0;
+  std::int64_t reads_ = 0;
+  std::int64_t writes_ = 0;
+  std::int64_t promotions_ = 0;
+  std::int64_t notifications_ = 0;
+  std::int64_t queue_depth_ = 0;
+  std::int64_t queue_peak_ = 0;
+  std::int64_t read_lock_wait_us_ = 0;
+  std::int64_t write_lock_wait_us_ = 0;
+  std::int64_t max_us_ = 0;
+  std::array<std::int64_t, 32> by_type_{};
+  std::array<std::int64_t, kBuckets> latency_buckets_{};
+};
+
+}  // namespace isis::server
+
+#endif  // ISIS_SERVER_STATS_H_

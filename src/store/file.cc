@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 
@@ -236,6 +237,17 @@ Status FaultWritableFile::Close() {
   pending_.clear();
   ISIS_RETURN_NOT_OK(st);
   return base_->Close();
+}
+
+std::string ResolveDataPath(const std::string& path,
+                            const std::string& data_dir) {
+  if (!path.empty() && path.front() == '/') return path;
+  if (!data_dir.empty()) return data_dir + "/" + path;
+  const char* env_dir = std::getenv("ISIS_DATA_DIR");
+  if (env_dir != nullptr && env_dir[0] != '\0') {
+    return std::string(env_dir) + "/" + path;
+  }
+  return path;
 }
 
 }  // namespace isis::store

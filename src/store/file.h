@@ -72,6 +72,18 @@ class FileEnv {
 Status AtomicWriteFile(FileEnv* env, const std::string& path,
                        std::string_view contents);
 
+/// Resolves a data/golden file path against a base directory, so binaries
+/// and tests work from any working directory instead of silently depending
+/// on being launched at the repo root. Resolution order:
+///   1. `path` is absolute (or `data_dir` and ISIS_DATA_DIR are both
+///      empty): returned unchanged;
+///   2. `data_dir` is non-empty (a --data_dir flag): `data_dir + "/" +
+///      path`;
+///   3. the ISIS_DATA_DIR environment variable is set: `$ISIS_DATA_DIR +
+///      "/" + path`.
+std::string ResolveDataPath(const std::string& path,
+                            const std::string& data_dir = "");
+
 /// \brief Which operation of a FaultInjectingEnv's lifetime fails.
 ///
 /// Indices are 0-based counts per operation kind across the whole env

@@ -31,20 +31,28 @@ using sdm::Membership;
 using sdm::Schema;
 
 SessionController::SessionController(std::unique_ptr<query::Workspace> ws)
-    : ws_(std::move(ws)) {
+    : owned_ws_(std::move(ws)), ws_(owned_ws_.get()) {
   AttachLiveEngine();
   Say("database '" + ws_->name() + "' loaded; pick an object to focus on");
 }
 
+SessionController::SessionController(query::Workspace* shared_ws,
+                                     live::LiveViewEngine* shared_live)
+    : ws_(shared_ws), shared_live_(shared_live), shared_mode_(true) {
+  Say("database '" + ws_->name() + "' shared; pick an object to focus on");
+}
+
 void SessionController::AttachLiveEngine() {
   live_.reset();
+  if (shared_mode_) return;  // The server owns the (one) engine.
   if (ws_->db().options().live_views) {
-    live_ = std::make_unique<live::LiveViewEngine>(ws_.get());
+    live_ = std::make_unique<live::LiveViewEngine>(ws_);
   }
 }
 
 void SessionController::RefreshDerived() {
-  if (live_ != nullptr) return;  // Already maintained incrementally.
+  // Already maintained incrementally by an attached or shared engine.
+  if (live_ != nullptr || shared_live_ != nullptr) return;
   Status st = ws_->ReevaluateAll();
   if (!st.ok()) Say(message_ + " [" + st.ToString() + "]");
 }
@@ -1449,11 +1457,22 @@ Status SessionController::CmdAbort() {
 // --- Undo / redo / save. ---
 
 void SessionController::PushUndoSnapshot() {
+  if (shared_mode_) {
+    // Serializing the shared workspace per mutation would be paid by every
+    // session; undo is disabled instead. A single placeholder keeps the
+    // handlers' "undo_.pop_back() when nothing changed" pattern safe.
+    undo_.assign(1, std::string());
+    redo_.clear();
+    return;
+  }
   undo_.push_back(store::Save(*ws_));
   redo_.clear();
 }
 
 Status SessionController::CmdUndo() {
+  if (shared_mode_) {
+    return Fail(Status::Unimplemented("undo is disabled in shared sessions"));
+  }
   if (undo_.empty()) return Fail(Status::InvalidArgument("nothing to undo"));
   Result<std::unique_ptr<query::Workspace>> restored =
       store::Load(undo_.back());
@@ -1461,7 +1480,8 @@ Status SessionController::CmdUndo() {
   redo_.push_back(store::Save(*ws_));
   undo_.pop_back();
   live_.reset();  // Observes the old database; must go before ws_.
-  ws_ = std::move(restored).ValueOrDie();
+  owned_ws_ = std::move(restored).ValueOrDie();
+  ws_ = owned_ws_.get();
   AttachLiveEngine();
   // Selections and pages may refer to objects that no longer exist.
   const Schema& schema = ws_->db().schema();
@@ -1495,6 +1515,9 @@ Status SessionController::CmdUndo() {
 }
 
 Status SessionController::CmdRedo() {
+  if (shared_mode_) {
+    return Fail(Status::Unimplemented("redo is disabled in shared sessions"));
+  }
   if (redo_.empty()) return Fail(Status::InvalidArgument("nothing to redo"));
   Result<std::unique_ptr<query::Workspace>> restored =
       store::Load(redo_.back());
@@ -1502,7 +1525,8 @@ Status SessionController::CmdRedo() {
   undo_.push_back(store::Save(*ws_));
   redo_.pop_back();
   live_.reset();  // Observes the old database; must go before ws_.
-  ws_ = std::move(restored).ValueOrDie();
+  owned_ws_ = std::move(restored).ValueOrDie();
+  ws_ = owned_ws_.get();
   AttachLiveEngine();
   Journal("redo", "");
   Say("redone");
@@ -1713,6 +1737,10 @@ Status SessionController::HandleText(const std::string& text) {
       return Status::OK();
     }
     case Prompt::kLoadName: {
+      if (shared_mode_) {
+        return Fail(Status::Unimplemented(
+            "load is disabled in shared sessions"));
+      }
       Result<std::unique_ptr<query::Workspace>> loaded =
           store::LoadFromFile(SavePathFor(text));
       if (!loaded.ok()) {
@@ -1721,7 +1749,8 @@ Status SessionController::HandleText(const std::string& text) {
         return Fail(loaded.status());
       }
       live_.reset();  // Observes the old database; must go before ws_.
-      ws_ = std::move(loaded).ValueOrDie();
+      owned_ws_ = std::move(loaded).ValueOrDie();
+      ws_ = owned_ws_.get();
       AttachLiveEngine();
       // A fresh database: selections, pages and undo history reset; the
       // session journal keeps running (the load is itself design history).

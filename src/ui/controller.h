@@ -52,6 +52,18 @@ class SessionController {
   /// with no schema selection, as on database load.
   explicit SessionController(std::unique_ptr<query::Workspace> ws);
 
+  /// Starts a *shared* session over a workspace owned by someone else (the
+  /// multi-session server): this controller holds only per-session UI state
+  /// (selection, pages, worksheet, prompts) while schema and data live in
+  /// `*shared_ws`, visible to every session sharing it. Commands that would
+  /// replace or snapshot the whole workspace — undo, redo, load — return
+  /// Unimplemented, and the controller never attaches its own live engine
+  /// (pass the server's in `shared_live`, or null). The caller is
+  /// responsible for serializing mutations across sessions; `shared_ws`
+  /// must outlive the controller.
+  SessionController(query::Workspace* shared_ws,
+                    live::LiveViewEngine* shared_live);
+
   /// Opens a *durable* session in `config.dir`: every successful input
   /// event is appended to a checksummed write-ahead log before the next
   /// event is accepted, so a crash loses at most the action in flight.
@@ -194,10 +206,17 @@ class SessionController {
   /// Records a successful design action in the journal.
   void Journal(const std::string& action, const std::string& detail);
 
-  std::unique_ptr<query::Workspace> ws_;
-  /// Declared after ws_ so it is destroyed first (it unregisters its
+  /// Owned workspace (null in shared mode; ws_ always points at the live
+  /// one).
+  std::unique_ptr<query::Workspace> owned_ws_;
+  query::Workspace* ws_ = nullptr;
+  /// Declared after owned_ws_ so it is destroyed first (it unregisters its
   /// observer from ws_'s database).
   std::unique_ptr<live::LiveViewEngine> live_;
+  /// The server's engine in shared mode (not owned); makes RefreshDerived a
+  /// no-op just like an owned engine would.
+  live::LiveViewEngine* shared_live_ = nullptr;
+  bool shared_mode_ = false;
   SessionState state_;
   std::string message_;
   Screen screen_;

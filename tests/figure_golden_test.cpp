@@ -10,6 +10,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 
@@ -25,7 +26,13 @@ namespace isis::ui {
 namespace {
 
 Result<std::string> ReadGolden(const std::string& name) {
-  std::string path = std::string(ISIS_GOLDEN_DIR) + "/" + name + ".txt";
+  // ISIS_GOLDEN_DIR (env) overrides the compiled-in default, so the binary
+  // can run from any working directory or against relocated goldens.
+  const char* env_dir = std::getenv("ISIS_GOLDEN_DIR");
+  std::string dir = env_dir != nullptr && env_dir[0] != '\0'
+                        ? std::string(env_dir)
+                        : std::string(ISIS_GOLDEN_DIR);
+  std::string path = dir + "/" + name + ".txt";
   std::ifstream in(path);
   if (!in) return Status::IOError("cannot open golden '" + path + "'");
   std::ostringstream buf;

@@ -1,0 +1,514 @@
+/// \file server_test.cpp
+/// \brief The multi-session server: wire protocol framing, session
+/// isolation, reader/writer linearizability against a single-threaded
+/// oracle, backpressure shedding, durable shutdown and crash recovery.
+///
+/// Runs under ThreadSanitizer in CI (ISIS_SANITIZE=thread) -- the
+/// concurrency assertions here are what that job is for.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "datasets/instrumental_music.h"
+#include "datasets/scaled_music.h"
+#include "query/eval.h"
+#include "query/parser.h"
+#include "server/loopback.h"
+#include "server/net.h"
+#include "server/proto.h"
+#include "server/session.h"
+#include "store/file.h"
+
+namespace isis::server {
+namespace {
+
+// --- Protocol framing. ---
+
+TEST(ProtoTest, RoundTripsFrames) {
+  for (const std::string& payload :
+       {std::string(""), std::string("plain"),
+        std::string("fields|with|bars\nand newlines"),
+        std::string("\x00\x01\xff binary", 10)}) {
+    Frame in;
+    in.type = MsgType::kQuery;
+    in.seq = 42;
+    in.payload = payload;
+    std::string wire = EncodeFrame(in);
+    Frame out;
+    std::size_t consumed = 0;
+    ASSERT_EQ(DecodeFrame(wire, &out, &consumed), DecodeResult::kOk);
+    EXPECT_EQ(consumed, wire.size());
+    EXPECT_EQ(out.type, in.type);
+    EXPECT_EQ(out.seq, in.seq);
+    EXPECT_EQ(out.payload, in.payload);
+  }
+}
+
+TEST(ProtoTest, EveryTruncationNeedsMore) {
+  Frame in;
+  in.type = MsgType::kEvent;
+  in.seq = 7;
+  in.payload = "cmd view contents";
+  std::string wire = EncodeFrame(in);
+  for (std::size_t n = 0; n < wire.size(); ++n) {
+    Frame out;
+    std::size_t consumed = 1;
+    EXPECT_EQ(DecodeFrame(wire.substr(0, n), &out, &consumed),
+              DecodeResult::kNeedMore)
+        << "prefix length " << n;
+    EXPECT_EQ(consumed, 0u);
+  }
+}
+
+TEST(ProtoTest, RejectsCorruptFrames) {
+  Frame in;
+  in.type = MsgType::kQuery;
+  in.seq = 3;
+  in.payload = "musicians|e.plays ]= {flute}";
+  const std::string wire = EncodeFrame(in);
+  Frame out;
+  std::size_t consumed = 0;
+  std::string error;
+
+  std::string bad_magic = wire;
+  bad_magic[0] = 'X';
+  EXPECT_EQ(DecodeFrame(bad_magic, &out, &consumed, &error),
+            DecodeResult::kError);
+  EXPECT_EQ(error, "bad magic");
+
+  std::string bad_type = wire;
+  bad_type[2] = '\x3f';  // 63: between the request and response ranges.
+  EXPECT_EQ(DecodeFrame(bad_type, &out, &consumed, &error),
+            DecodeResult::kError);
+
+  std::string bad_reserved = wire;
+  bad_reserved[3] = '\x01';
+  EXPECT_EQ(DecodeFrame(bad_reserved, &out, &consumed, &error),
+            DecodeResult::kError);
+
+  std::string flipped_payload = wire;
+  flipped_payload[kHeaderSize + 4] ^= 0x20;  // CRC must catch this.
+  EXPECT_EQ(DecodeFrame(flipped_payload, &out, &consumed, &error),
+            DecodeResult::kError);
+  EXPECT_EQ(error, "payload checksum mismatch");
+
+  std::string oversize = wire;
+  oversize[8] = '\xff';  // payload_len low byte
+  oversize[9] = '\xff';
+  oversize[10] = '\xff';
+  oversize[11] = '\x7f';
+  EXPECT_EQ(DecodeFrame(oversize, &out, &consumed, &error),
+            DecodeResult::kError);
+  EXPECT_EQ(error, "payload too large");
+}
+
+TEST(ProtoTest, FrameReaderReassemblesByteByByte) {
+  Frame a{MsgType::kRender, 1, ""};
+  Frame b{MsgType::kQuery, 2, "musicians|e.plays ]= {inst0}"};
+  std::string wire = EncodeFrame(a) + EncodeFrame(b);
+  FrameReader reader;
+  std::vector<Frame> decoded;
+  for (char c : wire) {
+    reader.Feed(&c, 1);
+    Frame f;
+    while (reader.Next(&f) == DecodeResult::kOk) decoded.push_back(f);
+  }
+  ASSERT_EQ(decoded.size(), 2u);
+  EXPECT_EQ(decoded[0].type, MsgType::kRender);
+  EXPECT_EQ(decoded[1].payload, b.payload);
+  EXPECT_EQ(reader.pending(), 0u);
+}
+
+// --- Server fixtures. ---
+
+std::unique_ptr<Server> OpenScaled(int threads, int queue_capacity = 64,
+                                   const std::string& durable_dir = "",
+                                   const std::string& db_name = "") {
+  ServerOptions options;
+  options.threads = threads;
+  options.queue_capacity = queue_capacity;
+  options.durable_dir = durable_dir;
+  std::unique_ptr<query::Workspace> ws = datasets::BuildScaledMusic(2);
+  // Durable tests run in parallel from the same temp dir; a unique name
+  // keeps their WAL/checkpoint files from colliding.
+  if (!db_name.empty()) ws->set_name(db_name);
+  Result<std::unique_ptr<Server>> opened =
+      Server::Open(std::move(ws), options);
+  EXPECT_TRUE(opened.ok()) << opened.status().ToString();
+  return std::move(opened).ValueOrDie();
+}
+
+/// What the server's kQueryResult payload should be, computed
+/// single-threaded: the oracle for the byte-identical comparisons.
+std::string OraclePayload(const query::Workspace& ws, const std::string& cls,
+                          const std::string& predicate) {
+  const sdm::Database& db = ws.db();
+  ClassId c = db.schema().FindClass(cls).ValueOrDie();
+  query::Predicate pred =
+      query::ParsePredicate(db, c, predicate).ValueOrDie();
+  query::Evaluator ev(db);
+  sdm::EntitySet result = ev.EvaluateSubclass(pred, c);
+  std::vector<std::string> fields;
+  fields.push_back(std::to_string(result.size()));
+  for (EntityId e : result) fields.push_back(db.NameOf(e));
+  return JoinFields(fields);
+}
+
+// --- Basic request flow. ---
+
+TEST(ServerTest, HelloQueryMatchesOracle) {
+  std::unique_ptr<Server> srv = OpenScaled(4);
+  LoopbackClient client(srv.get());
+  ASSERT_TRUE(client.Connect("t").ok());
+  EXPECT_GE(client.session_id(), 1);
+
+  const std::string predicate = "e.plays ]= {inst0}";
+  Result<Frame> resp =
+      client.Call(MsgType::kQuery, JoinFields({"musicians", predicate}));
+  ASSERT_TRUE(resp.ok());
+  ASSERT_EQ(resp->type, MsgType::kQueryResult) << resp->payload;
+  EXPECT_EQ(resp->payload,
+            OraclePayload(srv->workspace(), "musicians", predicate));
+
+  Result<Frame> explain =
+      client.Call(MsgType::kExplain, JoinFields({"musicians", predicate}));
+  ASSERT_TRUE(explain.ok());
+  ASSERT_EQ(explain->type, MsgType::kExplainResult);
+  EXPECT_NE(explain->payload.find("clause 1"), std::string::npos)
+      << explain->payload;
+  srv->Shutdown();
+}
+
+TEST(ServerTest, QueryErrorsComeBackTyped) {
+  std::unique_ptr<Server> srv = OpenScaled(2);
+  LoopbackClient client(srv.get());
+  ASSERT_TRUE(client.Connect("t").ok());
+
+  Result<Frame> resp = client.Call(
+      MsgType::kQuery, JoinFields({"no_such_class", "e.plays ]= {inst0}"}));
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp->type, MsgType::kError);
+  EXPECT_EQ(resp->payload.rfind("NotFound|", 0), 0u) << resp->payload;
+
+  LoopbackClient stranger(srv.get());
+  // No Connect: session id -1 is unknown.
+  Result<Frame> unknown = stranger.Call(MsgType::kRender, "");
+  ASSERT_TRUE(unknown.ok());
+  EXPECT_EQ(unknown->type, MsgType::kError);
+  srv->Shutdown();
+}
+
+TEST(ServerTest, SessionsKeepIndependentUiState) {
+  ServerOptions options;
+  options.threads = 4;
+  Result<std::unique_ptr<Server>> opened =
+      Server::Open(datasets::BuildInstrumentalMusic(), options);
+  ASSERT_TRUE(opened.ok());
+  std::unique_ptr<Server> srv = std::move(opened).ValueOrDie();
+
+  LoopbackClient a(srv.get());
+  LoopbackClient b(srv.get());
+  ASSERT_TRUE(a.Connect("a").ok());
+  ASSERT_TRUE(b.Connect("b").ok());
+  ASSERT_NE(a.session_id(), b.session_id());
+  EXPECT_EQ(srv->session_count(), 2);
+
+  // A navigates into a class; B stays at the forest.
+  Result<Frame> ev =
+      a.Call(MsgType::kEvent, "pick class:musicians");
+  ASSERT_TRUE(ev.ok());
+  ASSERT_EQ(ev->type, MsgType::kScreen) << ev->payload;
+
+  Result<std::string> screen_a = a.Render();
+  Result<std::string> screen_b = b.Render();
+  ASSERT_TRUE(screen_a.ok());
+  ASSERT_TRUE(screen_b.ok());
+  EXPECT_NE(*screen_a, *screen_b);
+  // Both sessions see the same shared schema, though: the class A picked
+  // exists on B's forest too.
+  EXPECT_NE(screen_b->find("musicians"), std::string::npos);
+
+  Result<Frame> bye = a.Call(MsgType::kBye, "");
+  ASSERT_TRUE(bye.ok());
+  EXPECT_EQ(bye->type, MsgType::kOk);
+  EXPECT_EQ(srv->session_count(), 1);
+  srv->Shutdown();
+}
+
+// --- Concurrency. ---
+
+/// N readers poll a query while one writer rewrites musicians' kits to
+/// {inst0}; reader counts must be non-decreasing (each write only adds
+/// players of inst0) and the final answer must be byte-identical to a
+/// single-threaded oracle that applied the same writes.
+TEST(ServerTest, ReadersSeeMonotoneCountsUnderOneWriter) {
+  constexpr int kReaders = 3;
+  constexpr int kWrites = 12;
+  const std::string predicate = "e.plays ]= {inst0}";
+
+  std::unique_ptr<Server> srv = OpenScaled(4);
+  std::atomic<bool> done{false};
+  std::atomic<bool> monotone{true};
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&] {
+      LoopbackClient client(srv.get());
+      ASSERT_TRUE(client.Connect("reader").ok());
+      long long last = -1;
+      while (!done.load()) {
+        Result<Frame> resp = client.Call(
+            MsgType::kQuery, JoinFields({"musicians", predicate}));
+        ASSERT_TRUE(resp.ok());
+        ASSERT_EQ(resp->type, MsgType::kQueryResult) << resp->payload;
+        long long count = std::stoll(SplitFields(resp->payload)[0]);
+        if (count < last) monotone.store(false);
+        last = count;
+      }
+    });
+  }
+
+  LoopbackClient writer(srv.get());
+  ASSERT_TRUE(writer.Connect("writer").ok());
+  for (int i = 0; i < kWrites; ++i) {
+    ASSERT_TRUE(writer
+                    .Assign("musicians", "musician" + std::to_string(i),
+                            "plays", "inst0")
+                    .ok());
+  }
+  done.store(true);
+  for (std::thread& t : readers) t.join();
+  EXPECT_TRUE(monotone.load());
+
+  // Oracle: same writes, single-threaded, then the same query.
+  std::unique_ptr<query::Workspace> oracle = datasets::BuildScaledMusic(2);
+  datasets::ScaledMusicHandles h = datasets::ResolveScaledMusic(*oracle);
+  sdm::Database& odb = oracle->db();
+  EntityId inst0 =
+      odb.FindMember(h.instruments, "inst0").ValueOrDie();
+  for (int i = 0; i < kWrites; ++i) {
+    EntityId m =
+        odb.FindMember(h.musicians, "musician" + std::to_string(i))
+            .ValueOrDie();
+    ASSERT_TRUE(odb.SetMulti(m, h.plays, {inst0}).ok());
+  }
+  Result<Frame> final_resp = writer.Call(
+      MsgType::kQuery, JoinFields({"musicians", predicate}));
+  ASSERT_TRUE(final_resp.ok());
+  ASSERT_EQ(final_resp->type, MsgType::kQueryResult);
+  EXPECT_EQ(final_resp->payload,
+            OraclePayload(*oracle, "musicians", predicate));
+  srv->Shutdown();
+}
+
+/// A query whose constant was never interned runs while interning is
+/// frozen; the server must transparently promote it to the exclusive lock
+/// and still answer correctly.
+TEST(ServerTest, PromotesReadsThatInternUnseenConstants) {
+  std::unique_ptr<Server> srv = OpenScaled(4);
+  LoopbackClient client(srv.get());
+  ASSERT_TRUE(client.Connect("t").ok());
+
+  // No group has size 123456; the integer itself has never been seen, so a
+  // frozen parse cannot intern it.
+  Result<Frame> resp = client.Call(
+      MsgType::kQuery, JoinFields({"music_groups", "e.size = {123456}"}));
+  ASSERT_TRUE(resp.ok());
+  ASSERT_EQ(resp->type, MsgType::kQueryResult) << resp->payload;
+  EXPECT_EQ(SplitFields(resp->payload)[0], "0");
+  EXPECT_GE(srv->stats().Snapshot().promotions, 1);
+  srv->Shutdown();
+}
+
+TEST(ServerTest, ShedsWhenASessionQueueOverflows) {
+  // One worker and a tiny queue: a flood of async requests must overflow.
+  std::unique_ptr<Server> srv = OpenScaled(1, /*queue_capacity=*/2);
+  LoopbackClient client(srv.get());
+  ASSERT_TRUE(client.Connect("flood").ok());
+
+  constexpr int kBurst = 40;
+  std::mutex mu;
+  std::condition_variable cv;
+  int responded = 0;
+  int retries = 0;
+  int answered = 0;
+  for (int i = 0; i < kBurst; ++i) {
+    ASSERT_TRUE(client
+                    .CallAsync(MsgType::kQuery,
+                               JoinFields({"musicians",
+                                           "e.plays ]= {inst0}"}),
+                               [&](const Frame& resp) {
+                                 std::lock_guard<std::mutex> lock(mu);
+                                 ++responded;
+                                 if (resp.type == MsgType::kRetry) {
+                                   ++retries;
+                                 } else if (resp.type ==
+                                            MsgType::kQueryResult) {
+                                   ++answered;
+                                 }
+                                 cv.notify_one();
+                               })
+                    .ok());
+  }
+  std::unique_lock<std::mutex> lock(mu);
+  cv.wait(lock, [&] { return responded == kBurst; });
+  EXPECT_EQ(retries + answered, kBurst);
+  EXPECT_GT(retries, 0) << "queue of 2 never overflowed under a burst of "
+                        << kBurst;
+  EXPECT_GT(answered, 0);
+  EXPECT_GE(srv->stats().Snapshot().sheds, retries);
+  lock.unlock();
+  srv->Shutdown();
+}
+
+TEST(ServerTest, StatsRequestReportsCounters) {
+  std::unique_ptr<Server> srv = OpenScaled(2);
+  LoopbackClient client(srv.get());
+  ASSERT_TRUE(client.Connect("t").ok());
+  ASSERT_TRUE(
+      client.Query("musicians", "e.plays ]= {inst0}").ok());
+
+  Result<Frame> resp = client.Call(MsgType::kStats, "");
+  ASSERT_TRUE(resp.ok());
+  ASSERT_EQ(resp->type, MsgType::kStatsResult);
+  EXPECT_NE(resp->payload.find("\"requests\""), std::string::npos);
+  EXPECT_NE(resp->payload.find("\"p95_us\""), std::string::npos);
+
+  std::string final_line = srv->Shutdown();
+  EXPECT_NE(final_line.find("\"server_stats\""), std::string::npos);
+  StatsSnapshot s = srv->stats().Snapshot();
+  EXPECT_GE(s.requests, 3);  // hello + query + stats
+  EXPECT_GE(s.reads, 1);
+  EXPECT_EQ(s.queue_depth, 0) << "shutdown must drain every queue";
+}
+
+// --- Notifications. ---
+
+TEST(ServerTest, SubscribersSeeWritesFromOtherSessions) {
+  std::unique_ptr<Server> srv = OpenScaled(4);
+  LoopbackClient watcher(srv.get());
+  LoopbackClient writer(srv.get());
+  ASSERT_TRUE(watcher.Connect("watcher").ok());
+  ASSERT_TRUE(writer.Connect("writer").ok());
+
+  Result<Frame> sub =
+      watcher.Call(MsgType::kSubscribe, JoinFields({"musicians"}));
+  ASSERT_TRUE(sub.ok());
+  ASSERT_EQ(sub->type, MsgType::kOk);
+
+  ASSERT_TRUE(writer.Assign("musicians", "musician0", "plays", "inst1").ok());
+
+  Result<Frame> poll = watcher.Call(MsgType::kPoll, "");
+  ASSERT_TRUE(poll.ok());
+  ASSERT_EQ(poll->type, MsgType::kOk);
+  std::vector<std::string> fields = SplitFields(poll->payload);
+  ASSERT_GE(fields.size(), 2u);
+  EXPECT_NE(std::stoi(fields[0]), 0);
+  EXPECT_NE(poll->payload.find("musician0"), std::string::npos)
+      << poll->payload;
+
+  // The writer did not subscribe: nothing pending there.
+  Result<Frame> writer_poll = writer.Call(MsgType::kPoll, "");
+  ASSERT_TRUE(writer_poll.ok());
+  EXPECT_EQ(SplitFields(writer_poll->payload)[0], "0");
+  srv->Shutdown();
+}
+
+// --- Durability. ---
+
+std::string DurableDir() { return ::testing::TempDir(); }
+
+void WipeDurable(const std::string& db_name) {
+  store::FileEnv* env = store::FileEnv::Default();
+  for (const char* suffix :
+       {".server.wal", ".server.wal.tmp", ".isis", ".isis.tmp"}) {
+    (void)env->Remove(DurableDir() + "/" + db_name + suffix);
+  }
+}
+
+TEST(ServerTest, CleanShutdownSurvivesRestart) {
+  WipeDurable("SrvClean");
+  {
+    std::unique_ptr<Server> srv = OpenScaled(2, 64, DurableDir(), "SrvClean");
+    LoopbackClient client(srv.get());
+    ASSERT_TRUE(client.Connect("t").ok());
+    ASSERT_TRUE(
+        client.Assign("musicians", "musician3", "plays", "inst0").ok());
+    srv->Shutdown();
+  }
+  // Restart with a *fresh* workspace: the durable state must win.
+  std::unique_ptr<Server> srv = OpenScaled(2, 64, DurableDir(), "SrvClean");
+  LoopbackClient client(srv.get());
+  ASSERT_TRUE(client.Connect("t").ok());
+  Result<std::vector<std::string>> players =
+      client.Query("musicians", "e.plays ]= {inst0}");
+  ASSERT_TRUE(players.ok());
+  EXPECT_NE(std::find(players->begin(), players->end(), "musician3"),
+            players->end());
+  srv->Shutdown();
+  WipeDurable("SrvClean");
+}
+
+TEST(ServerTest, CrashRecoveryReplaysTheWal) {
+  WipeDurable("SrvCrash");
+  {
+    std::unique_ptr<Server> srv = OpenScaled(2, 64, DurableDir(), "SrvCrash");
+    LoopbackClient client(srv.get());
+    ASSERT_TRUE(client.Connect("t").ok());
+    ASSERT_TRUE(
+        client.Assign("musicians", "musician5", "plays", "inst0").ok());
+    // UI events are durable too.
+    Result<Frame> ev = client.Call(MsgType::kEvent, "pick class:musicians");
+    ASSERT_TRUE(ev.ok());
+    ASSERT_EQ(ev->type, MsgType::kScreen);
+    // No Shutdown(): the destructor is the crash.
+  }
+  std::unique_ptr<Server> srv = OpenScaled(2, 64, DurableDir(), "SrvCrash");
+  LoopbackClient client(srv.get());
+  ASSERT_TRUE(client.Connect("t").ok());
+  Result<std::vector<std::string>> players =
+      client.Query("musicians", "e.plays ]= {inst0}");
+  ASSERT_TRUE(players.ok());
+  EXPECT_NE(std::find(players->begin(), players->end(), "musician5"),
+            players->end());
+  srv->Shutdown();
+  WipeDurable("SrvCrash");
+}
+
+// --- TCP transport. ---
+
+TEST(ServerTest, TcpRoundTrip) {
+  std::unique_ptr<Server> srv = OpenScaled(2);
+  TcpServer tcp(srv.get());
+  Status st = tcp.Start(0);
+  if (!st.ok()) {
+    GTEST_SKIP() << "cannot bind a loopback socket here: " << st.ToString();
+  }
+  {
+    TcpClient client;
+    ASSERT_TRUE(client.Connect("127.0.0.1", tcp.port(), "tcp-test").ok());
+    EXPECT_GE(client.session_id(), 1);
+    Result<Frame> resp = client.Call(
+        MsgType::kQuery, JoinFields({"musicians", "e.plays ]= {inst0}"}));
+    ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+    ASSERT_EQ(resp->type, MsgType::kQueryResult) << resp->payload;
+    EXPECT_EQ(resp->payload,
+              OraclePayload(srv->workspace(), "musicians",
+                            "e.plays ]= {inst0}"));
+    Result<Frame> bye = client.Call(MsgType::kBye, "");
+    ASSERT_TRUE(bye.ok());
+    EXPECT_EQ(bye->type, MsgType::kOk);
+  }
+  tcp.Stop();
+  srv->Shutdown();
+}
+
+}  // namespace
+}  // namespace isis::server
