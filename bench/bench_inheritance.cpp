@@ -5,6 +5,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstdlib>
+
 #include "query/workspace.h"
 
 namespace {
@@ -17,28 +20,36 @@ using isis::sdm::Database;
 using isis::sdm::Membership;
 using isis::sdm::Schema;
 
+/// Checked unwrap for fixture setup: these creations cannot fail on a
+/// fresh workspace, and a benchmark over a half-built one is meaningless.
+template <typename T>
+T MustGet(isis::Result<T> r) {
+  if (!r.ok()) {
+    std::fprintf(stderr, "bench_inheritance: %s\n",
+                 r.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(r).ValueOrDie();
+}
+
 /// Builds a chain (single) or a ladder of diamonds (multi) of `depth`.
 std::unique_ptr<Workspace> BuildHierarchy(int depth, bool multi) {
   Database::Options opts;
   opts.schema.allow_multiple_parents = multi;
   auto ws = std::make_unique<Workspace>(opts);
   Database& db = ws->db();
-  ClassId base = db.CreateBaseclass("base", "name").ValueOrDie();
+  ClassId base = MustGet(db.CreateBaseclass("base", "name"));
   (void)db.CreateAttribute(base, "a0", Schema::kIntegers(), false);
   ClassId cur = base;
   for (int d = 1; d <= depth; ++d) {
-    ClassId next =
-        db.CreateSubclass("c" + std::to_string(d), cur,
-                          Membership::kEnumerated)
-            .ValueOrDie();
+    ClassId next = MustGet(db.CreateSubclass("c" + std::to_string(d), cur,
+                                             Membership::kEnumerated));
     (void)db.CreateAttribute(next, "a" + std::to_string(d),
                              Schema::kIntegers(), false);
     if (multi && d >= 2) {
       // A side parent at each level: a diamond ladder.
-      ClassId side =
-          db.CreateSubclass("s" + std::to_string(d), cur,
-                            Membership::kEnumerated)
-              .ValueOrDie();
+      ClassId side = MustGet(db.CreateSubclass("s" + std::to_string(d), cur,
+                                               Membership::kEnumerated));
       (void)db.CreateAttribute(side, "sa" + std::to_string(d),
                                Schema::kIntegers(), false);
       benchmark::DoNotOptimize(db.AddParent(next, side).ok());
@@ -105,7 +116,7 @@ void BM_MembershipPropagation(benchmark::State& state) {
   Database& db = ws->db();
   ClassId base = *db.schema().FindClass("base");
   ClassId deepest = *db.schema().FindClass("c" + std::to_string(depth));
-  EntityId e = db.CreateEntity(base, "walker").ValueOrDie();
+  EntityId e = MustGet(db.CreateEntity(base, "walker"));
   for (auto _ : state) {
     benchmark::DoNotOptimize(db.AddToClass(e, deepest).ok());
     state.PauseTiming();

@@ -10,6 +10,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+
 #include "common/rng.h"
 #include "datasets/scaled_music.h"
 #include "sdm/consistency.h"
@@ -70,9 +72,10 @@ void BM_GuardedAddToClass(benchmark::State& state) {
   auto ws = BuildScaledMusic(scale);
   ScaledMusicHandles h = ResolveScaledMusic(*ws);
   Database& db = ws->db();
-  ClassId sub = db.CreateSubclass("bench_sub", h.musicians,
-                                  isis::sdm::Membership::kEnumerated)
-                    .ValueOrDie();
+  isis::Result<ClassId> made = db.CreateSubclass(
+      "bench_sub", h.musicians, isis::sdm::Membership::kEnumerated);
+  if (!made.ok()) std::abort();
+  ClassId sub = made.ValueOrDie();
   std::vector<EntityId> pool(db.Members(h.musicians).begin(),
                              db.Members(h.musicians).end());
   Rng rng(4);

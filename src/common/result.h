@@ -17,8 +17,10 @@ namespace isis {
 /// Mirrors arrow::Result. Constructing from an OK status is a programming
 /// error (asserted in debug builds, degraded to an Internal error in
 /// release).
+///
+/// [[nodiscard]] like Status: a dropped Result is a dropped error.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit construction from a value.
   Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)

@@ -1,5 +1,7 @@
 #include "common/status.h"
 
+#include <cstdio>
+
 namespace isis {
 
 const char* StatusCodeToString(StatusCode code) {
@@ -40,6 +42,11 @@ std::string Status::ToString() const {
 
 std::ostream& operator<<(std::ostream& os, const Status& st) {
   return os << st.ToString();
+}
+
+void LogIfError(const Status& st, const char* context) {
+  if (st.ok()) return;
+  std::fprintf(stderr, "[isis] %s: %s\n", context, st.ToString().c_str());
 }
 
 }  // namespace isis

@@ -44,7 +44,11 @@ const char* StatusCodeToString(StatusCode code);
 ///
 /// A default-constructed Status is OK and carries no allocation. Error
 /// statuses carry a code and a message.
-class Status {
+///
+/// The class is [[nodiscard]]: silently dropping the return value of a
+/// fallible call is a compile error under ISIS_WERROR. A deliberately
+/// best-effort call makes that intent explicit with LogIfError() below.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() noexcept = default;
@@ -136,6 +140,16 @@ class Status {
 };
 
 std::ostream& operator<<(std::ostream& os, const Status& st);
+
+/// \brief Consumes a Status on a best-effort path, logging any error to
+/// stderr as "[isis] <context>: <status>".
+///
+/// This is the one sanctioned way to drop a Status: it keeps deliberate
+/// discards greppable and distinct from forgotten ones (which [[nodiscard]]
+/// turns into warnings). Use it only where failure genuinely must not abort
+/// the caller -- e.g. journal notes or a shutdown-path checkpoint whose
+/// failure the WAL already covers.
+void LogIfError(const Status& st, const char* context);
 
 }  // namespace isis
 

@@ -132,18 +132,22 @@ std::unique_ptr<Workspace> BuildScaledMusic(int scale, std::uint64_t seed,
 ScaledMusicHandles ResolveScaledMusic(const Workspace& ws) {
   const Schema& s = ws.db().schema();
   ScaledMusicHandles h;
-  h.musicians = s.FindClass("musicians").ValueOrDie();
-  h.instruments = s.FindClass("instruments").ValueOrDie();
-  h.music_groups = s.FindClass("music_groups").ValueOrDie();
-  h.families = s.FindClass("families").ValueOrDie();
-  h.plays = s.FindAttribute(h.musicians, "plays").ValueOrDie();
-  h.union_attr = s.FindAttribute(h.musicians, "union").ValueOrDie();
-  h.family = s.FindAttribute(h.instruments, "family").ValueOrDie();
-  h.popular = s.FindAttribute(h.instruments, "popular").ValueOrDie();
-  h.members = s.FindAttribute(h.music_groups, "members").ValueOrDie();
-  h.size = s.FindAttribute(h.music_groups, "size").ValueOrDie();
-  h.includes = s.FindAttribute(h.music_groups, "includes").ValueOrDie();
-  h.by_family = s.FindGrouping("by_family").ValueOrDie();
+  h.musicians = MustGet(s.FindClass("musicians"), "resolve class");
+  h.instruments = MustGet(s.FindClass("instruments"), "resolve class");
+  h.music_groups = MustGet(s.FindClass("music_groups"), "resolve class");
+  h.families = MustGet(s.FindClass("families"), "resolve class");
+  h.plays = MustGet(s.FindAttribute(h.musicians, "plays"), "resolve attr");
+  h.union_attr =
+      MustGet(s.FindAttribute(h.musicians, "union"), "resolve attr");
+  h.family = MustGet(s.FindAttribute(h.instruments, "family"), "resolve attr");
+  h.popular =
+      MustGet(s.FindAttribute(h.instruments, "popular"), "resolve attr");
+  h.members =
+      MustGet(s.FindAttribute(h.music_groups, "members"), "resolve attr");
+  h.size = MustGet(s.FindAttribute(h.music_groups, "size"), "resolve attr");
+  h.includes =
+      MustGet(s.FindAttribute(h.music_groups, "includes"), "resolve attr");
+  h.by_family = MustGet(s.FindGrouping("by_family"), "resolve grouping");
   return h;
 }
 

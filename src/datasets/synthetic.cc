@@ -163,12 +163,12 @@ SyntheticHandles ResolveSynthetic(const Workspace& ws,
   SyntheticHandles h;
   const Schema& schema = ws.db().schema();
   for (int i = 0; i < std::max(1, p.baseclasses); ++i) {
-    ClassId cls = schema.FindClass(ClassName(i)).ValueOrDie();
+    ClassId cls = MustGet(schema.FindClass(ClassName(i)), "find baseclass");
     h.baseclasses.push_back(cls);
     h.single_attrs.push_back(
-        schema.FindAttribute(cls, AttrName(i, 0)).ValueOrDie());
+        MustGet(schema.FindAttribute(cls, AttrName(i, 0)), "find attribute"));
     h.multi_attrs.push_back(
-        schema.FindAttribute(cls, AttrName(i, 1)).ValueOrDie());
+        MustGet(schema.FindAttribute(cls, AttrName(i, 1)), "find attribute"));
     for (int j = 0; j < p.groupings; ++j) {
       Result<GroupingId> g = schema.FindGrouping(GroupingName(i, j));
       if (g.ok()) h.groupings.push_back(*g);

@@ -1,6 +1,8 @@
 #include "sdm/database.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 
 #include "common/strings.h"
 
@@ -127,9 +129,12 @@ Status Database::SetValueClass(AttributeId attr, ClassId value_class) {
       }
     }
   }
-  MarkGroupingsDirtyOn(attr);
-  auto vit = value_index_.find(attr.value());
-  if (vit != value_index_.end()) vit->second.dirty = true;
+  {
+    MutexLock lock(lazy_mu_);
+    MarkGroupingsDirtyOn(attr);
+    auto vit = value_index_.find(attr.value());
+    if (vit != value_index_.end()) vit->second.dirty = true;
+  }
   NotifySchemaChange();
   return Status::OK();
 }
@@ -139,7 +144,10 @@ Status Database::DeleteAttribute(AttributeId attr) {
   ISIS_RETURN_NOT_OK(schema_.DeleteAttribute(attr));
   single_.erase(attr.value());
   multi_.erase(attr.value());
-  value_index_.erase(attr.value());
+  {
+    MutexLock lock(lazy_mu_);
+    value_index_.erase(attr.value());
+  }
   NotifySchemaChange();
   return Status::OK();
 }
@@ -154,13 +162,19 @@ Result<GroupingId> Database::CreateGrouping(const std::string& name,
                                             AttributeId on_attribute) {
   ISIS_ASSIGN_OR_RETURN(GroupingId g,
                         schema_.CreateGrouping(name, parent, on_attribute));
-  grouping_cache_[g.value()];  // starts dirty
+  {
+    MutexLock lock(lazy_mu_);
+    grouping_cache_[g.value()];  // starts dirty
+  }
   return g;
 }
 
 Status Database::DeleteGrouping(GroupingId g) {
   ISIS_RETURN_NOT_OK(schema_.DeleteGrouping(g));
-  grouping_cache_.erase(g.value());
+  {
+    MutexLock lock(lazy_mu_);
+    grouping_cache_.erase(g.value());
+  }
   return Status::OK();
 }
 
@@ -213,7 +227,7 @@ Result<EntityId> Database::InternValue(const Value& v) const {
   if (!base.valid()) {
     return Status::InvalidArgument("cannot intern a value with no kind");
   }
-  if (intern_frozen_) {
+  if (intern_frozen_.load(std::memory_order_relaxed)) {
     // Shared-phase read of a never-seen value: creating it here would
     // mutate the entity universe under concurrent readers. The caller
     // retries under the exclusive lock (see database.h, "Concurrency").
@@ -235,17 +249,32 @@ Result<EntityId> Database::InternValue(const Value& v) const {
   return entities_.back().id;
 }
 
+namespace {
+/// Checked unwrap for the convenience interners: a predefined-kind value
+/// always interns unless interning is frozen, and these wrappers are
+/// documented exclusive-phase / setup API -- a failure here is a caller
+/// holding the wrong lock, which must not limp on.
+EntityId InternOrDie(Result<EntityId> r) {
+  if (!r.ok()) {
+    std::fprintf(stderr, "isis: intern failed: %s\n",
+                 r.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(r).ValueOrDie();
+}
+}  // namespace
+
 EntityId Database::InternInteger(std::int64_t v) const {
-  return InternValue(Value::Integer(v)).ValueOrDie();
+  return InternOrDie(InternValue(Value::Integer(v)));
 }
 EntityId Database::InternReal(double v) const {
-  return InternValue(Value::Real(v)).ValueOrDie();
+  return InternOrDie(InternValue(Value::Real(v)));
 }
 EntityId Database::InternBoolean(bool v) const {
-  return InternValue(Value::Boolean(v)).ValueOrDie();
+  return InternOrDie(InternValue(Value::Boolean(v)));
 }
 EntityId Database::InternString(const std::string& v) const {
-  return InternValue(Value::String(v)).ValueOrDie();
+  return InternOrDie(InternValue(Value::String(v)));
 }
 
 Result<EntityId> Database::FindEntity(ClassId base,
@@ -684,14 +713,14 @@ const std::vector<GroupingBlock>& Database::GroupingBlocks(GroupingId g) const {
   // Build-then-publish under lazy_mu_: concurrent shared-phase readers
   // serialize on the (at most one) rebuild; the returned reference stays
   // valid and immutable until the next exclusive-phase mutation.
-  std::lock_guard<std::mutex> lock(lazy_mu_);
+  MutexLock lock(lazy_mu_);
   GroupingCache& cache = grouping_cache_[g.value()];
   if (cache.dirty) RebuildGrouping(g, &cache);
   return cache.blocks;
 }
 
 EntitySet Database::GetGroupingBlock(GroupingId g, EntityId index) const {
-  std::lock_guard<std::mutex> lock(lazy_mu_);
+  MutexLock lock(lazy_mu_);
   GroupingCache& cache = grouping_cache_[g.value()];
   if (cache.dirty) RebuildGrouping(g, &cache);
   auto it = cache.block_of_index.find(index);
@@ -815,7 +844,7 @@ Database::ValueIndex* Database::EnsureValueIndexLocked(AttributeId attr) const {
 
 const EntitySet& Database::ValueIndexProbe(AttributeId attr,
                                            EntityId value) const {
-  std::lock_guard<std::mutex> lock(lazy_mu_);
+  MutexLock lock(lazy_mu_);
   ValueIndex* idx = EnsureValueIndexLocked(attr);
   ++stats_.value_index_probes;
   if (idx == nullptr) return kEmptySet;
@@ -824,7 +853,7 @@ const EntitySet& Database::ValueIndexProbe(AttributeId attr,
 }
 
 std::int64_t Database::ValueIndexDistinctValues(AttributeId attr) const {
-  std::lock_guard<std::mutex> lock(lazy_mu_);
+  MutexLock lock(lazy_mu_);
   ValueIndex* idx = EnsureValueIndexLocked(attr);
   return idx == nullptr
              ? 0
@@ -832,7 +861,7 @@ std::int64_t Database::ValueIndexDistinctValues(AttributeId attr) const {
 }
 
 std::int64_t Database::ValueIndexPostings(AttributeId attr) const {
-  std::lock_guard<std::mutex> lock(lazy_mu_);
+  MutexLock lock(lazy_mu_);
   ValueIndex* idx = EnsureValueIndexLocked(attr);
   return idx == nullptr ? 0 : idx->postings;
 }
@@ -858,6 +887,7 @@ void Database::ValueIndexUpdate(AttributeId attr, EntityId e,
 }
 
 void Database::ValueIndexDropRow(AttributeId attr, EntityId e) {
+  MutexLock lock(lazy_mu_);
   auto it = value_index_.find(attr.value());
   if (it == value_index_.end() || it->second.dirty) return;
   ValueIndexUpdate(attr, e, GetValueSet(e, attr), kEmptySet);
@@ -867,9 +897,12 @@ void Database::OnAttributeValueChange(EntityId e, AttributeId attr,
                                       const EntitySet& before,
                                       const EntitySet& after) {
   if (before == after) return;
+  // Observer fan-out stays outside lazy_mu_: observers (live views, the
+  // server's delta collector) may re-enter the database's read surface.
   for (MutationObserver* o : observers_) {
     o->OnAttributeValue(e, attr, before, after);
   }
+  MutexLock lock(lazy_mu_);
   ValueIndexUpdate(attr, e, before, after);
   for (GroupingId g : schema_.AllGroupings()) {
     const GroupingDef& def = schema_.GetGrouping(g);
@@ -887,6 +920,7 @@ void Database::OnMembershipChange(EntityId e, ClassId cls, bool added) {
   for (MutationObserver* o : observers_) {
     o->OnMembership(e, cls, added);
   }
+  MutexLock lock(lazy_mu_);
   for (GroupingId g : schema_.AllGroupings()) {
     const GroupingDef& def = schema_.GetGrouping(g);
     if (def.parent != cls) continue;
@@ -996,6 +1030,7 @@ Status Database::RestoreSingle(AttributeId attr, EntityId e, EntityId value) {
     return Status::ParseError("bad singlevalued attribute slot on restore");
   }
   if (value != kNullEntity) single_[attr.value()][e] = value;
+  MutexLock lock(lazy_mu_);
   auto it = value_index_.find(attr.value());
   if (it != value_index_.end()) it->second.dirty = true;
   return Status::OK();
@@ -1006,6 +1041,7 @@ Status Database::RestoreMulti(AttributeId attr, EntityId e, EntitySet values) {
     return Status::ParseError("bad multivalued attribute slot on restore");
   }
   if (!values.empty()) multi_[attr.value()][e] = std::move(values);
+  MutexLock lock(lazy_mu_);
   auto it = value_index_.find(attr.value());
   if (it != value_index_.end()) it->second.dirty = true;
   return Status::OK();

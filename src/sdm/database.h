@@ -18,8 +18,8 @@
 #ifndef ISIS_SDM_DATABASE_H_
 #define ISIS_SDM_DATABASE_H_
 
+#include <atomic>
 #include <map>
-#include <mutex>
 #include <set>
 #include <span>
 #include <string>
@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "common/ids.h"
+#include "common/sync.h"
 #include "common/result.h"
 #include "sdm/schema.h"
 #include "sdm/value.h"
@@ -314,7 +315,12 @@ class Database {
     std::int64_t value_index_incremental_updates = 0;
     std::int64_t value_index_probes = 0;
   };
-  const Stats& stats() const { return stats_; }
+  /// Snapshot of the lazy-structure counters (by value: the counters are
+  /// bumped under lazy_mu_, so a reference would race).
+  Stats stats() const ISIS_EXCLUDES(lazy_mu_) {
+    MutexLock lock(lazy_mu_);
+    return stats_;
+  }
 
   // --- Mutation observers (live-view engine feed). ---
 
@@ -356,8 +362,12 @@ class Database {
 
   /// Freezes/unfreezes interning. Toggle only while no other thread is
   /// reading the database (the server toggles under its exclusive lock).
-  void set_intern_frozen(bool frozen) { intern_frozen_ = frozen; }
-  bool intern_frozen() const { return intern_frozen_; }
+  void set_intern_frozen(bool frozen) {
+    intern_frozen_.store(frozen, std::memory_order_relaxed);
+  }
+  bool intern_frozen() const {
+    return intern_frozen_.load(std::memory_order_relaxed);
+  }
 
   /// Monotone per-thread count of reads that degraded because interning was
   /// frozen (see rule 2 above). Snapshot before a shared-phase request and
@@ -414,22 +424,26 @@ class Database {
   /// Surfaces an entity rename as a naming-attribute value delta.
   void NotifyRename(EntityId e, ClassId base, const std::string& old_name,
                     const std::string& new_name);
-  void MarkGroupingsDirtyOn(AttributeId attr);
+  void MarkGroupingsDirtyOn(AttributeId attr) ISIS_REQUIRES(lazy_mu_);
   /// Lazily (re)builds `attr`'s value index; nullptr when unindexable.
-  /// Caller must hold `lazy_mu_`.
-  ValueIndex* EnsureValueIndexLocked(AttributeId attr) const;
+  ValueIndex* EnsureValueIndexLocked(AttributeId attr) const
+      ISIS_REQUIRES(lazy_mu_);
   /// Applies a before/after value-set delta to `attr`'s index if built.
   void ValueIndexUpdate(AttributeId attr, EntityId e, const EntitySet& before,
-                        const EntitySet& after);
+                        const EntitySet& after) ISIS_REQUIRES(lazy_mu_);
   /// Index fix-up for attribute rows dropped without a value-change
-  /// notification (entity deletion, class removal).
-  void ValueIndexDropRow(AttributeId attr, EntityId e);
-  void RebuildGrouping(GroupingId g, GroupingCache* cache) const;
+  /// notification (entity deletion, class removal). Takes lazy_mu_ itself.
+  void ValueIndexDropRow(AttributeId attr, EntityId e) ISIS_EXCLUDES(lazy_mu_);
+  void RebuildGrouping(GroupingId g, GroupingCache* cache) const
+      ISIS_REQUIRES(lazy_mu_);
   void IncrementalGroupingUpdate(GroupingId g, EntityId e,
                                  const EntitySet& before,
-                                 const EntitySet& after);
-  void GroupingInsert(GroupingCache* cache, EntityId index, EntityId member);
-  void GroupingErase(GroupingCache* cache, EntityId index, EntityId member);
+                                 const EntitySet& after)
+      ISIS_REQUIRES(lazy_mu_);
+  void GroupingInsert(GroupingCache* cache, EntityId index, EntityId member)
+      ISIS_REQUIRES(lazy_mu_);
+  void GroupingErase(GroupingCache* cache, EntityId index, EntityId member)
+      ISIS_REQUIRES(lazy_mu_);
 
   Schema schema_;
   Options options_;
@@ -453,11 +467,17 @@ class Database {
   /// Guards the lazily-built structures (grouping caches, value indexes)
   /// and read-path stats counters against concurrent shared-phase builds;
   /// see the "Concurrency" section above.
-  mutable std::mutex lazy_mu_;
-  bool intern_frozen_ = false;
-  mutable std::unordered_map<std::int64_t, GroupingCache> grouping_cache_;
-  mutable std::unordered_map<std::int64_t, ValueIndex> value_index_;
-  mutable Stats stats_;
+  mutable Mutex lazy_mu_;
+  /// Atomic, not lazy_mu_-guarded: InternValue reads it and is reachable
+  /// from under lazy_mu_ (RebuildGrouping -> GetValueSet -> naming-attribute
+  /// GetSingle -> InternString), so guarding it would self-deadlock. Toggles
+  /// happen under the server's exclusive lock; relaxed order suffices.
+  std::atomic<bool> intern_frozen_{false};
+  mutable std::unordered_map<std::int64_t, GroupingCache> grouping_cache_
+      ISIS_GUARDED_BY(lazy_mu_);
+  mutable std::unordered_map<std::int64_t, ValueIndex> value_index_
+      ISIS_GUARDED_BY(lazy_mu_);
+  mutable Stats stats_ ISIS_GUARDED_BY(lazy_mu_);
   std::vector<MutationObserver*> observers_;
   int mutation_depth_ = 0;
   static const EntitySet kEmptySet;

@@ -1,6 +1,7 @@
 #include "sdm/schema.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <unordered_set>
 #include <unordered_map>
 
@@ -39,13 +40,17 @@ Schema::Schema(Options options) : options_(options) {
   // is created last), then the naming attributes in the same id order.
   for (const Predef& p : kPredefs) {
     // Constructor-time creation of fixed names cannot fail.
-    CreateClassNode(p.name, {}, Membership::kBase, p.kind).ValueOrDie();
+    Result<ClassId> made =
+        CreateClassNode(p.name, {}, Membership::kBase, p.kind);
+    if (!made.ok()) std::abort();
   }
   for (const Predef& p : kPredefs) {
-    ClassId id = FindClass(p.name).ValueOrDie();
+    Result<ClassId> id = FindClass(p.name);
+    if (!id.ok()) std::abort();
     Result<AttributeId> naming =
-        CreateAttribute(id, "name", kStrings(), /*multivalued=*/false);
-    attributes_[naming.ValueOrDie().value()].naming = true;
+        CreateAttribute(*id, "name", kStrings(), /*multivalued=*/false);
+    if (!naming.ok()) std::abort();
+    attributes_[naming->value()].naming = true;
   }
 }
 

@@ -1,38 +1,10 @@
 #include "server/executor.h"
 
-#include <chrono>
 #include <utility>
 
 #include "server/stats.h"
 
 namespace isis::server {
-
-void RwMutex::LockShared() {
-  std::unique_lock<std::mutex> lock(mu_);
-  // Writer preference: a reader arriving while a writer waits queues behind
-  // it, so mutations cannot be starved by a saturating read load.
-  cv_.wait(lock, [&] { return !writer_active_ && waiting_writers_ == 0; });
-  ++active_readers_;
-}
-
-void RwMutex::UnlockShared() {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (--active_readers_ == 0) cv_.notify_all();
-}
-
-void RwMutex::LockExclusive() {
-  std::unique_lock<std::mutex> lock(mu_);
-  ++waiting_writers_;
-  cv_.wait(lock, [&] { return !writer_active_ && active_readers_ == 0; });
-  --waiting_writers_;
-  writer_active_ = true;
-}
-
-void RwMutex::UnlockExclusive() {
-  std::lock_guard<std::mutex> lock(mu_);
-  writer_active_ = false;
-  cv_.notify_all();
-}
 
 Executor::Executor(const Options& options, ServerStats* stats)
     : options_(options), stats_(stats) {
@@ -46,14 +18,14 @@ Executor::Executor(const Options& options, ServerStats* stats)
 Executor::~Executor() { Shutdown(); }
 
 void Executor::AddLane(std::int64_t lane) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto& slot = lanes_[lane];
   if (slot == nullptr) slot = std::make_shared<Lane>();
   slot->removed = false;
 }
 
 void Executor::RemoveLane(std::int64_t lane) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = lanes_.find(lane);
   if (it == lanes_.end()) return;
   if (!it->second->running && it->second->queue.empty()) {
@@ -65,7 +37,7 @@ void Executor::RemoveLane(std::int64_t lane) {
 
 SubmitResult Executor::Submit(std::int64_t lane, TaskMode mode,
                               std::function<void()> task, bool important) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (closed_) return SubmitResult::kClosed;
   auto it = lanes_.find(lane);
   if (it == lanes_.end() || it->second->removed) return SubmitResult::kClosed;
@@ -78,15 +50,46 @@ SubmitResult Executor::Submit(std::int64_t lane, TaskMode mode,
   if (stats_) stats_->AdjustQueueDepth(+1);
   if (!l.running && l.queue.size() == 1) {
     ready_.push_back(lane);
-    work_cv_.notify_one();
+    work_cv_.NotifyOne();
   }
   return SubmitResult::kAccepted;
 }
 
+void Executor::RecordLockWait(bool exclusive,
+                              std::chrono::steady_clock::time_point t0) {
+  if (stats_ == nullptr) return;
+  auto waited = std::chrono::duration_cast<std::chrono::microseconds>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+  stats_->RecordDispatch(exclusive, waited);
+}
+
+void Executor::RunTask(Task& task) {
+  auto t0 = std::chrono::steady_clock::now();
+  switch (task.mode) {
+    case TaskMode::kShared: {
+      ReaderLock db(db_lock_);
+      RecordLockWait(/*exclusive=*/false, t0);
+      task.fn();
+      break;
+    }
+    case TaskMode::kExclusive: {
+      WriterLock db(db_lock_);
+      RecordLockWait(/*exclusive=*/true, t0);
+      task.fn();
+      break;
+    }
+    case TaskMode::kNone:
+      task.fn();
+      break;
+  }
+}
+
 void Executor::WorkerLoop() {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (;;) {
-    work_cv_.wait(lock, [&] {
+    work_cv_.Wait(lock, [this] {
+      mu_.AssertHeld();
       return !ready_.empty() || (closed_ && in_flight_ == 0);
     });
     if (ready_.empty()) {
@@ -103,47 +106,30 @@ void Executor::WorkerLoop() {
     lane->queue.pop_front();
     lane->running = true;
     ++in_flight_;
-    lock.unlock();
+    lock.Unlock();
 
     if (stats_) stats_->AdjustQueueDepth(-1);
-    auto t0 = std::chrono::steady_clock::now();
-    if (task.mode == TaskMode::kShared) {
-      db_lock_.LockShared();
-    } else if (task.mode == TaskMode::kExclusive) {
-      db_lock_.LockExclusive();
-    }
-    if (stats_ && task.mode != TaskMode::kNone) {
-      auto waited = std::chrono::duration_cast<std::chrono::microseconds>(
-                        std::chrono::steady_clock::now() - t0)
-                        .count();
-      stats_->RecordDispatch(task.mode == TaskMode::kExclusive, waited);
-    }
-    task.fn();
-    if (task.mode == TaskMode::kShared) {
-      db_lock_.UnlockShared();
-    } else if (task.mode == TaskMode::kExclusive) {
-      db_lock_.UnlockExclusive();
-    }
+    RunTask(task);
 
-    lock.lock();
+    lock.Lock();
     lane->running = false;
     --in_flight_;
     if (!lane->queue.empty()) {
       ready_.push_back(lane_id);
-      work_cv_.notify_one();
+      work_cv_.NotifyOne();
     } else if (lane->removed) {
       lanes_.erase(lane_id);
     }
-    if (closed_ && in_flight_ == 0 && ready_.empty()) work_cv_.notify_all();
+    if (closed_ && in_flight_ == 0 && ready_.empty()) work_cv_.NotifyAll();
   }
 }
 
 void Executor::Shutdown() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     closed_ = true;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   for (std::thread& t : workers_) {
     if (t.joinable()) t.join();
   }

@@ -9,10 +9,10 @@
 ///   1. Lane order: tasks on one lane run in submission order, at most one
 ///      in flight -- a session is serial, the server is parallel.
 ///   2. Lock mode: before running a task the worker acquires the shared
-///      RwMutex in the declared mode, so any number of reads overlap but a
-///      mutation runs alone. The RwMutex is writer-preferring: arriving
-///      readers queue behind a waiting writer, so a steady read load cannot
-///      starve mutations.
+///      RwMutex (common/sync.h) in the declared mode, so any number of
+///      reads overlap but a mutation runs alone. The RwMutex is
+///      writer-preferring: arriving readers queue behind a waiting writer,
+///      so a steady read load cannot starve mutations.
 ///   3. Bounded queues: each lane holds at most `queue_capacity` tasks.
 ///      Submitting to a full lane is *shed* -- the caller gets kShed and is
 ///      expected to answer the client with a retry hint rather than buffer
@@ -20,45 +20,29 @@
 ///
 /// Shutdown() closes submission, drains every queued task, then joins the
 /// workers -- accepted work always runs exactly once.
+///
+/// Lock discipline (checked by -Wthread-safety): all queue state -- lanes_,
+/// ready_, closed_, in_flight_ -- is guarded by mu_; the database itself is
+/// guarded by db_lock_, held in the task's declared mode around task.fn()
+/// and never while mu_ is held.
 
 #ifndef ISIS_SERVER_EXECUTOR_H_
 #define ISIS_SERVER_EXECUTOR_H_
 
-#include <condition_variable>
+#include <chrono>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
+#include "common/sync.h"
+
 namespace isis::server {
 
 class ServerStats;
-
-/// \brief Writer-preferring reader-writer mutex.
-///
-/// Built on std::mutex + condition_variable rather than std::shared_mutex so
-/// the preference policy is ours (glibc's pthread rwlock default prefers
-/// readers, which lets a saturating read load starve writers indefinitely)
-/// and so ThreadSanitizer sees plain mutex/condvar operations it fully
-/// understands. New readers block while a writer is waiting.
-class RwMutex {
- public:
-  void LockShared();
-  void UnlockShared();
-  void LockExclusive();
-  void UnlockExclusive();
-
- private:
-  std::mutex mu_;
-  std::condition_variable cv_;
-  int active_readers_ = 0;
-  int waiting_writers_ = 0;
-  bool writer_active_ = false;
-};
 
 /// Which database lock a task needs.
 enum class TaskMode {
@@ -90,18 +74,19 @@ class Executor {
   Executor& operator=(const Executor&) = delete;
 
   /// Registers a lane. Submitting to an unknown lane is an error (kClosed).
-  void AddLane(std::int64_t lane);
+  void AddLane(std::int64_t lane) ISIS_EXCLUDES(mu_);
   /// Unregisters a lane; queued tasks still drain.
-  void RemoveLane(std::int64_t lane);
+  void RemoveLane(std::int64_t lane) ISIS_EXCLUDES(mu_);
 
   /// Enqueues `task` on `lane`. `important` bypasses the capacity bound --
   /// used for promoted retries and session teardown, which must not be shed.
   SubmitResult Submit(std::int64_t lane, TaskMode mode,
-                      std::function<void()> task, bool important = false);
+                      std::function<void()> task, bool important = false)
+      ISIS_EXCLUDES(mu_);
 
   /// Closes submission, runs every queued task, joins the workers.
   /// Idempotent.
-  void Shutdown();
+  void Shutdown() ISIS_EXCLUDES(mu_);
 
   /// The RW lock workers take around tasks. Exposed so the server can run
   /// inline work (recovery, checkpointing) under the same discipline.
@@ -120,18 +105,28 @@ class Executor {
     bool removed = false;
   };
 
-  void WorkerLoop();
+  void WorkerLoop() ISIS_EXCLUDES(mu_);
+  /// Runs `task.fn` under db_lock_ in the task's declared mode, recording
+  /// the acquisition wait. One scoped hold per mode keeps the analysis's
+  /// lock state balanced on every path.
+  void RunTask(Task& task) ISIS_EXCLUDES(mu_, db_lock_);
+  void RecordLockWait(bool exclusive,
+                      std::chrono::steady_clock::time_point t0);
 
   const Options options_;
   ServerStats* const stats_;
   RwMutex db_lock_;
 
-  std::mutex mu_;
-  std::condition_variable work_cv_;
-  std::unordered_map<std::int64_t, std::shared_ptr<Lane>> lanes_;
-  std::deque<std::int64_t> ready_;  ///< Lanes with queued, not-running work.
-  bool closed_ = false;
-  int in_flight_ = 0;
+  Mutex mu_;
+  CondVar work_cv_;
+  std::unordered_map<std::int64_t, std::shared_ptr<Lane>> lanes_
+      ISIS_GUARDED_BY(mu_);
+  /// Lanes with queued, not-running work.
+  std::deque<std::int64_t> ready_ ISIS_GUARDED_BY(mu_);
+  bool closed_ ISIS_GUARDED_BY(mu_) = false;
+  int in_flight_ ISIS_GUARDED_BY(mu_) = 0;
+  /// Written by the constructor before any worker exists, joined by
+  /// Shutdown() after submission closes; never touched concurrently.
   std::vector<std::thread> workers_;
 };
 

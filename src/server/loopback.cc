@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "common/strings.h"
+#include "common/sync.h"
 
 namespace isis::server {
 
@@ -41,18 +42,18 @@ void LoopbackClient::Send(MsgType type, const std::string& payload,
 }
 
 Result<Frame> LoopbackClient::Call(MsgType type, const std::string& payload) {
-  std::mutex mu;
-  std::condition_variable cv;
+  Mutex mu;
+  CondVar cv;
   bool ready = false;
   Frame result;
   Send(type, payload, [&](const Frame& resp) {
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(mu);
     result = resp;
     ready = true;
-    cv.notify_one();
+    cv.NotifyOne();
   });
-  std::unique_lock<std::mutex> lock(mu);
-  cv.wait(lock, [&] { return ready; });
+  MutexLock lock(mu);
+  cv.Wait(lock, [&] { return ready; });
   return result;
 }
 

@@ -12,10 +12,8 @@
 #ifndef ISIS_SERVER_LOOPBACK_H_
 #define ISIS_SERVER_LOOPBACK_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <string>
 
 #include "common/result.h"

@@ -100,7 +100,7 @@ void TcpServer::Wake() {
 void TcpServer::QueueResponse(const std::shared_ptr<Conn>& conn,
                               const Frame& resp) {
   {
-    std::lock_guard<std::mutex> lock(conn->out_mu);
+    MutexLock lock(conn->out_mu);
     // The hello response carries the session id this connection will tag
     // all later requests with.
     if (conn->hello_pending && resp.seq == conn->hello_seq) {
@@ -130,12 +130,12 @@ void TcpServer::HandleReadable(const std::shared_ptr<Conn>& conn) {
       continue;
     }
     if (n == 0) {
-      conn->broken = true;  // Peer closed.
+      conn->MarkBroken();  // Peer closed.
       return;
     }
     if (errno == EAGAIN || errno == EWOULDBLOCK) break;
     if (errno == EINTR) continue;
-    conn->broken = true;
+    conn->MarkBroken();
     return;
   }
   for (;;) {
@@ -144,12 +144,12 @@ void TcpServer::HandleReadable(const std::shared_ptr<Conn>& conn) {
     DecodeResult r = conn->reader.Next(&req, &error);
     if (r == DecodeResult::kNeedMore) break;
     if (r == DecodeResult::kError) {
-      conn->broken = true;  // No resync point inside a corrupt stream.
+      conn->MarkBroken();  // No resync point inside a corrupt stream.
       return;
     }
     std::int64_t sid;
     {
-      std::lock_guard<std::mutex> lock(conn->out_mu);
+      MutexLock lock(conn->out_mu);
       sid = conn->session_id;
       if (req.type == MsgType::kHello) {
         conn->hello_seq = req.seq;
@@ -164,7 +164,7 @@ void TcpServer::HandleReadable(const std::shared_ptr<Conn>& conn) {
 }
 
 void TcpServer::FlushWrites(const std::shared_ptr<Conn>& conn) {
-  std::lock_guard<std::mutex> lock(conn->out_mu);
+  MutexLock lock(conn->out_mu);
   while (!conn->out.empty()) {
     ssize_t n = write(conn->fd, conn->out.data(), conn->out.size());
     if (n > 0) {
@@ -186,7 +186,7 @@ void TcpServer::Run() {
     for (const std::shared_ptr<Conn>& c : conns_) {
       short events = POLLIN;
       {
-        std::lock_guard<std::mutex> lock(c->out_mu);
+        MutexLock lock(c->out_mu);
         if (!c->out.empty()) events |= POLLOUT;
       }
       fds.push_back({c->fd, events, 0});
@@ -217,18 +217,17 @@ void TcpServer::Run() {
     for (std::size_t i = 0; i < conns_.size(); ++i) {
       pollfd& p = fds[2 + i];
       const std::shared_ptr<Conn>& c = conns_[i];
-      if (p.revents & (POLLERR | POLLHUP)) c->broken = true;
-      if (!c->broken && (p.revents & POLLIN)) HandleReadable(c);
-      if (!c->broken && (p.revents & POLLOUT)) FlushWrites(c);
+      if (p.revents & (POLLERR | POLLHUP)) c->MarkBroken();
+      if (!c->IsBroken() && (p.revents & POLLIN)) HandleReadable(c);
+      if (!c->IsBroken() && (p.revents & POLLOUT)) FlushWrites(c);
     }
     // Reap broken connections (late worker responses hit a closed fd's
     // buffer harmlessly: the Conn outlives the fd via shared_ptr).
     std::vector<std::shared_ptr<Conn>> alive;
     for (const std::shared_ptr<Conn>& c : conns_) {
-      if (c->broken) {
+      if (c->IsBroken()) {
         close(c->fd);
-        std::lock_guard<std::mutex> lock(c->out_mu);
-        c->fd = -1;
+        c->fd = -1;  // I/O-thread-only field; workers only touch `out`.
       } else {
         alive.push_back(c);
       }

@@ -20,12 +20,12 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common/result.h"
+#include "common/sync.h"
 #include "server/proto.h"
 #include "server/session.h"
 
@@ -51,15 +51,30 @@ class TcpServer {
   int port() const { return port_; }
 
  private:
+  /// One client socket. `fd` and `reader` are touched only by the I/O
+  /// thread; everything a worker thread can reach through QueueResponse --
+  /// the output buffer, the hello handshake state and the broken flag -- is
+  /// guarded by out_mu.
   struct Conn {
-    int fd = -1;
-    std::int64_t session_id = -1;
-    FrameReader reader;
-    std::mutex out_mu;
-    std::string out;          ///< Encoded responses awaiting write.
-    bool broken = false;      ///< Decode error or peer gone; reap.
-    std::uint32_t hello_seq = 0;
-    bool hello_pending = false;
+    int fd = -1;                ///< I/O thread only (workers never write it).
+    FrameReader reader;         ///< I/O thread only.
+    Mutex out_mu;
+    std::int64_t session_id ISIS_GUARDED_BY(out_mu) = -1;
+    /// Encoded responses awaiting write.
+    std::string out ISIS_GUARDED_BY(out_mu);
+    /// Decode error or peer gone; reap.
+    bool broken ISIS_GUARDED_BY(out_mu) = false;
+    std::uint32_t hello_seq ISIS_GUARDED_BY(out_mu) = 0;
+    bool hello_pending ISIS_GUARDED_BY(out_mu) = false;
+
+    void MarkBroken() ISIS_EXCLUDES(out_mu) {
+      MutexLock lock(out_mu);
+      broken = true;
+    }
+    bool IsBroken() ISIS_EXCLUDES(out_mu) {
+      MutexLock lock(out_mu);
+      return broken;
+    }
   };
 
   void Run();

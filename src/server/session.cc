@@ -32,27 +32,27 @@ bool IsUnavailableResponse(const Frame& resp) {
 // --- Session. ---
 
 void Session::Subscribe(const std::string& cls) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   subs_.insert(cls);
 }
 
 void Session::Unsubscribe(const std::string& cls) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   subs_.erase(cls);
 }
 
 bool Session::SubscribedTo(const std::string& cls) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return subs_.count("*") > 0 || subs_.count(cls) > 0;
 }
 
 void Session::PushNotification(const std::string& line) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   pending_.push_back(line);
 }
 
 std::vector<std::string> Session::DrainNotifications() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<std::string> out;
   out.swap(pending_);
   return out;
@@ -198,7 +198,7 @@ Status Server::ReplayRecord(
 
 std::string Server::Shutdown() {
   {
-    std::lock_guard<std::mutex> lock(sessions_mu_);
+    MutexLock lock(sessions_mu_);
     if (shut_down_) return stats_.ToJsonLine();
     shut_down_ = true;
   }
@@ -226,12 +226,12 @@ std::string Server::Shutdown() {
 }
 
 int Server::session_count() const {
-  std::lock_guard<std::mutex> lock(sessions_mu_);
+  MutexLock lock(sessions_mu_);
   return static_cast<int>(sessions_.size());
 }
 
 std::shared_ptr<Session> Server::FindSession(std::int64_t id) const {
-  std::lock_guard<std::mutex> lock(sessions_mu_);
+  MutexLock lock(sessions_mu_);
   auto it = sessions_.find(id);
   return it == sessions_.end() ? nullptr : it->second;
 }
@@ -256,7 +256,7 @@ void Server::HandleFrame(std::int64_t session_id, const Frame& request,
   if (request.type == MsgType::kHello) {
     std::int64_t id;
     {
-      std::lock_guard<std::mutex> lock(sessions_mu_);
+      MutexLock lock(sessions_mu_);
       if (shut_down_) {
         Frame resp = ErrorFrame(
             request, Status::Unavailable("server is shutting down"));
@@ -271,7 +271,7 @@ void Server::HandleFrame(std::int64_t session_id, const Frame& request,
         [this, id, request, done, t0]() mutable {
           auto s = std::make_shared<Session>(id, ws_.get(), live_.get());
           {
-            std::lock_guard<std::mutex> lock(sessions_mu_);
+            MutexLock lock(sessions_mu_);
             sessions_[id] = s;
           }
           Frame resp;
@@ -400,7 +400,7 @@ void Server::HandleFrame(std::int64_t session_id, const Frame& request,
         }
         case MsgType::kBye: {
           {
-            std::lock_guard<std::mutex> lock(sessions_mu_);
+            MutexLock lock(sessions_mu_);
             sessions_.erase(s->id());
           }
           executor_->RemoveLane(s->id());  // Drains, then the lane dies.
@@ -520,8 +520,12 @@ Frame Server::DoEvent(std::shared_ptr<Session> s, const Frame& req) {
   // single-user interface; the response is still the rendered screen.
   Status st = s->ctrl().HandleEvent(*ev);
   if (st.ok() && wal_ != nullptr) {
-    wal_->Append("sevent",
-                 std::to_string(s->id()) + "|" + req.payload);
+    // Best-effort by design: a lost append surfaces at recovery (the base
+    // checkpoint replays without this event), and failing the request here
+    // would desync the client from a mutation that already happened.
+    LogIfError(wal_->Append("sevent",
+                            std::to_string(s->id()) + "|" + req.payload),
+               "server WAL append (sevent)");
   }
   const ui::Screen& screen = s->ctrl().Render();
   Frame resp;
@@ -566,7 +570,11 @@ Status Server::ApplyAssign(const std::vector<std::string>& fields) {
 Frame Server::DoAssign(const Frame& req) {
   Status st = ApplyAssign(SplitFields(req.payload));
   if (!st.ok()) return ErrorFrame(req, st);
-  if (wal_ != nullptr) wal_->Append("assign", req.payload);
+  if (wal_ != nullptr) {
+    // Best-effort, as the sevent append in DoEvent.
+    LogIfError(wal_->Append("assign", req.payload),
+               "server WAL append (assign)");
+  }
   if (live_ == nullptr) {
     // No live engine: stored derived views go stale on mutation, so bring
     // them up to date before anyone reads (same rule as RefreshDerived).
@@ -584,7 +592,7 @@ void Server::FanOutDeltas() {
   if (changes.empty()) return;
   std::vector<std::shared_ptr<Session>> targets;
   {
-    std::lock_guard<std::mutex> lock(sessions_mu_);
+    MutexLock lock(sessions_mu_);
     for (const auto& [id, s] : sessions_) targets.push_back(s);
   }
   for (const DeltaCollector::Change& c : changes) {

@@ -48,12 +48,12 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <set>
 #include <string>
 #include <vector>
 
 #include "common/result.h"
+#include "common/sync.h"
 #include "live/engine.h"
 #include "query/workspace.h"
 #include "server/executor.h"
@@ -100,9 +100,11 @@ class Session {
  private:
   const std::int64_t id_;
   ui::SessionController ctrl_;
-  mutable std::mutex mu_;
-  std::set<std::string> subs_;            ///< Class names, or "*".
-  std::vector<std::string> pending_;      ///< Undelivered kNotify payloads.
+  mutable Mutex mu_;
+  /// Class names, or "*".
+  std::set<std::string> subs_ ISIS_GUARDED_BY(mu_);
+  /// Undelivered kNotify payloads.
+  std::vector<std::string> pending_ ISIS_GUARDED_BY(mu_);
 };
 
 /// \brief The server. Owns the shared workspace, executor, WAL and stats.
@@ -196,10 +198,11 @@ class Server {
   std::unique_ptr<Executor> executor_;
   std::unique_ptr<store::WalWriter> wal_;  ///< Null when not durable.
 
-  mutable std::mutex sessions_mu_;
-  std::map<std::int64_t, std::shared_ptr<Session>> sessions_;
-  std::int64_t next_session_id_ = 1;
-  bool shut_down_ = false;
+  mutable Mutex sessions_mu_;
+  std::map<std::int64_t, std::shared_ptr<Session>> sessions_
+      ISIS_GUARDED_BY(sessions_mu_);
+  std::int64_t next_session_id_ ISIS_GUARDED_BY(sessions_mu_) = 1;
+  bool shut_down_ ISIS_GUARDED_BY(sessions_mu_) = false;
 };
 
 }  // namespace isis::server

@@ -19,8 +19,9 @@
 #include <algorithm>
 #include <array>
 #include <cstdint>
-#include <mutex>
 #include <string>
+
+#include "common/sync.h"
 
 namespace isis::server {
 
@@ -51,7 +52,7 @@ class ServerStats {
   /// Records one completed request of wire type `type` (< 32) that took
   /// `latency_us` microseconds end to end (enqueue to response).
   void RecordRequest(int type, std::int64_t latency_us, bool error) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     ++requests_;
     if (error) ++errors_;
     if (type >= 0 && type < static_cast<int>(by_type_.size())) {
@@ -62,14 +63,14 @@ class ServerStats {
   }
 
   void RecordShed() {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     ++sheds_;
   }
 
   /// `exclusive` says which lock the task ran under; `lock_wait_us` is how
   /// long the worker blocked acquiring it.
   void RecordDispatch(bool exclusive, std::int64_t lock_wait_us) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (exclusive) {
       ++writes_;
       write_lock_wait_us_ += lock_wait_us;
@@ -80,25 +81,25 @@ class ServerStats {
   }
 
   void RecordPromotion() {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     ++promotions_;
   }
 
   void RecordNotification() {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     ++notifications_;
   }
 
   /// Tracks the global queued-task count; delta is +1 on enqueue, -1 on
   /// dequeue.
   void AdjustQueueDepth(int delta) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     queue_depth_ += delta;
     queue_peak_ = std::max(queue_peak_, queue_depth_);
   }
 
   StatsSnapshot Snapshot() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     StatsSnapshot s;
     s.requests = requests_;
     s.errors = errors_;
@@ -134,24 +135,24 @@ class ServerStats {
   }
 
   /// Latency percentile by interpolating within the log2 bucket that holds
-  /// the q-th sample. Requires mu_ held.
-  double PercentileLocked(double q) const;
+  /// the q-th sample.
+  double PercentileLocked(double q) const ISIS_REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  std::int64_t requests_ = 0;
-  std::int64_t errors_ = 0;
-  std::int64_t sheds_ = 0;
-  std::int64_t reads_ = 0;
-  std::int64_t writes_ = 0;
-  std::int64_t promotions_ = 0;
-  std::int64_t notifications_ = 0;
-  std::int64_t queue_depth_ = 0;
-  std::int64_t queue_peak_ = 0;
-  std::int64_t read_lock_wait_us_ = 0;
-  std::int64_t write_lock_wait_us_ = 0;
-  std::int64_t max_us_ = 0;
-  std::array<std::int64_t, 32> by_type_{};
-  std::array<std::int64_t, kBuckets> latency_buckets_{};
+  mutable Mutex mu_;
+  std::int64_t requests_ ISIS_GUARDED_BY(mu_) = 0;
+  std::int64_t errors_ ISIS_GUARDED_BY(mu_) = 0;
+  std::int64_t sheds_ ISIS_GUARDED_BY(mu_) = 0;
+  std::int64_t reads_ ISIS_GUARDED_BY(mu_) = 0;
+  std::int64_t writes_ ISIS_GUARDED_BY(mu_) = 0;
+  std::int64_t promotions_ ISIS_GUARDED_BY(mu_) = 0;
+  std::int64_t notifications_ ISIS_GUARDED_BY(mu_) = 0;
+  std::int64_t queue_depth_ ISIS_GUARDED_BY(mu_) = 0;
+  std::int64_t queue_peak_ ISIS_GUARDED_BY(mu_) = 0;
+  std::int64_t read_lock_wait_us_ ISIS_GUARDED_BY(mu_) = 0;
+  std::int64_t write_lock_wait_us_ ISIS_GUARDED_BY(mu_) = 0;
+  std::int64_t max_us_ ISIS_GUARDED_BY(mu_) = 0;
+  std::array<std::int64_t, 32> by_type_ ISIS_GUARDED_BY(mu_){};
+  std::array<std::int64_t, kBuckets> latency_buckets_ ISIS_GUARDED_BY(mu_){};
 };
 
 }  // namespace isis::server

@@ -151,7 +151,10 @@ void SessionController::WalAppendEvent(const Event& event) {
 void SessionController::WalAppendNote(const std::string& action,
                                       const std::string& detail) {
   if (wal_ == nullptr || wal_replaying_) return;
-  (void)wal_->Append("note", Escape(action) + "|" + Escape(detail));
+  // Best-effort by design: notes are commentary, not replayed state -- a
+  // lost one costs journal context, never data. Logged, not propagated.
+  LogIfError(wal_->Append("note", Escape(action) + "|" + Escape(detail)),
+             "session WAL append (note)");
 }
 
 void SessionController::RotateWalForLoad() {

@@ -1,0 +1,19 @@
+// Negative-compile case: dropping a [[nodiscard]] Status on the floor.
+// Under -Werror=unused-result (GCC and Clang both) this must NOT compile;
+// callers either propagate, test ok(), or route through LogIfError().
+
+#include "common/status.h"
+
+namespace {
+
+isis::Status MightFail(int x) {
+  if (x < 0) return isis::Status::InvalidArgument("negative");
+  return isis::Status::OK();
+}
+
+}  // namespace
+
+int main() {
+  MightFail(42);  // BAD: result ignored.
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Positive control for the negative-compile harness: the same shapes as
+// the failing cases, written correctly. This target MUST build under the
+// exact flags that reject its siblings -- if it ever fails, the harness
+// (not the discipline) is broken.
+
+#include "common/status.h"
+#include "common/sync.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Increment() ISIS_EXCLUDES(mu_) {
+    isis::MutexLock lock(mu_);
+    ++count_;
+  }
+
+  int Get() ISIS_EXCLUDES(mu_) {
+    isis::MutexLock lock(mu_);
+    return count_;
+  }
+
+ private:
+  isis::Mutex mu_;
+  int count_ ISIS_GUARDED_BY(mu_) = 0;
+};
+
+class Cache {
+ public:
+  void Refresh() ISIS_EXCLUDES(mu_) {
+    isis::MutexLock lock(mu_);
+    RebuildLocked();
+  }
+
+ private:
+  void RebuildLocked() ISIS_REQUIRES(mu_) { generation_ = generation_ + 1; }
+
+  isis::Mutex mu_;
+  int generation_ ISIS_GUARDED_BY(mu_) = 0;
+};
+
+isis::Status MightFail(int x) {
+  if (x < 0) return isis::Status::InvalidArgument("negative");
+  return isis::Status::OK();
+}
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.Increment();
+  Cache cache;
+  cache.Refresh();
+  isis::Status st = MightFail(42);
+  if (!st.ok()) return 1;
+  isis::LogIfError(MightFail(-1), "positive control");
+  return c.Get() == 1 ? 0 : 1;
+}

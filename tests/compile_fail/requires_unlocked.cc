@@ -1,0 +1,28 @@
+// Negative-compile case: calling an ISIS_REQUIRES(mu_) function without
+// holding mu_. Under clang -Werror=thread-safety this must NOT compile
+// ("calling function 'RebuildLocked' requires holding mutex 'mu_'").
+
+#include "common/sync.h"
+
+namespace {
+
+class Cache {
+ public:
+  void Refresh() {
+    RebuildLocked();  // BAD: mu_ not held.
+  }
+
+ private:
+  void RebuildLocked() ISIS_REQUIRES(mu_) { generation_ = generation_ + 1; }
+
+  isis::Mutex mu_;
+  int generation_ ISIS_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Cache c;
+  c.Refresh();
+  return 0;
+}

@@ -1,0 +1,26 @@
+// Negative-compile case: writing an ISIS_GUARDED_BY field without holding
+// its mutex. Under clang -Werror=thread-safety this must NOT compile
+// ("writing variable 'count_' requires holding mutex 'mu_' exclusively").
+
+#include "common/sync.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Increment() {
+    ++count_;  // BAD: mu_ not held.
+  }
+
+ private:
+  isis::Mutex mu_;
+  int count_ ISIS_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.Increment();
+  return 0;
+}

@@ -112,7 +112,9 @@ TEST(ConsistencyTest, MutationsPreserveConsistencyUnderStress) {
   std::vector<EntityId> members(db.Members(h.baseclasses[0]).begin(),
                                 db.Members(h.baseclasses[0]).end());
   for (EntityId e : members) {
-    if (++i % 3 == 0) ASSERT_TRUE(ws->DeleteEntity(e).ok());
+    if (++i % 3 == 0) {
+      ASSERT_TRUE(ws->DeleteEntity(e).ok());
+    }
   }
   for (int k = 0; k < 10; ++k) {
     ASSERT_TRUE(

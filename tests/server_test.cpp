@@ -10,12 +10,11 @@
 
 #include <algorithm>
 #include <atomic>
-#include <condition_variable>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/sync.h"
 #include "datasets/instrumental_music.h"
 #include "datasets/scaled_music.h"
 #include "query/eval.h"
@@ -150,9 +149,12 @@ std::unique_ptr<Server> OpenScaled(int threads, int queue_capacity = 64,
 std::string OraclePayload(const query::Workspace& ws, const std::string& cls,
                           const std::string& predicate) {
   const sdm::Database& db = ws.db();
-  ClassId c = db.schema().FindClass(cls).ValueOrDie();
-  query::Predicate pred =
-      query::ParsePredicate(db, c, predicate).ValueOrDie();
+  Result<ClassId> cr = db.schema().FindClass(cls);
+  EXPECT_TRUE(cr.ok());
+  ClassId c = cr.ValueOrDie();
+  Result<query::Predicate> pr = query::ParsePredicate(db, c, predicate);
+  EXPECT_TRUE(pr.ok());
+  query::Predicate pred = std::move(pr).ValueOrDie();
   query::Evaluator ev(db);
   sdm::EntitySet result = ev.EvaluateSubclass(pred, c);
   std::vector<std::string> fields;
@@ -291,13 +293,13 @@ TEST(ServerTest, ReadersSeeMonotoneCountsUnderOneWriter) {
   std::unique_ptr<query::Workspace> oracle = datasets::BuildScaledMusic(2);
   datasets::ScaledMusicHandles h = datasets::ResolveScaledMusic(*oracle);
   sdm::Database& odb = oracle->db();
-  EntityId inst0 =
-      odb.FindMember(h.instruments, "inst0").ValueOrDie();
+  Result<EntityId> inst0 = odb.FindMember(h.instruments, "inst0");
+  ASSERT_TRUE(inst0.ok());
   for (int i = 0; i < kWrites; ++i) {
-    EntityId m =
-        odb.FindMember(h.musicians, "musician" + std::to_string(i))
-            .ValueOrDie();
-    ASSERT_TRUE(odb.SetMulti(m, h.plays, {inst0}).ok());
+    Result<EntityId> m =
+        odb.FindMember(h.musicians, "musician" + std::to_string(i));
+    ASSERT_TRUE(m.ok());
+    ASSERT_TRUE(odb.SetMulti(*m, h.plays, {*inst0}).ok());
   }
   Result<Frame> final_resp = writer.Call(
       MsgType::kQuery, JoinFields({"musicians", predicate}));
@@ -334,8 +336,8 @@ TEST(ServerTest, ShedsWhenASessionQueueOverflows) {
   ASSERT_TRUE(client.Connect("flood").ok());
 
   constexpr int kBurst = 40;
-  std::mutex mu;
-  std::condition_variable cv;
+  isis::Mutex mu;
+  isis::CondVar cv;
   int responded = 0;
   int retries = 0;
   int answered = 0;
@@ -345,7 +347,7 @@ TEST(ServerTest, ShedsWhenASessionQueueOverflows) {
                                JoinFields({"musicians",
                                            "e.plays ]= {inst0}"}),
                                [&](const Frame& resp) {
-                                 std::lock_guard<std::mutex> lock(mu);
+                                 isis::MutexLock lock(mu);
                                  ++responded;
                                  if (resp.type == MsgType::kRetry) {
                                    ++retries;
@@ -353,18 +355,18 @@ TEST(ServerTest, ShedsWhenASessionQueueOverflows) {
                                             MsgType::kQueryResult) {
                                    ++answered;
                                  }
-                                 cv.notify_one();
+                                 cv.NotifyOne();
                                })
                     .ok());
   }
-  std::unique_lock<std::mutex> lock(mu);
-  cv.wait(lock, [&] { return responded == kBurst; });
+  isis::MutexLock lock(mu);
+  cv.Wait(lock, [&] { return responded == kBurst; });
   EXPECT_EQ(retries + answered, kBurst);
   EXPECT_GT(retries, 0) << "queue of 2 never overflowed under a burst of "
                         << kBurst;
   EXPECT_GT(answered, 0);
   EXPECT_GE(srv->stats().Snapshot().sheds, retries);
-  lock.unlock();
+  lock.Unlock();
   srv->Shutdown();
 }
 

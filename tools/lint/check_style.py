@@ -1,0 +1,272 @@
+#!/usr/bin/env python3
+"""Project style lint for the ISIS repository.
+
+Checks, per file:
+
+  raw-sync       Raw standard-library synchronization primitives
+                 (std::mutex, std::condition_variable, lock_guard, ...)
+                 anywhere outside src/common/sync.h. Everything else must
+                 go through the annotated wrappers so the Clang
+                 thread-safety analysis sees every acquisition.
+  value-or-die   .ValueOrDie() with no visible ok()/status() check nearby.
+                 ValueOrDie aborts on error; call sites must either test
+                 the Result first or route through a checked helper.
+  include-path   Quoted includes that escape the source tree ("../..." or
+                 absolute paths). All project includes are repo-relative
+                 ("server/session.h"), matching the -I layout in CMake.
+  header-guard   Headers must use the canonical guard
+                 ISIS_<PATH>_<FILE>_H_ (e.g. src/server/net.h ->
+                 ISIS_SERVER_NET_H_) in a matching #ifndef/#define pair.
+
+A line may carry `// lint: allow(<check>)` to suppress one finding where
+the deviation is deliberate; suppressions are expected to be rare and to
+justify themselves in an adjacent comment.
+
+Usage: tools/lint/check_style.py [--root DIR] [files...]
+With no files, lints every .h/.cc/.cpp under src/, tests/, bench/ and
+examples/. Exits 1 if any finding is reported.
+"""
+
+import argparse
+import os
+import re
+import sys
+
+# --- raw-sync -----------------------------------------------------------
+
+# The one place raw primitives are allowed: the wrappers themselves.
+SYNC_ALLOWED = {
+    os.path.join("src", "common", "sync.h"),
+    os.path.join("src", "common", "sync.cc"),
+}
+
+RAW_SYNC_TOKENS = [
+    r"std::mutex\b",
+    r"std::timed_mutex\b",
+    r"std::recursive_mutex\b",
+    r"std::shared_mutex\b",
+    r"std::shared_timed_mutex\b",
+    r"std::condition_variable\b",
+    r"std::condition_variable_any\b",
+    r"std::lock_guard\b",
+    r"std::unique_lock\b",
+    r"std::scoped_lock\b",
+    r"std::shared_lock\b",
+    r"#\s*include\s*<mutex>",
+    r"#\s*include\s*<shared_mutex>",
+    r"#\s*include\s*<condition_variable>",
+]
+RAW_SYNC_RE = re.compile("|".join(RAW_SYNC_TOKENS))
+
+# --- value-or-die -------------------------------------------------------
+
+VALUE_OR_DIE_RE = re.compile(r"\.ValueOrDie\(\)")
+# Evidence that the Result was checked: an ok() test, a status propagation
+# macro, or a checked-helper / test-assertion wrapper on a nearby line.
+VALUE_OR_DIE_GUARDS = re.compile(
+    r"\.ok\(\)|ISIS_RETURN_NOT_OK|ISIS_ASSIGN_OR_RETURN|\.status\(\)"
+    r"|ASSERT_|EXPECT_|Must\(|MustGet\(|ABSL_|CHECK"
+)
+VALUE_OR_DIE_WINDOW = 8  # lines of context searched above the call
+# result.h defines ValueOrDie and its operator* forwarding; the dataset
+# builders define the checked MustGet helper the rule points callers at.
+VALUE_OR_DIE_EXEMPT = {os.path.join("src", "common", "result.h")}
+
+# --- include-path -------------------------------------------------------
+
+INCLUDE_RE = re.compile(r'#\s*include\s*"([^"]+)"')
+
+# --- header-guard -------------------------------------------------------
+
+IFNDEF_RE = re.compile(r"#\s*ifndef\s+(\S+)")
+DEFINE_RE = re.compile(r"#\s*define\s+(\S+)")
+
+SUPPRESS_RE = re.compile(r"//\s*lint:\s*allow\((?P<check>[a-z-]+)\)")
+
+LINT_DIRS = ["src", "tests", "bench", "examples"]
+EXTENSIONS = {".h", ".cc", ".cpp"}
+
+
+def expected_guard(relpath):
+    """src/server/net.h -> ISIS_SERVER_NET_H_ (tests/foo.h -> ISIS_TESTS_...)."""
+    parts = relpath.split(os.sep)
+    if parts[0] == "src":
+        parts = parts[1:]
+    stem = "_".join(parts)
+    stem = re.sub(r"\.h$", "", stem)
+    stem = re.sub(r"[^A-Za-z0-9]", "_", stem)
+    return "ISIS_" + stem.upper() + "_H_"
+
+
+def strip_comments_keep_lines(text):
+    """Blanks out /* */ and // bodies so banned tokens in prose don't trip
+    the lint, preserving line numbers. String literals are left alone:
+    the banned tokens never legitimately appear in project strings."""
+    out = []
+    in_block = False
+    for line in text.split("\n"):
+        if in_block:
+            end = line.find("*/")
+            if end < 0:
+                out.append("")
+                continue
+            line = " " * (end + 2) + line[end + 2:]
+            in_block = False
+        # // comments: keep any lint-suppression marker visible.
+        m = re.search(r"//", line)
+        suppress = SUPPRESS_RE.search(line)
+        if m:
+            line = line[: m.start()]
+            if suppress:
+                line += suppress.group(0)
+        start = line.find("/*")
+        while start >= 0:
+            end = line.find("*/", start + 2)
+            if end < 0:
+                line = line[:start]
+                in_block = True
+                break
+            line = line[:start] + " " * (end + 2 - start) + line[end + 2:]
+            start = line.find("/*")
+        out.append(line)
+    return out
+
+
+class Linter:
+    def __init__(self, root):
+        self.root = root
+        self.findings = []
+
+    def report(self, relpath, lineno, check, message, line):
+        if SUPPRESS_RE.search(line) and SUPPRESS_RE.search(line).group(
+            "check"
+        ) == check:
+            return
+        self.findings.append((relpath, lineno, check, message))
+
+    def lint_file(self, relpath):
+        path = os.path.join(self.root, relpath)
+        try:
+            with open(path, encoding="utf-8") as f:
+                text = f.read()
+        except (OSError, UnicodeDecodeError) as e:
+            self.findings.append((relpath, 0, "io", str(e)))
+            return
+        lines = strip_comments_keep_lines(text)
+        self.check_raw_sync(relpath, lines)
+        self.check_value_or_die(relpath, lines)
+        self.check_includes(relpath, lines)
+        if relpath.endswith(".h"):
+            self.check_header_guard(relpath, lines)
+
+    def check_raw_sync(self, relpath, lines):
+        if relpath in SYNC_ALLOWED:
+            return
+        for i, line in enumerate(lines, 1):
+            m = RAW_SYNC_RE.search(line)
+            if m:
+                self.report(
+                    relpath, i, "raw-sync",
+                    f"raw synchronization primitive '{m.group(0)}' -- use "
+                    "the annotated wrappers in common/sync.h",
+                    line)
+
+    def check_value_or_die(self, relpath, lines):
+        if relpath in VALUE_OR_DIE_EXEMPT:
+            return
+        for i, line in enumerate(lines, 1):
+            if not VALUE_OR_DIE_RE.search(line):
+                continue
+            lo = max(0, i - 1 - VALUE_OR_DIE_WINDOW)
+            window = lines[lo:i]
+            if any(VALUE_OR_DIE_GUARDS.search(w) for w in window):
+                continue
+            self.report(
+                relpath, i, "value-or-die",
+                "ValueOrDie() with no ok()/status() check in the preceding "
+                f"{VALUE_OR_DIE_WINDOW} lines -- test the Result or use a "
+                "checked helper",
+                line)
+
+    def check_includes(self, relpath, lines):
+        for i, line in enumerate(lines, 1):
+            m = INCLUDE_RE.search(line)
+            if not m:
+                continue
+            target = m.group(1)
+            if target.startswith("/") or ".." in target.split("/"):
+                self.report(
+                    relpath, i, "include-path",
+                    f'include path escapes the source tree: "{target}" -- '
+                    "use a repo-relative path",
+                    line)
+
+    def check_header_guard(self, relpath, lines):
+        want = expected_guard(relpath)
+        ifndef = define = None
+        ifndef_line = 0
+        for i, line in enumerate(lines, 1):
+            if ifndef is None:
+                m = IFNDEF_RE.search(line)
+                if m:
+                    ifndef, ifndef_line = m.group(1), i
+                continue
+            m = DEFINE_RE.search(line)
+            if m:
+                define = m.group(1)
+            break
+        if ifndef is None or define != ifndef:
+            self.report(
+                relpath, ifndef_line or 1, "header-guard",
+                f"missing or mismatched #ifndef/#define guard (want {want})",
+                lines[ifndef_line - 1] if ifndef_line else "")
+            return
+        if ifndef != want:
+            self.report(
+                relpath, ifndef_line, "header-guard",
+                f"guard is {ifndef}, want {want}",
+                lines[ifndef_line - 1])
+
+
+def collect_files(root):
+    files = []
+    for d in LINT_DIRS:
+        base = os.path.join(root, d)
+        if not os.path.isdir(base):
+            continue
+        for dirpath, dirnames, filenames in os.walk(base):
+            dirnames[:] = [n for n in dirnames if not n.startswith(".")]
+            for name in sorted(filenames):
+                if os.path.splitext(name)[1] in EXTENSIONS:
+                    files.append(
+                        os.path.relpath(os.path.join(dirpath, name), root))
+    return sorted(files)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--root", default=None,
+                    help="repository root (default: two levels up)")
+    ap.add_argument("files", nargs="*",
+                    help="specific files to lint, relative to the root")
+    args = ap.parse_args()
+    root = args.root or os.path.dirname(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+    files = args.files or collect_files(root)
+    linter = Linter(root)
+    for f in files:
+        linter.lint_file(os.path.normpath(f))
+
+    for relpath, lineno, check, message in linter.findings:
+        print(f"{relpath}:{lineno}: [{check}] {message}")
+    if linter.findings:
+        print(f"\n{len(linter.findings)} finding(s) in {len(files)} file(s).",
+              file=sys.stderr)
+        return 1
+    print(f"checked {len(files)} file(s): clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
