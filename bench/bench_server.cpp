@@ -1,18 +1,24 @@
 /// \file bench_server.cpp
 /// \brief Multi-session server throughput as the worker pool grows.
 ///
-/// K client threads each drive one session over the in-process loopback
-/// transport (full wire framing, no socket) against one shared scaled_music
-/// database, with a 95/5 query/assign mix. Writes are disjoint by session
-/// -- session s only reassigns its own slice of musicians, to fixed values
-/// -- so the final database state is interleaving-independent and the run
-/// can assert byte-identical query answers across every thread count.
+/// K client threads each drive one session through the production client
+/// stack -- RetryingClient over the in-process loopback transport (full
+/// wire framing with deadline/write_seq extensions, no socket) -- against
+/// one shared scaled_music database, with a 95/5 query/assign mix. The
+/// transport is fault-free, so this doubles as the "does the retry layer
+/// cost anything when nothing fails" benchmark; kRetry sheds under load
+/// are absorbed by the client's backoff instead of being counted as
+/// answered ops. Writes are disjoint by session -- session s only
+/// reassigns its own slice of musicians, to fixed values -- so the final
+/// database state is interleaving-independent and the run can assert
+/// byte-identical query answers across every thread count.
 ///
 /// One JSON line per worker-pool size, bench_predicates-style:
 ///
 ///   {"name":"server_throughput","threads":4,"sessions":8,"ops":3200,
 ///    "read_frac":0.95,"ops_per_sec":...,"p50_us":...,"p95_us":...,
-///    "max_us":...,"sheds":...,"promotions":...,"write_lock_wait_us":...}
+///    "max_us":...,"sheds":...,"promotions":...,"write_lock_wait_us":...,
+///    "retries":...,"retry_hints":...}
 ///
 /// plus a summary line:
 ///
@@ -34,8 +40,11 @@
 #include <thread>
 #include <vector>
 
+#include <memory>
+
 #include "datasets/scaled_music.h"
 #include "server/loopback.h"
+#include "server/retry.h"
 #include "server/session.h"
 
 namespace {
@@ -46,7 +55,11 @@ using isis::datasets::BuildScaledMusic;
 using isis::server::Frame;
 using isis::server::JoinFields;
 using isis::server::LoopbackClient;
+using isis::server::LoopbackTransport;
 using isis::server::MsgType;
+using isis::server::RetryCounters;
+using isis::server::RetryingClient;
+using isis::server::RetryOptions;
 using isis::server::Server;
 using isis::server::ServerOptions;
 using isis::server::StatsSnapshot;
@@ -67,15 +80,26 @@ const char* const kFinalQueries[][2] = {
 struct RunResult {
   double ops_per_sec = 0.0;
   StatsSnapshot stats;
+  std::int64_t retries = 0;      ///< Client-side resends, summed.
+  std::int64_t retry_hints = 0;  ///< kRetry sheds absorbed by backoff.
   std::vector<std::string> final_payloads;
 };
 
 /// One client session's script: mostly queries, every kWriteEvery-th op a
 /// write into this session's own slice of musicians (disjoint across
-/// sessions, idempotent values).
-void ClientScript(Server* srv, int session_index, char* ok) {
-  LoopbackClient client(srv);
-  if (!client.Connect("bench" + std::to_string(session_index)).ok()) {
+/// sessions, idempotent values). Driven through RetryingClient, so a
+/// kRetry shed is retried after backoff rather than dropped.
+void ClientScript(Server* srv, int session_index, char* ok,
+                  RetryCounters* counters) {
+  RetryOptions retry_options;
+  retry_options.max_attempts = 16;
+  retry_options.timeout_ms = 30000;  // Generous: sheds, not deadlines.
+  retry_options.jitter_seed = 100 + static_cast<std::uint64_t>(session_index);
+  RetryingClient client(
+      std::make_unique<LoopbackTransport>(
+          srv, "bench" + std::to_string(session_index)),
+      retry_options);
+  if (!client.Connect().ok()) {
     *ok = false;
     return;
   }
@@ -99,15 +123,13 @@ void ClientScript(Server* srv, int session_index, char* ok) {
       const char* const* q = kFinalQueries[op % 3];
       Result<Frame> resp =
           client.Call(MsgType::kQuery, JoinFields({q[0], q[1]}));
-      // kRetry is a legitimate answer under load; anything else but a
-      // result is not.
-      if (!resp.ok() || (resp->type != MsgType::kQueryResult &&
-                         resp->type != MsgType::kRetry)) {
+      if (!resp.ok() || resp->type != MsgType::kQueryResult) {
         *ok = false;
         return;
       }
     }
   }
+  *counters = client.counters();
 }
 
 RunResult RunConfig(int threads) {
@@ -120,10 +142,11 @@ RunResult RunConfig(int threads) {
 
   std::vector<std::thread> clients;
   std::vector<char> oks(kSessions, 1);
+  std::vector<RetryCounters> counters(kSessions);
   auto t0 = Clock::now();
   clients.reserve(kSessions);
   for (int s = 0; s < kSessions; ++s) {
-    clients.emplace_back(ClientScript, srv.get(), s, &oks[s]);
+    clients.emplace_back(ClientScript, srv.get(), s, &oks[s], &counters[s]);
   }
   for (std::thread& t : clients) t.join();
   const double secs =
@@ -137,6 +160,10 @@ RunResult RunConfig(int threads) {
   RunResult r;
   r.ops_per_sec = (kSessions * kOpsPerSession) / secs;
   r.stats = srv->stats().Snapshot();
+  for (const RetryCounters& c : counters) {
+    r.retries += c.retries;
+    r.retry_hints += c.retry_hints;
+  }
   LoopbackClient probe(srv.get());
   if (!probe.Connect("probe").ok()) std::abort();
   for (const auto& q : kFinalQueries) {
@@ -159,13 +186,16 @@ int main() {
         "{\"name\":\"server_throughput\",\"threads\":%d,\"sessions\":%d,"
         "\"ops\":%d,\"read_frac\":%.2f,\"ops_per_sec\":%.0f,"
         "\"p50_us\":%.1f,\"p95_us\":%.1f,\"max_us\":%lld,\"sheds\":%lld,"
-        "\"promotions\":%lld,\"write_lock_wait_us\":%lld}\n",
+        "\"promotions\":%lld,\"write_lock_wait_us\":%lld,"
+        "\"retries\":%lld,\"retry_hints\":%lld}\n",
         threads, kSessions, kSessions * kOpsPerSession,
         1.0 - 1.0 / kWriteEvery, r.ops_per_sec, r.stats.p50_us,
         r.stats.p95_us, static_cast<long long>(r.stats.max_us),
         static_cast<long long>(r.stats.sheds),
         static_cast<long long>(r.stats.promotions),
-        static_cast<long long>(r.stats.write_lock_wait_us));
+        static_cast<long long>(r.stats.write_lock_wait_us),
+        static_cast<long long>(r.retries),
+        static_cast<long long>(r.retry_hints));
     results.push_back(std::move(r));
   }
 

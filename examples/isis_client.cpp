@@ -3,6 +3,14 @@
 /// terminal.
 ///
 /// Run: ./isis_client [--host 127.0.0.1] [--port 7459]
+///                    [--timeout_ms N] [--retries N]
+///
+/// Fault tolerance: every request carries a --timeout_ms deadline and is
+/// retried up to --retries times with jittered backoff (server/retry.h);
+/// a dropped connection reconnects and resumes the same session, so the
+/// view, subscriptions and worksheet survive a server-side reap or a
+/// flaky link. Transient errors are printed, never fatal -- the prompt
+/// just comes back.
 ///
 /// Commands (one per line):
 ///   query <class> <predicate>     e.g. query musicians e.plays ]= {flute}
@@ -17,10 +25,12 @@
 
 #include <cstdio>
 #include <iostream>
+#include <memory>
 #include <string>
 
 #include "common/strings.h"
 #include "server/net.h"
+#include "server/retry.h"
 
 using namespace isis;  // NOLINT — example brevity
 
@@ -80,20 +90,34 @@ void PrintResponse(const server::Frame& resp) {
 int main(int argc, char** argv) {
   std::string host = "127.0.0.1";
   int port = 7459;
+  int timeout_ms = 5000;
+  int retries = 5;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--host" && i + 1 < argc) {
       host = argv[++i];
     } else if (arg == "--port" && i + 1 < argc) {
       port = std::stoi(argv[++i]);
+    } else if (arg == "--timeout_ms" && i + 1 < argc) {
+      timeout_ms = std::stoi(argv[++i]);
+    } else if (arg == "--retries" && i + 1 < argc) {
+      retries = std::stoi(argv[++i]);
     } else {
-      std::fprintf(stderr, "usage: %s [--host H] [--port N]\n", argv[0]);
+      std::fprintf(stderr,
+                   "usage: %s [--host H] [--port N] [--timeout_ms N] "
+                   "[--retries N]\n",
+                   argv[0]);
       return 1;
     }
   }
 
-  server::TcpClient client;
-  Status st = client.Connect(host, port, "isis_client");
+  server::RetryOptions retry_options;
+  retry_options.max_attempts = retries;
+  retry_options.timeout_ms = timeout_ms;
+  server::RetryingClient client(
+      std::make_unique<server::TcpClient>(host, port, "isis_client"),
+      retry_options);
+  Status st = client.Connect();
   if (!st.ok()) {
     std::fprintf(stderr, "cannot connect to %s:%d: %s\n", host.c_str(), port,
                  st.ToString().c_str());
@@ -157,11 +181,13 @@ int main(int argc, char** argv) {
       resp = client.Call(MsgType::kEvent, trimmed);
     }
     if (!resp.ok()) {
+      // Retries are exhausted or the server is gone for good; either way
+      // the session survives locally -- report and keep the prompt.
       std::fprintf(stderr, "transport error: %s\n",
                    resp.status().ToString().c_str());
-      return 1;
+    } else {
+      PrintResponse(*resp);
     }
-    PrintResponse(*resp);
     std::printf("> ");
     std::fflush(stdout);
   }

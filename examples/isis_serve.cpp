@@ -10,12 +10,15 @@
 ///                   [--threads N] [--data_dir <dir>]
 ///   with no --db the paper's Instrumental_Music database is served.
 ///   Relative --db paths resolve against --data_dir / $ISIS_DATA_DIR.
-///   The server runs until stdin closes or a `quit` line arrives, then
-///   drains, checkpoints (durable mode) and prints its stats JSON line.
+///   The server runs until stdin closes, a `quit` line arrives, or SIGINT/
+///   SIGTERM lands, then drains in-flight requests, checkpoints (durable
+///   mode) and prints its stats JSON line. --idle_timeout_ms reaps
+///   connections that go silent (clients stay attached by sending pings).
 ///
 /// Try:  ./isis_serve --port 7459 &
 ///       ./isis_client --port 7459
 
+#include <csignal>
 #include <cstdio>
 #include <iostream>
 #include <string>
@@ -28,9 +31,18 @@
 
 using namespace isis;  // NOLINT — example brevity
 
+namespace {
+
+volatile std::sig_atomic_t g_shutdown_requested = 0;
+
+void OnSignal(int /*sig*/) { g_shutdown_requested = 1; }
+
+}  // namespace
+
 int main(int argc, char** argv) {
   int port = 7459;
   int threads = 4;
+  int idle_timeout_ms = 0;
   std::string db_path;
   std::string durable_dir;
   std::string data_dir;
@@ -47,6 +59,8 @@ int main(int argc, char** argv) {
       port = std::stoi(need_value("--port"));
     } else if (arg == "--threads") {
       threads = std::stoi(need_value("--threads"));
+    } else if (arg == "--idle_timeout_ms") {
+      idle_timeout_ms = std::stoi(need_value("--idle_timeout_ms"));
     } else if (arg == "--db") {
       db_path = need_value("--db");
     } else if (arg == "--durable") {
@@ -56,7 +70,7 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: %s [--port N] [--db file.isis] [--durable <dir>] "
-                   "[--threads N] [--data_dir <dir>]\n",
+                   "[--threads N] [--data_dir <dir>] [--idle_timeout_ms N]\n",
                    argv[0]);
       return 1;
     }
@@ -89,7 +103,9 @@ int main(int argc, char** argv) {
   }
   std::unique_ptr<server::Server> srv = std::move(opened).ValueOrDie();
 
-  server::TcpServer tcp(srv.get());
+  server::TcpServerOptions tcp_options;
+  tcp_options.idle_timeout_ms = idle_timeout_ms;
+  server::TcpServer tcp(srv.get(), tcp_options);
   Status st = tcp.Start(port);
   if (!st.ok()) {
     std::fprintf(stderr, "cannot listen on port %d: %s\n", port,
@@ -101,11 +117,26 @@ int main(int argc, char** argv) {
               durable_dir.empty() ? "" : ", durable");
   std::fflush(stdout);
 
+  // SIGINT/SIGTERM request the same graceful drain as `quit`. No
+  // SA_RESTART: the signal must interrupt the blocking getline below so
+  // the loop notices the flag.
+  struct sigaction sa {};
+  sa.sa_handler = OnSignal;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;
+  sigaction(SIGINT, &sa, nullptr);
+  sigaction(SIGTERM, &sa, nullptr);
+
   std::string line;
-  while (std::getline(std::cin, line)) {
+  while (g_shutdown_requested == 0 && std::getline(std::cin, line)) {
     if (std::string(Trim(line)) == "quit") break;
   }
+  if (g_shutdown_requested != 0) {
+    std::fprintf(stderr, "signal received, draining...\n");
+  }
 
+  // Graceful drain: stop accepting and close connections first, then let
+  // the server finish queued requests, checkpoint and rotate its WAL.
   tcp.Stop();
   std::string stats = srv->Shutdown();
   std::printf("%s\n", stats.c_str());

@@ -30,6 +30,7 @@
 #ifndef ISIS_COMMON_SYNC_H_
 #define ISIS_COMMON_SYNC_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 
@@ -179,6 +180,36 @@ class CondVar {
   template <typename Predicate>
   void Wait(MutexLock& lock, Predicate pred) {
     while (!pred()) Wait(lock);
+  }
+
+  /// Timed wait: blocks until notified or `timeout` elapses. Returns false
+  /// on timeout. Same capability story as Wait() -- the mutex is held
+  /// continuously from the caller's point of view.
+  bool WaitFor(MutexLock& lock, std::chrono::milliseconds timeout)
+      ISIS_NO_THREAD_SAFETY_ANALYSIS {
+    std::unique_lock<std::mutex> ul(lock.mu_.mu_, std::adopt_lock);
+    bool notified =
+        cv_.wait_for(ul, timeout) == std::cv_status::no_timeout;
+    ul.release();  // Ownership stays with `lock`; the mutex is held again.
+    return notified;
+  }
+
+  /// Deadline-bounded predicate wait: every transport wait in the server
+  /// stack goes through this (or hand-rolls the same loop), so a lost
+  /// response cannot hang the caller. Returns pred() at exit -- false means
+  /// the deadline passed with the predicate still unsatisfied.
+  template <typename Predicate>
+  bool WaitFor(MutexLock& lock, std::chrono::milliseconds timeout,
+               Predicate pred) {
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    while (!pred()) {
+      const auto now = std::chrono::steady_clock::now();
+      if (now >= deadline) return pred();
+      WaitFor(lock, std::chrono::duration_cast<std::chrono::milliseconds>(
+                        deadline - now) +
+                        std::chrono::milliseconds(1));
+    }
+    return true;
   }
 
   void NotifyOne() { cv_.notify_one(); }

@@ -36,7 +36,16 @@ void Executor::RemoveLane(std::int64_t lane) {
 }
 
 SubmitResult Executor::Submit(std::int64_t lane, TaskMode mode,
-                              std::function<void()> task, bool important) {
+                              std::function<void()> task, bool important,
+                              std::uint32_t deadline_ms,
+                              std::function<void()> on_expired) {
+  Task t{mode, std::move(task)};
+  if (deadline_ms > 0) {
+    t.deadline = std::chrono::steady_clock::now() +
+                 std::chrono::milliseconds(deadline_ms);
+    t.has_deadline = true;
+    t.on_expired = std::move(on_expired);
+  }
   MutexLock lock(mu_);
   if (closed_) return SubmitResult::kClosed;
   auto it = lanes_.find(lane);
@@ -46,7 +55,7 @@ SubmitResult Executor::Submit(std::int64_t lane, TaskMode mode,
       l.queue.size() >= static_cast<std::size_t>(options_.queue_capacity)) {
     return SubmitResult::kShed;
   }
-  l.queue.push_back(Task{mode, std::move(task)});
+  l.queue.push_back(std::move(t));
   if (stats_) stats_->AdjustQueueDepth(+1);
   if (!l.running && l.queue.size() == 1) {
     ready_.push_back(lane);
@@ -109,7 +118,15 @@ void Executor::WorkerLoop() {
     lock.Unlock();
 
     if (stats_) stats_->AdjustQueueDepth(-1);
-    RunTask(task);
+    if (task.has_deadline && task.on_expired != nullptr &&
+        std::chrono::steady_clock::now() >= task.deadline) {
+      // Rule 4: expired in the queue -- answer without dispatching (no
+      // database lock; the expiry path must never add lock pressure).
+      if (stats_) stats_->RecordDeadlineDrop();
+      task.on_expired();
+    } else {
+      RunTask(task);
+    }
 
     lock.Lock();
     lane->running = false;

@@ -17,9 +17,15 @@
 ///      Submitting to a full lane is *shed* -- the caller gets kShed and is
 ///      expected to answer the client with a retry hint rather than buffer
 ///      unboundedly.
+///   4. Deadlines: a task submitted with a deadline that has passed by the
+///      time a worker picks it up is *dropped before dispatch* -- its
+///      `on_expired` callback runs instead of the task, without touching
+///      the database lock. Serving a request nobody is waiting for anymore
+///      would only lengthen the queue behind it.
 ///
 /// Shutdown() closes submission, drains every queued task, then joins the
-/// workers -- accepted work always runs exactly once.
+/// workers -- accepted work always runs exactly once (either its body or,
+/// past its deadline, its on_expired callback).
 ///
 /// Lock discipline (checked by -Wthread-safety): all queue state -- lanes_,
 /// ready_, closed_, in_flight_ -- is guarded by mu_; the database itself is
@@ -80,8 +86,15 @@ class Executor {
 
   /// Enqueues `task` on `lane`. `important` bypasses the capacity bound --
   /// used for promoted retries and session teardown, which must not be shed.
+  ///
+  /// `deadline_ms` > 0 arms rule 4: if the task is still queued when its
+  /// budget (measured from this call) runs out, a worker runs `on_expired`
+  /// instead of `task`, with no database lock held. `on_expired` must be
+  /// set whenever `deadline_ms` is (the response still has to be sent).
   SubmitResult Submit(std::int64_t lane, TaskMode mode,
-                      std::function<void()> task, bool important = false)
+                      std::function<void()> task, bool important = false,
+                      std::uint32_t deadline_ms = 0,
+                      std::function<void()> on_expired = nullptr)
       ISIS_EXCLUDES(mu_);
 
   /// Closes submission, runs every queued task, joins the workers.
@@ -98,6 +111,10 @@ class Executor {
   struct Task {
     TaskMode mode;
     std::function<void()> fn;
+    /// Validity gated by has_deadline (a default time_point is a real time).
+    std::chrono::steady_clock::time_point deadline{};
+    bool has_deadline = false;
+    std::function<void()> on_expired;  ///< Set iff has_deadline.
   };
   struct Lane {
     std::deque<Task> queue;

@@ -1,0 +1,100 @@
+#include "server/faults.h"
+
+#include <chrono>
+#include <thread>
+
+namespace isis::server {
+
+Status FaultInjectingTransport::Reconnect(std::int64_t resume_sid) {
+  connected_ = false;
+  if (schedule_.connect_fail_prob > 0 &&
+      rng_.Chance(schedule_.connect_fail_prob)) {
+    ++counts_.connect_failures;
+    return Status::IOError("injected: connect failed");
+  }
+  ISIS_RETURN_NOT_OK(base_->Reconnect(resume_sid));
+  connected_ = true;
+  return Status::OK();
+}
+
+Result<Frame> FaultInjectingTransport::CallFrame(const Frame& req) {
+  if (!connected_) {
+    return Status::IOError("injected: connection is down");
+  }
+  ++calls_;
+  if (schedule_.retry_hint_first_calls >= calls_) {
+    // Synthetic shed: the request never left the client.
+    ++counts_.retry_hints;
+    Frame shed;
+    shed.type = MsgType::kRetry;
+    shed.seq = req.seq;
+    shed.payload = "queue_full|injected";
+    return shed;
+  }
+  if (schedule_.fail_first_calls >= calls_) {
+    Result<Frame> resp = base_->CallFrame(req);
+    ISIS_RETURN_NOT_OK(resp.status());
+    ++counts_.dropped_responses;
+    connected_ = false;
+    return Status::IOError("injected: response lost (deterministic)");
+  }
+  if (schedule_.delay_prob > 0 && rng_.Chance(schedule_.delay_prob)) {
+    ++counts_.delays;
+    std::this_thread::sleep_for(std::chrono::microseconds(
+        rng_.Below(static_cast<std::uint64_t>(schedule_.max_delay_us) + 1)));
+  }
+  if (schedule_.disconnect_prob > 0 && rng_.Chance(schedule_.disconnect_prob)) {
+    ++counts_.disconnects;
+    connected_ = false;
+    return Status::IOError("injected: connection dropped");
+  }
+  if (schedule_.drop_request_prob > 0 &&
+      rng_.Chance(schedule_.drop_request_prob)) {
+    // The packet is gone but the line is fine: the caller times out and
+    // resends on the same connection.
+    ++counts_.dropped_requests;
+    return Status::IOError("injected: request dropped, deadline expired");
+  }
+  if (schedule_.corrupt_prob > 0 && rng_.Chance(schedule_.corrupt_prob)) {
+    // Flip one payload bit in the real encoding and prove the receiver
+    // would have caught it -- then model its reaction (drop the stream).
+    ++counts_.corrupted;
+    std::string wire = EncodeFrame(req);
+    if (wire.size() > kHeaderSize) {
+      wire[kHeaderSize + rng_.Below(wire.size() - kHeaderSize)] ^=
+          static_cast<char>(1u << rng_.Below(8));
+      Frame decoded;
+      std::size_t used = 0;
+      if (DecodeFrame(wire, &decoded, &used) == DecodeResult::kOk) {
+        return Status::Internal("corrupted frame passed the CRC check");
+      }
+    }
+    connected_ = false;
+    return Status::IOError("injected: frame corrupted, connection dropped");
+  }
+  if (schedule_.partial_write_prob > 0 &&
+      rng_.Chance(schedule_.partial_write_prob)) {
+    // Torn send: the receiver holds a prefix forever, the sender gives up.
+    ++counts_.partial_writes;
+    connected_ = false;
+    return Status::IOError("injected: partial write, connection dropped");
+  }
+  bool drop_response = schedule_.drop_response_prob > 0 &&
+                       rng_.Chance(schedule_.drop_response_prob);
+  Result<Frame> resp = base_->CallFrame(req);
+  if (!resp.ok()) {
+    connected_ = false;
+    return resp;
+  }
+  if (drop_response) {
+    // The request was executed; the answer died on the way back along
+    // with the connection. The caller must resend blind -- the case the
+    // write_seq dedup exists for.
+    ++counts_.dropped_responses;
+    connected_ = false;
+    return Status::IOError("injected: response lost, connection dropped");
+  }
+  return resp;
+}
+
+}  // namespace isis::server

@@ -1,0 +1,115 @@
+/// \file faults.h
+/// \brief Network chaos: a ClientTransport decorator that injects seeded
+/// faults, mirroring the store's FaultInjectingEnv (store/file.h).
+///
+/// FaultInjectingTransport sits between RetryingClient and a real
+/// transport and misbehaves on a deterministic schedule: it delays
+/// attempts, drops requests before the server sees them, corrupts or
+/// half-writes frames (which on a real stream kills the connection -- the
+/// server has no resync point), loses responses *after* the server applied
+/// the request, cuts the line mid-request, and fails re-dials. Every fault
+/// is drawn from one seeded Rng, so a chaos schedule is a pure function of
+/// its seed and the test that found a bug replays it exactly.
+///
+/// The decorator operates at the frame boundary, not the socket: a fault
+/// that would break the byte stream is modeled as "this connection is now
+/// dead" (CallFrame fails until Reconnect), which is precisely the
+/// contract ClientTransport implementations expose upward. That keeps the
+/// same schedule runnable over loopback and TCP. The two effects that only
+/// exist below the frame boundary -- what the *server* observes on a torn
+/// or corrupt stream -- are covered by server-side tests that write raw
+/// bytes at a socket (server_test.cpp).
+///
+/// The crucial case for the retry protocol is drop_response: the server
+/// executed the request, the client cannot know it. A resent read is
+/// harmless; a resent write is where the write_seq dedup (retry.h,
+/// session.cc) earns its keep, and the chaos suite (chaos_test.cpp)
+/// asserts the surviving state is byte-identical to a fault-free oracle.
+
+#ifndef ISIS_SERVER_FAULTS_H_
+#define ISIS_SERVER_FAULTS_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "common/rng.h"
+#include "server/retry.h"
+
+namespace isis::server {
+
+/// \brief One seeded fault mix. Probabilities are per CallFrame attempt
+/// (or per Reconnect for connect_fail_prob) and independent; the
+/// deterministic fail_first_calls knob exists for unit tests that need a
+/// fault on a known attempt rather than a distribution.
+struct FaultSchedule {
+  std::uint64_t seed = 1;
+  /// Inject a delay of up to max_delay_us before forwarding the attempt
+  /// (stalls the caller; with deadlines armed this manufactures timeouts).
+  double delay_prob = 0.0;
+  int max_delay_us = 0;
+  /// The request vanishes in flight: the server never sees it, the
+  /// connection survives. The client just waits out its deadline.
+  double drop_request_prob = 0.0;
+  /// A bit flips in the encoded frame: the receiver's CRC/flags check
+  /// fails and the connection dies with the request undelivered.
+  double corrupt_prob = 0.0;
+  /// The sender dies mid-frame: the receiver sees a truncated stream and
+  /// the connection dies with the request undelivered.
+  double partial_write_prob = 0.0;
+  /// The server executes the request but the response is lost and the
+  /// connection dies -- the write-dedup case.
+  double drop_response_prob = 0.0;
+  /// The line drops before the request is sent.
+  double disconnect_prob = 0.0;
+  /// A Reconnect attempt fails outright.
+  double connect_fail_prob = 0.0;
+  /// Deterministic: treat the first N CallFrames as drop_response faults
+  /// (0 = disabled). Applied before any dice are rolled.
+  int fail_first_calls = 0;
+  /// Deterministic: answer the first N CallFrames with a synthetic kRetry
+  /// (as if the lane were full) without forwarding them (0 = disabled).
+  int retry_hint_first_calls = 0;
+};
+
+/// \brief ClientTransport decorator that executes a FaultSchedule.
+///
+/// Counters tally which faults actually fired, so a test can assert its
+/// schedule exercised the path it claims to.
+class FaultInjectingTransport : public ClientTransport {
+ public:
+  FaultInjectingTransport(std::unique_ptr<ClientTransport> base,
+                          const FaultSchedule& schedule)
+      : base_(std::move(base)), schedule_(schedule), rng_(schedule.seed) {}
+
+  Status Reconnect(std::int64_t resume_sid) override;
+  Result<Frame> CallFrame(const Frame& req) override;
+  std::int64_t session_id() const override { return base_->session_id(); }
+
+  struct Counts {
+    std::int64_t delays = 0;
+    std::int64_t dropped_requests = 0;
+    std::int64_t corrupted = 0;
+    std::int64_t partial_writes = 0;
+    std::int64_t dropped_responses = 0;
+    std::int64_t disconnects = 0;
+    std::int64_t connect_failures = 0;
+    std::int64_t retry_hints = 0;
+    std::int64_t faults() const {
+      return dropped_requests + corrupted + partial_writes +
+             dropped_responses + disconnects + connect_failures;
+    }
+  };
+  const Counts& counts() const { return counts_; }
+
+ private:
+  std::unique_ptr<ClientTransport> base_;
+  const FaultSchedule schedule_;
+  Rng rng_;
+  bool connected_ = false;
+  int calls_ = 0;
+  Counts counts_;
+};
+
+}  // namespace isis::server
+
+#endif  // ISIS_SERVER_FAULTS_H_

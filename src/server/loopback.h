@@ -18,6 +18,7 @@
 
 #include "common/result.h"
 #include "server/proto.h"
+#include "server/retry.h"
 #include "server/session.h"
 
 namespace isis::server {
@@ -59,6 +60,29 @@ class LoopbackClient {
   Server* const server_;
   std::int64_t session_id_ = -1;
   std::uint32_t next_seq_ = 1;
+};
+
+/// \brief ClientTransport (retry.h) over the in-process connection: what
+/// RetryingClient and the chaos harness drive in tests and benchmarks.
+///
+/// Like LoopbackClient every frame makes the full encode/decode round trip
+/// both ways -- including the v1 header extensions -- so deadline_ms and
+/// write_seq are exercised as wire bytes, not struct fields. CallFrame
+/// waits deadline-bounded when the request carries a deadline: a response
+/// that never arrives surfaces as an IOError instead of a hang.
+class LoopbackTransport : public ClientTransport {
+ public:
+  LoopbackTransport(Server* server, std::string client_name)
+      : server_(server), client_name_(std::move(client_name)) {}
+
+  Status Reconnect(std::int64_t resume_sid) override;
+  Result<Frame> CallFrame(const Frame& req) override;
+  std::int64_t session_id() const override { return session_id_; }
+
+ private:
+  Server* const server_;
+  const std::string client_name_;
+  std::int64_t session_id_ = -1;
 };
 
 }  // namespace isis::server

@@ -8,7 +8,9 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <utility>
 
@@ -126,11 +128,15 @@ void TcpServer::HandleReadable(const std::shared_ptr<Conn>& conn) {
   for (;;) {
     ssize_t n = read(conn->fd, buf, sizeof(buf));
     if (n > 0) {
+      conn->last_activity = std::chrono::steady_clock::now();
       conn->reader.Feed(buf, static_cast<std::size_t>(n));
       continue;
     }
     if (n == 0) {
-      conn->MarkBroken();  // Peer closed.
+      // Peer closed. Leftover undecoded bytes mean it died mid-frame (a
+      // torn write); a clean goodbye closes on a frame boundary.
+      server_->mutable_stats()->RecordPeerClose(conn->reader.pending() > 0);
+      conn->MarkBroken();
       return;
     }
     if (errno == EAGAIN || errno == EWOULDBLOCK) break;
@@ -191,7 +197,13 @@ void TcpServer::Run() {
       }
       fds.push_back({c->fd, events, 0});
     }
-    int rc = poll(fds.data(), fds.size(), 500);
+    // With idle reaping armed, wake often enough that a connection is
+    // reaped within ~a quarter of its timeout past the deadline.
+    int poll_ms = 500;
+    if (options_.idle_timeout_ms > 0) {
+      poll_ms = std::min(500, std::max(10, options_.idle_timeout_ms / 4));
+    }
+    int rc = poll(fds.data(), fds.size(), poll_ms);
     if (rc < 0 && errno != EINTR) break;
     if (stop_.load()) break;
     if (fds[0].revents & POLLIN) {
@@ -221,6 +233,16 @@ void TcpServer::Run() {
       if (!c->IsBroken() && (p.revents & POLLIN)) HandleReadable(c);
       if (!c->IsBroken() && (p.revents & POLLOUT)) FlushWrites(c);
     }
+    if (options_.idle_timeout_ms > 0) {
+      const auto now = std::chrono::steady_clock::now();
+      const auto limit = std::chrono::milliseconds(options_.idle_timeout_ms);
+      for (const std::shared_ptr<Conn>& c : conns_) {
+        if (!c->IsBroken() && now - c->last_activity >= limit) {
+          server_->mutable_stats()->RecordIdleReap();
+          c->MarkBroken();
+        }
+      }
+    }
     // Reap broken connections (late worker responses hit a closed fd's
     // buffer harmlessly: the Conn outlives the fd via shared_ptr).
     std::vector<std::shared_ptr<Conn>> alive;
@@ -238,28 +260,60 @@ void TcpServer::Run() {
 
 // --- TcpClient. ---
 
-TcpClient::~TcpClient() {
-  if (fd_ >= 0) close(fd_);
+TcpClient::~TcpClient() { CloseFd(); }
+
+void TcpClient::CloseFd() {
+  if (fd_ >= 0) {
+    close(fd_);
+    fd_ = -1;
+  }
 }
 
-Status TcpClient::Connect(const std::string& host, int port,
-                          const std::string& client_name) {
+Status TcpClient::Dial() {
+  CloseFd();
+  reader_ = FrameReader();  // A new stream owes us nothing from the old one.
   fd_ = socket(AF_INET, SOCK_STREAM, 0);
   if (fd_ < 0) {
     return Status::IOError(std::string("socket: ") + std::strerror(errno));
   }
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
-  addr.sin_port = htons(static_cast<std::uint16_t>(port));
-  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
-    return Status::InvalidArgument("bad host address: " + host);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port_));
+  if (inet_pton(AF_INET, host_.c_str(), &addr.sin_addr) != 1) {
+    CloseFd();
+    return Status::InvalidArgument("bad host address: " + host_);
   }
   if (connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
-    return Status::IOError(std::string("connect: ") + std::strerror(errno));
+    Status st(StatusCode::kIOError,
+              std::string("connect: ") + std::strerror(errno));
+    CloseFd();
+    return st;
   }
   int one = 1;
   setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-  Result<Frame> resp = Call(MsgType::kHello, JoinFields({client_name}));
+  return Status::OK();
+}
+
+Status TcpClient::Connect(const std::string& host, int port,
+                          const std::string& client_name) {
+  host_ = host;
+  port_ = port;
+  client_name_ = client_name;
+  return Reconnect(-1);
+}
+
+Status TcpClient::Reconnect(std::int64_t resume_sid) {
+  ISIS_RETURN_NOT_OK(Dial());
+  Frame hello;
+  hello.type = MsgType::kHello;
+  hello.seq = next_seq_++;
+  hello.deadline_ms = 5000;  // A dial must not hang either.
+  hello.payload =
+      resume_sid >= 0
+          ? JoinFields({client_name_, std::to_string(resume_sid)})
+          : JoinFields({client_name_});
+  session_id_ = -1;
+  Result<Frame> resp = CallFrame(hello);
   ISIS_RETURN_NOT_OK(resp.status());
   if (resp->type != MsgType::kOk) {
     return Status::Unavailable("hello rejected: " + resp->payload);
@@ -272,6 +326,44 @@ Status TcpClient::Connect(const std::string& host, int port,
     return Status::ParseError("bad session id: " + fields[0]);
   }
   return Status::OK();
+}
+
+Result<Frame> TcpClient::CallFrame(const Frame& req) {
+  if (fd_ < 0) return Status::IOError("not connected");
+  Status st = WriteAll(EncodeFrame(req));
+  if (!st.ok()) {
+    CloseFd();  // SPI contract: an error leaves us down until Reconnect.
+    return st;
+  }
+  // Bound the whole response wait by the request's own budget plus slack
+  // for the wire; after a local timeout the stream is unusable (the late
+  // response would desync it), so the connection dies with the wait.
+  const int budget_ms =
+      req.deadline_ms > 0 ? static_cast<int>(req.deadline_ms) + 250 : 0;
+  const auto start = std::chrono::steady_clock::now();
+  for (;;) {
+    int remaining_ms = 0;
+    if (budget_ms > 0) {
+      auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                         std::chrono::steady_clock::now() - start)
+                         .count();
+      remaining_ms = budget_ms - static_cast<int>(elapsed);
+      if (remaining_ms <= 0) {
+        CloseFd();
+        return Status::IOError("response timed out");
+      }
+    }
+    Result<Frame> resp = ReadFrame(remaining_ms);
+    if (!resp.ok()) {
+      CloseFd();
+      return resp.status();
+    }
+    if (resp->type == MsgType::kNotify || resp->seq != req.seq) {
+      notifications_.push_back(*resp);
+      continue;
+    }
+    return resp;
+  }
 }
 
 Status TcpClient::WriteAll(const std::string& bytes) {
@@ -288,7 +380,9 @@ Status TcpClient::WriteAll(const std::string& bytes) {
   return Status::OK();
 }
 
-Result<Frame> TcpClient::ReadFrame() {
+Result<Frame> TcpClient::ReadFrame(int deadline_ms) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(deadline_ms);
   for (;;) {
     Frame f;
     std::string error;
@@ -296,6 +390,19 @@ Result<Frame> TcpClient::ReadFrame() {
     if (r == DecodeResult::kOk) return f;
     if (r == DecodeResult::kError) {
       return Status::ParseError("bad frame from server: " + error);
+    }
+    if (deadline_ms > 0) {
+      auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+                           deadline - std::chrono::steady_clock::now())
+                           .count();
+      if (remaining <= 0) return Status::IOError("read timed out");
+      pollfd p{fd_, POLLIN, 0};
+      int rc = poll(&p, 1, static_cast<int>(remaining));
+      if (rc < 0) {
+        if (errno == EINTR) continue;
+        return Status::IOError(std::string("poll: ") + std::strerror(errno));
+      }
+      if (rc == 0) return Status::IOError("read timed out");
     }
     char buf[16384];
     ssize_t n = read(fd_, buf, sizeof(buf));

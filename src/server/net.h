@@ -12,12 +12,15 @@
 /// trustworthy resynchronization point.
 ///
 /// TcpClient is the matching blocking client used by isis_client and the
-/// tests; it is not thread-safe (one per thread).
+/// tests; it is not thread-safe (one per thread). It implements the
+/// ClientTransport SPI (retry.h), so RetryingClient adds deadlines,
+/// backoff and reconnect-with-resume on top of it.
 
 #ifndef ISIS_SERVER_NET_H_
 #define ISIS_SERVER_NET_H_
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -27,14 +30,23 @@
 #include "common/result.h"
 #include "common/sync.h"
 #include "server/proto.h"
+#include "server/retry.h"
 #include "server/session.h"
 
 namespace isis::server {
 
+struct TcpServerOptions {
+  /// >0: reap connections that have sent no bytes for this long. Clients
+  /// that want to stay attached through idle periods send kPing. 0 = never
+  /// reap (the pre-heartbeat behavior).
+  int idle_timeout_ms = 0;
+};
+
 /// \brief TCP front end for one Server.
 class TcpServer {
  public:
-  explicit TcpServer(Server* server) : server_(server) {}
+  explicit TcpServer(Server* server, TcpServerOptions options = {})
+      : server_(server), options_(options) {}
   ~TcpServer();  ///< Calls Stop().
 
   TcpServer(const TcpServer&) = delete;
@@ -58,6 +70,9 @@ class TcpServer {
   struct Conn {
     int fd = -1;                ///< I/O thread only (workers never write it).
     FrameReader reader;         ///< I/O thread only.
+    /// Last moment bytes arrived (I/O thread only; drives idle reaping).
+    std::chrono::steady_clock::time_point last_activity =
+        std::chrono::steady_clock::now();
     Mutex out_mu;
     std::int64_t session_id ISIS_GUARDED_BY(out_mu) = -1;
     /// Encoded responses awaiting write.
@@ -84,6 +99,7 @@ class TcpServer {
   void Wake();
 
   Server* const server_;
+  const TcpServerOptions options_;
   int listen_fd_ = -1;
   int wake_read_fd_ = -1;
   int wake_write_fd_ = -1;
@@ -94,11 +110,24 @@ class TcpServer {
 };
 
 /// \brief Blocking protocol client over one TCP connection.
-class TcpClient {
+///
+/// Two ways to drive it: the legacy Connect()/Call() pair (one dial, no
+/// deadlines), or the ClientTransport SPI -- construct with an endpoint,
+/// then let RetryingClient own the dialing. Under the SPI every CallFrame
+/// wait is bounded by the request's deadline_ms (plus slack) via poll(2),
+/// and Reconnect() tears down whatever half-open state a failure left.
+class TcpClient : public ClientTransport {
  public:
-  ~TcpClient();
+  TcpClient() = default;  ///< Legacy: endpoint comes from Connect().
+  /// Endpoint-storing form for the transport SPI; does not dial --
+  /// Reconnect() does.
+  TcpClient(std::string host, int port, std::string client_name)
+      : host_(std::move(host)),
+        port_(port),
+        client_name_(std::move(client_name)) {}
+  ~TcpClient() override;
 
-  /// Connects and performs the hello handshake.
+  /// Connects and performs the hello handshake (legacy entry point).
   Status Connect(const std::string& host, int port,
                  const std::string& client_name);
 
@@ -109,12 +138,21 @@ class TcpClient {
 
   std::vector<Frame> TakeNotifications();
 
-  std::int64_t session_id() const { return session_id_; }
+  // ClientTransport.
+  Status Reconnect(std::int64_t resume_sid) override;
+  Result<Frame> CallFrame(const Frame& req) override;
+  std::int64_t session_id() const override { return session_id_; }
 
  private:
+  Status Dial();  ///< socket+connect to host_:port_; fd_ valid on success.
   Status WriteAll(const std::string& bytes);
-  Result<Frame> ReadFrame();
+  /// `deadline_ms` > 0 bounds the wait (plus transport slack); 0 blocks.
+  Result<Frame> ReadFrame(int deadline_ms = 0);
+  void CloseFd();
 
+  std::string host_;
+  int port_ = 0;
+  std::string client_name_;
   int fd_ = -1;
   std::int64_t session_id_ = -1;
   std::uint32_t next_seq_ = 1;

@@ -23,6 +23,24 @@ std::uint32_t GetU32(const char* p) {
          (static_cast<std::uint32_t>(static_cast<unsigned char>(p[3])) << 24);
 }
 
+void PutU64(std::string* out, std::uint64_t v) {
+  PutU32(out, static_cast<std::uint32_t>(v & 0xffffffffull));
+  PutU32(out, static_cast<std::uint32_t>(v >> 32));
+}
+
+std::uint64_t GetU64(const char* p) {
+  return static_cast<std::uint64_t>(GetU32(p)) |
+         (static_cast<std::uint64_t>(GetU32(p + 4)) << 32);
+}
+
+/// Extension bytes a given flags byte selects.
+std::size_t ExtensionSize(std::uint8_t flags) {
+  std::size_t ext = 0;
+  if (flags & kFlagDeadline) ext += 4;
+  if (flags & kFlagWriteSeq) ext += 8;
+  return ext;
+}
+
 }  // namespace
 
 const char* MsgTypeName(MsgType t) {
@@ -49,6 +67,8 @@ const char* MsgTypeName(MsgType t) {
       return "kPoll";
     case MsgType::kBye:
       return "kBye";
+    case MsgType::kPing:
+      return "kPing";
     case MsgType::kOk:
       return "kOk";
     case MsgType::kError:
@@ -65,26 +85,35 @@ const char* MsgTypeName(MsgType t) {
       return "kRetry";
     case MsgType::kNotify:
       return "kNotify";
+    case MsgType::kDeadlineExceeded:
+      return "kDeadlineExceeded";
+    case MsgType::kPong:
+      return "kPong";
   }
   return "kUnknown";
 }
 
 bool IsValidMsgType(std::uint8_t t) {
   return (t >= static_cast<std::uint8_t>(MsgType::kHello) &&
-          t <= static_cast<std::uint8_t>(MsgType::kBye)) ||
+          t <= static_cast<std::uint8_t>(MsgType::kPing)) ||
          (t >= static_cast<std::uint8_t>(MsgType::kOk) &&
-          t <= static_cast<std::uint8_t>(MsgType::kNotify));
+          t <= static_cast<std::uint8_t>(MsgType::kPong));
 }
 
 std::string EncodeFrame(const Frame& frame) {
+  std::uint8_t flags = 0;
+  if (frame.deadline_ms != 0) flags |= kFlagDeadline;
+  if (frame.write_seq != 0) flags |= kFlagWriteSeq;
   std::string out;
-  out.reserve(kHeaderSize + frame.payload.size());
+  out.reserve(kHeaderSize + ExtensionSize(flags) + frame.payload.size());
   out += "IS";
   out.push_back(static_cast<char>(frame.type));
-  out.push_back('\0');  // reserved
+  out.push_back(static_cast<char>(flags));
   PutU32(&out, frame.seq);
   PutU32(&out, static_cast<std::uint32_t>(frame.payload.size()));
   PutU32(&out, store::Crc32(frame.payload));
+  if (flags & kFlagDeadline) PutU32(&out, frame.deadline_ms);
+  if (flags & kFlagWriteSeq) PutU64(&out, frame.write_seq);
   out += frame.payload;
   return out;
 }
@@ -103,8 +132,9 @@ DecodeResult DecodeFrame(const std::string& buf, Frame* out,
     if (error) *error = "unknown message type";
     return DecodeResult::kError;
   }
-  if (p[3] != '\0') {
-    if (error) *error = "nonzero reserved byte";
+  std::uint8_t flags = static_cast<std::uint8_t>(p[3]);
+  if (flags & static_cast<std::uint8_t>(~kKnownFlags)) {
+    if (error) *error = "unknown header flags";
     return DecodeResult::kError;
   }
   std::uint32_t seq = GetU32(p + 4);
@@ -114,16 +144,30 @@ DecodeResult DecodeFrame(const std::string& buf, Frame* out,
     if (error) *error = "payload too large";
     return DecodeResult::kError;
   }
-  if (buf.size() < kHeaderSize + len) return DecodeResult::kNeedMore;
-  std::string_view payload(buf.data() + kHeaderSize, len);
+  const std::size_t ext = ExtensionSize(flags);
+  if (buf.size() < kHeaderSize + ext + len) return DecodeResult::kNeedMore;
+  const char* e = p + kHeaderSize;
+  std::uint32_t deadline_ms = 0;
+  std::uint64_t write_seq = 0;
+  if (flags & kFlagDeadline) {
+    deadline_ms = GetU32(e);
+    e += 4;
+  }
+  if (flags & kFlagWriteSeq) {
+    write_seq = GetU64(e);
+    e += 8;
+  }
+  std::string_view payload(buf.data() + kHeaderSize + ext, len);
   if (store::Crc32(payload) != crc) {
     if (error) *error = "payload checksum mismatch";
     return DecodeResult::kError;
   }
   out->type = static_cast<MsgType>(type);
   out->seq = seq;
+  out->deadline_ms = deadline_ms;
+  out->write_seq = write_seq;
   out->payload.assign(payload);
-  *consumed = kHeaderSize + len;
+  *consumed = kHeaderSize + ext + len;
   return DecodeResult::kOk;
 }
 

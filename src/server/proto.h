@@ -6,18 +6,39 @@
 ///   offset  size  field
 ///        0     2  magic "IS"
 ///        2     1  type (MsgType)
-///        3     1  reserved, must be 0
+///        3     1  flags (was "reserved, must be 0" in protocol v0)
 ///        4     4  seq, little-endian u32 (echoed in responses)
 ///        8     4  payload length, little-endian u32 (<= kMaxPayload)
 ///       12     4  CRC-32 of the payload bytes, little-endian u32
-///       16     n  payload
+///       16   ext  header extensions selected by `flags` (see below)
+///    16+ext     n  payload
 ///
-/// The fixed 16-byte header makes framing trivial over a byte stream
+/// The 16-byte base header makes framing trivial over a byte stream
 /// (FrameReader below), and the CRC catches torn or corrupted frames before
-/// the payload is interpreted. A frame that fails the magic, type, reserved,
+/// the payload is interpreted. A frame that fails the magic, type, flags,
 /// length-bound or CRC check is a protocol error: the server drops the
 /// connection rather than resynchronize, because inside a stream there is no
 /// trustworthy resync point.
+///
+/// Header extensions (protocol v1). Each set bit in `flags` appends a
+/// fixed-size little-endian extension between the base header and the
+/// payload, in bit order:
+///
+///   kFlagDeadline (0x1)  4 bytes  deadline_ms: the sender's remaining
+///                                 patience. The server drops the request
+///                                 without dispatching it once that budget
+///                                 is spent and answers kDeadlineExceeded.
+///   kFlagWriteSeq (0x2)  8 bytes  write_seq: a per-session, client-chosen
+///                                 mutation sequence number. Resending a
+///                                 mutation with the write_seq the session
+///                                 just applied returns the cached response
+///                                 instead of applying twice (the
+///                                 retry-safety handshake; server/retry.h).
+///
+/// A v0 frame is exactly a v1 frame with flags = 0, so old frames still
+/// parse; unknown flag bits are a protocol error (there is no way to skip
+/// an extension of unknown size). Like the base header, extensions are not
+/// covered by the payload CRC.
 ///
 /// Payloads are text: `|`-separated fields, each escaped with
 /// isis::Escape so embedded `|`, newlines and backslashes survive (the same
@@ -36,11 +57,19 @@
 ///   kPoll        (empty)                      -> kOk "n|notif1|notif2|..."
 ///   kStats       (empty)                      -> kStatsResult (JSON line)
 ///   kBye         (empty)                      -> kOk (then close)
+///   kPing        (anything; echoed)           -> kPong (same payload)
+///
+/// kHello's payload may carry a second field, a previous session id: the
+/// server reattaches that session if it still exists (same sid comes back,
+/// per-session UI state, subscriptions and the write-dedup window survive
+/// the reconnect) and creates a fresh one otherwise.
 ///
 /// Error responses use kError with payload "code|message" (code is the
 /// StatusCode name, e.g. "Consistency"). An overloaded server answers with
-/// kRetry, payload "queue_full|<capacity>"; the client should back off and
-/// resend. Notifications are pulled via kPoll on every transport -- each
+/// kRetry, payload "queue_full|<capacity>"; a request whose deadline_ms
+/// budget expired before dispatch gets kDeadlineExceeded, payload
+/// "deadline_exceeded|<ms>" -- both mean "nothing happened, back off and
+/// resend". Notifications are pulled via kPoll on every transport -- each
 /// entry is an escaped "class|entity|kind" triple (kind is "member+",
 /// "member-" or "attr:<name>"); kNotify is reserved for transports that
 /// push.
@@ -69,6 +98,7 @@ enum class MsgType : std::uint8_t {
   kStats = 9,
   kPoll = 10,
   kBye = 11,
+  kPing = 12,
   // Responses.
   kOk = 64,
   kError = 65,
@@ -78,6 +108,8 @@ enum class MsgType : std::uint8_t {
   kStatsResult = 69,
   kRetry = 70,
   kNotify = 71,
+  kDeadlineExceeded = 72,
+  kPong = 73,
 };
 
 /// Human-readable name for logs/tests, e.g. "kQuery".
@@ -89,11 +121,22 @@ bool IsValidMsgType(std::uint8_t t);
 constexpr std::size_t kHeaderSize = 16;
 constexpr std::uint32_t kMaxPayload = 16u * 1024u * 1024u;
 
+// Header extension flags (byte 3). Every defined bit adds a fixed-size
+// little-endian field between the base header and the payload.
+constexpr std::uint8_t kFlagDeadline = 0x1;  ///< +4 bytes: deadline_ms.
+constexpr std::uint8_t kFlagWriteSeq = 0x2;  ///< +8 bytes: write_seq.
+constexpr std::uint8_t kKnownFlags = kFlagDeadline | kFlagWriteSeq;
+
 /// One decoded message.
 struct Frame {
   MsgType type = MsgType::kHello;
   std::uint32_t seq = 0;
   std::string payload;
+  /// Remaining request budget in milliseconds; 0 = none (wire: omitted).
+  std::uint32_t deadline_ms = 0;
+  /// Client-chosen mutation sequence number for retry-safe resends; 0 =
+  /// none (wire: omitted). Only meaningful on kEvent/kAssign requests.
+  std::uint64_t write_seq = 0;
 };
 
 /// Serializes `frame` into wire bytes (header + payload).

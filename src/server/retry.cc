@@ -1,0 +1,145 @@
+#include "server/retry.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "common/strings.h"
+
+namespace isis::server {
+
+namespace {
+
+bool IsWrite(MsgType type) {
+  return type == MsgType::kEvent || type == MsgType::kAssign;
+}
+
+}  // namespace
+
+void RetryingClient::Backoff(int attempt) {
+  std::int64_t ms = options_.base_backoff_ms;
+  for (int i = 0; i < attempt && ms < options_.max_backoff_ms; ++i) ms *= 2;
+  ms = std::min<std::int64_t>(ms, options_.max_backoff_ms);
+  // Full jitter: sleep uniform in [ms/2, ms], so a burst of shed clients
+  // does not re-converge on the server in lockstep.
+  ms = ms / 2 + static_cast<std::int64_t>(rng_.Below(
+                    static_cast<std::uint64_t>(ms / 2 + 1)));
+  if (ms > 0) std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+Status RetryingClient::TryReconnect() {
+  Status st = transport_->Reconnect(session_id_);
+  if (!st.ok()) return st;
+  ++counters_.reconnects;
+  std::int64_t sid = transport_->session_id();
+  if (session_id_ >= 0 && sid == session_id_) {
+    ++counters_.resumed;
+  } else if (session_id_ >= 0) {
+    // The server no longer knew our session (reaped, or it said bye): we
+    // are a fresh session now and the one-deep dedup window restarted.
+    ++counters_.lost_sessions;
+  }
+  session_id_ = sid;
+  connected_ = true;
+  return Status::OK();
+}
+
+Status RetryingClient::Connect() {
+  Status last = Status::Unavailable("never attempted");
+  for (int attempt = 0; attempt < options_.max_attempts; ++attempt) {
+    if (attempt > 0) {
+      ++counters_.retries;
+      Backoff(attempt - 1);
+    }
+    ++counters_.attempts;
+    last = TryReconnect();
+    if (last.ok()) return last;
+    ++counters_.transport_errors;
+  }
+  return last;
+}
+
+Result<Frame> RetryingClient::Call(MsgType type, const std::string& payload) {
+  Frame req;
+  req.type = type;
+  req.payload = payload;
+  req.deadline_ms = options_.timeout_ms > 0
+                        ? static_cast<std::uint32_t>(options_.timeout_ms)
+                        : 0;
+  // One write_seq per *logical* mutation: every resend below reuses it, so
+  // the server can tell "try that again" from "do that again".
+  if (IsWrite(type)) req.write_seq = next_write_seq_++;
+
+  Status last = Status::Unavailable("never attempted");
+  for (int attempt = 0; attempt < options_.max_attempts; ++attempt) {
+    if (attempt > 0) {
+      ++counters_.retries;
+      Backoff(attempt - 1);
+    }
+    if (!connected_) {
+      last = TryReconnect();
+      if (!last.ok()) {
+        ++counters_.transport_errors;
+        continue;
+      }
+    }
+    ++counters_.attempts;
+    req.seq = next_seq_++;
+    Result<Frame> resp = transport_->CallFrame(req);
+    if (!resp.ok()) {
+      // Connection-level failure: the response (and for a write, whether
+      // it was ever applied) is unknown. Reconnect-with-resume plus the
+      // stable write_seq makes the resend safe either way.
+      ++counters_.transport_errors;
+      connected_ = false;
+      last = resp.status();
+      continue;
+    }
+    if (resp->type == MsgType::kRetry) {
+      // The shed hint this layer exists to honor: the lane was full, the
+      // request was never queued. Back off and try again.
+      ++counters_.retry_hints;
+      last = Status::Unavailable("server shed the request: " + resp->payload);
+      continue;
+    }
+    if (resp->type == MsgType::kDeadlineExceeded) {
+      // Expired in the queue, dropped before dispatch -- same "nothing
+      // happened" guarantee as kRetry.
+      ++counters_.timeouts;
+      last = Status::Unavailable("request deadline expired: " + resp->payload);
+      continue;
+    }
+    return resp;
+  }
+  return Status::Unavailable(
+      "retries exhausted after " + std::to_string(options_.max_attempts) +
+      " attempts: " + last.message());
+}
+
+Result<std::vector<std::string>> RetryingClient::Query(
+    const std::string& cls, const std::string& predicate) {
+  Result<Frame> resp = Call(MsgType::kQuery, JoinFields({cls, predicate}));
+  ISIS_RETURN_NOT_OK(resp.status());
+  if (resp->type != MsgType::kQueryResult) {
+    return Status::Internal("query failed: " + resp->payload);
+  }
+  std::vector<std::string> fields = SplitFields(resp->payload);
+  if (fields.empty()) return Status::ParseError("empty query result");
+  fields.erase(fields.begin());  // Drop the count; names follow.
+  return fields;
+}
+
+Status RetryingClient::Assign(const std::string& cls,
+                              const std::string& entity,
+                              const std::string& attr,
+                              const std::string& values) {
+  Result<Frame> resp =
+      Call(MsgType::kAssign, JoinFields({cls, entity, attr, values}));
+  ISIS_RETURN_NOT_OK(resp.status());
+  if (resp->type != MsgType::kOk) {
+    return Status::Internal("assign failed: " + resp->payload);
+  }
+  return Status::OK();
+}
+
+}  // namespace isis::server

@@ -253,7 +253,42 @@ void Server::HandleFrame(std::int64_t session_id, const Frame& request,
                          ResponseCallback done) {
   auto t0 = std::chrono::steady_clock::now();
 
+  if (request.type == MsgType::kPing) {
+    // The liveness probe: answered inline on the transport's thread, never
+    // queued -- a ping must come back even when every lane is saturated.
+    stats_.RecordHeartbeat();
+    Frame resp;
+    resp.type = MsgType::kPong;
+    resp.seq = request.seq;
+    resp.payload = request.payload;
+    Finish(request, resp, done, t0);
+    return;
+  }
+
   if (request.type == MsgType::kHello) {
+    // A second payload field is a resume request: reattach that session if
+    // it is still live (reconnect after a dropped connection), otherwise
+    // fall through and mint a fresh one.
+    std::vector<std::string> hello_fields = SplitFields(request.payload);
+    if (hello_fields.size() >= 2) {
+      std::int64_t resume_sid = -1;
+      try {
+        resume_sid = std::stoll(hello_fields[1]);
+      } catch (...) {
+        resume_sid = -1;
+      }
+      std::shared_ptr<Session> prev =
+          resume_sid >= 0 ? FindSession(resume_sid) : nullptr;
+      if (prev != nullptr) {
+        stats_.RecordResume();
+        Frame resp;
+        resp.type = MsgType::kOk;
+        resp.seq = request.seq;
+        resp.payload = JoinFields({std::to_string(prev->id()), ws_->name()});
+        Finish(request, resp, done, t0);
+        return;
+      }
+    }
     std::int64_t id;
     {
       MutexLock lock(sessions_mu_);
@@ -362,10 +397,21 @@ void Server::HandleFrame(std::int64_t session_id, const Frame& request,
     };
   } else if (mode == TaskMode::kExclusive) {
     task = [this, s, request, done, t0]() mutable {
+      // A resend of the write we just applied (its response was lost in
+      // flight): replay the cached response instead of applying twice.
+      if (request.write_seq != 0 &&
+          request.write_seq == s->last_write_seq()) {
+        stats_.RecordDedupHit();
+        Frame resp = s->last_write_response();
+        resp.seq = request.seq;
+        Finish(request, resp, done, t0);
+        return;
+      }
       ws_->db().set_intern_frozen(false);
       Frame resp = HandleWriteLocked(s, request);
       ws_->db().set_intern_frozen(true);
       FanOutDeltas();
+      if (request.write_seq != 0) s->set_last_write(request.write_seq, resp);
       Finish(request, resp, done, t0);
     };
   } else {
@@ -415,8 +461,24 @@ void Server::HandleFrame(std::int64_t session_id, const Frame& request,
     };
   }
 
-  SubmitResult r = executor_->Submit(s->id(), mode, std::move(task),
-                                     important);
+  std::function<void()> on_expired;
+  if (request.deadline_ms > 0) {
+    // Expired while queued: answer without touching the database. To the
+    // client this is indistinguishable from kRetry -- nothing happened,
+    // resend if the budget allows (same write_seq, so a resent write still
+    // dedupes against an earlier application).
+    on_expired = [this, request, done, t0]() mutable {
+      Frame resp;
+      resp.type = MsgType::kDeadlineExceeded;
+      resp.seq = request.seq;
+      resp.payload =
+          "deadline_exceeded|" + std::to_string(request.deadline_ms);
+      Finish(request, resp, done, t0);
+    };
+  }
+  SubmitResult r =
+      executor_->Submit(s->id(), mode, std::move(task), important,
+                        request.deadline_ms, std::move(on_expired));
   if (r == SubmitResult::kShed) {
     stats_.RecordShed();
     Frame resp;

@@ -97,9 +97,22 @@ class Session {
   void PushNotification(const std::string& line);
   std::vector<std::string> DrainNotifications();
 
+  // Write-dedup window, one write deep (see retry.h): the last applied
+  // write_seq and the response it produced. Lane-serial -- only this
+  // session's exclusive tasks read or write it -- so no lock, like the
+  // controller.
+  std::uint64_t last_write_seq() const { return last_write_seq_; }
+  const Frame& last_write_response() const { return last_write_resp_; }
+  void set_last_write(std::uint64_t seq, const Frame& resp) {
+    last_write_seq_ = seq;
+    last_write_resp_ = resp;
+  }
+
  private:
   const std::int64_t id_;
   ui::SessionController ctrl_;
+  std::uint64_t last_write_seq_ = 0;  ///< 0 = empty window.
+  Frame last_write_resp_;
   mutable Mutex mu_;
   /// Class names, or "*".
   std::set<std::string> subs_ ISIS_GUARDED_BY(mu_);
@@ -123,9 +136,15 @@ class Server {
   Server& operator=(const Server&) = delete;
 
   /// Routes one request. kHello creates a session (`session_id` ignored;
-  /// pass -1): response payload "sid|<db name>". Every other type needs the
-  /// session id from hello. `done` fires exactly once -- kRetry when the
-  /// session's queue is full, kError for protocol/engine errors.
+  /// pass -1): response payload "sid|<db name>". A hello whose payload
+  /// carries a second field naming a still-live session id *resumes* that
+  /// session instead (same sid back; UI state, subscriptions and the
+  /// write-dedup window survive the new connection). Every other type needs
+  /// the session id from hello. kPing is answered inline with kPong (no
+  /// session needed -- it is the liveness probe). A request whose
+  /// deadline_ms expired while queued is answered kDeadlineExceeded without
+  /// running (executor.h, rule 4). `done` fires exactly once -- kRetry when
+  /// the session's queue is full, kError for protocol/engine errors.
   void HandleFrame(std::int64_t session_id, const Frame& request,
                    ResponseCallback done);
 
@@ -135,6 +154,9 @@ class Server {
   std::string Shutdown();
 
   const ServerStats& stats() const { return stats_; }
+  /// For transports that record connection-level events (idle reaps, EOF
+  /// kinds) against the server's counters.
+  ServerStats* mutable_stats() { return &stats_; }
   const query::Workspace& workspace() const { return *ws_; }
   /// Sessions currently open (for tests).
   int session_count() const;

@@ -31,12 +31,15 @@ double ServerStats::PercentileLocked(double q) const {
 
 std::string ServerStats::ToJsonLine() const {
   StatsSnapshot s = Snapshot();
-  char buf[512];
+  char buf[1024];
   std::snprintf(
       buf, sizeof(buf),
       "{\"name\": \"server_stats\", \"requests\": %lld, \"errors\": %lld, "
       "\"sheds\": %lld, \"reads\": %lld, \"writes\": %lld, "
       "\"promotions\": %lld, \"notifications\": %lld, "
+      "\"deadline_drops\": %lld, \"dedup_hits\": %lld, "
+      "\"heartbeats\": %lld, \"resumes\": %lld, \"idle_reaps\": %lld, "
+      "\"eof_clean\": %lld, \"eof_truncated\": %lld, "
       "\"queue_depth\": %lld, \"queue_peak\": %lld, "
       "\"read_lock_wait_us\": %lld, \"write_lock_wait_us\": %lld, "
       "\"p50_us\": %.1f, \"p95_us\": %.1f, \"max_us\": %lld",
@@ -44,6 +47,13 @@ std::string ServerStats::ToJsonLine() const {
       static_cast<long long>(s.sheds), static_cast<long long>(s.reads),
       static_cast<long long>(s.writes), static_cast<long long>(s.promotions),
       static_cast<long long>(s.notifications),
+      static_cast<long long>(s.deadline_drops),
+      static_cast<long long>(s.dedup_hits),
+      static_cast<long long>(s.heartbeats),
+      static_cast<long long>(s.resumes),
+      static_cast<long long>(s.idle_reaps),
+      static_cast<long long>(s.eof_clean),
+      static_cast<long long>(s.eof_truncated),
       static_cast<long long>(s.queue_depth),
       static_cast<long long>(s.queue_peak),
       static_cast<long long>(s.read_lock_wait_us),

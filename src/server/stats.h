@@ -34,6 +34,13 @@ struct StatsSnapshot {
   std::int64_t writes = 0;          ///< Completed under the exclusive lock.
   std::int64_t promotions = 0;      ///< Reads re-run exclusively (intern miss).
   std::int64_t notifications = 0;   ///< kNotify fan-out messages queued.
+  std::int64_t deadline_drops = 0;  ///< Requests expired before dispatch.
+  std::int64_t dedup_hits = 0;      ///< Resent writes answered from cache.
+  std::int64_t heartbeats = 0;      ///< kPing requests answered.
+  std::int64_t resumes = 0;         ///< kHello reattaches to a live session.
+  std::int64_t idle_reaps = 0;      ///< Connections closed for inactivity.
+  std::int64_t eof_clean = 0;       ///< Peer closes on a frame boundary.
+  std::int64_t eof_truncated = 0;   ///< Peer closes mid-frame (torn stream).
   std::int64_t queue_depth = 0;     ///< Tasks queued across lanes, right now.
   std::int64_t queue_peak = 0;      ///< High-water mark of queue_depth.
   std::int64_t read_lock_wait_us = 0;   ///< Cumulative shared-lock wait.
@@ -90,6 +97,42 @@ class ServerStats {
     ++notifications_;
   }
 
+  void RecordDeadlineDrop() {
+    MutexLock lock(mu_);
+    ++deadline_drops_;
+  }
+
+  void RecordDedupHit() {
+    MutexLock lock(mu_);
+    ++dedup_hits_;
+  }
+
+  void RecordHeartbeat() {
+    MutexLock lock(mu_);
+    ++heartbeats_;
+  }
+
+  void RecordResume() {
+    MutexLock lock(mu_);
+    ++resumes_;
+  }
+
+  void RecordIdleReap() {
+    MutexLock lock(mu_);
+    ++idle_reaps_;
+  }
+
+  /// One peer-initiated close; `truncated` says whether it cut a frame (or
+  /// header extension) in half rather than landing on a frame boundary.
+  void RecordPeerClose(bool truncated) {
+    MutexLock lock(mu_);
+    if (truncated) {
+      ++eof_truncated_;
+    } else {
+      ++eof_clean_;
+    }
+  }
+
   /// Tracks the global queued-task count; delta is +1 on enqueue, -1 on
   /// dequeue.
   void AdjustQueueDepth(int delta) {
@@ -108,6 +151,13 @@ class ServerStats {
     s.writes = writes_;
     s.promotions = promotions_;
     s.notifications = notifications_;
+    s.deadline_drops = deadline_drops_;
+    s.dedup_hits = dedup_hits_;
+    s.heartbeats = heartbeats_;
+    s.resumes = resumes_;
+    s.idle_reaps = idle_reaps_;
+    s.eof_clean = eof_clean_;
+    s.eof_truncated = eof_truncated_;
     s.queue_depth = queue_depth_;
     s.queue_peak = queue_peak_;
     s.read_lock_wait_us = read_lock_wait_us_;
@@ -146,6 +196,13 @@ class ServerStats {
   std::int64_t writes_ ISIS_GUARDED_BY(mu_) = 0;
   std::int64_t promotions_ ISIS_GUARDED_BY(mu_) = 0;
   std::int64_t notifications_ ISIS_GUARDED_BY(mu_) = 0;
+  std::int64_t deadline_drops_ ISIS_GUARDED_BY(mu_) = 0;
+  std::int64_t dedup_hits_ ISIS_GUARDED_BY(mu_) = 0;
+  std::int64_t heartbeats_ ISIS_GUARDED_BY(mu_) = 0;
+  std::int64_t resumes_ ISIS_GUARDED_BY(mu_) = 0;
+  std::int64_t idle_reaps_ ISIS_GUARDED_BY(mu_) = 0;
+  std::int64_t eof_clean_ ISIS_GUARDED_BY(mu_) = 0;
+  std::int64_t eof_truncated_ ISIS_GUARDED_BY(mu_) = 0;
   std::int64_t queue_depth_ ISIS_GUARDED_BY(mu_) = 0;
   std::int64_t queue_peak_ ISIS_GUARDED_BY(mu_) = 0;
   std::int64_t read_lock_wait_us_ ISIS_GUARDED_BY(mu_) = 0;

@@ -8,8 +8,14 @@
 
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <string>
 #include <thread>
 #include <vector>
@@ -19,9 +25,11 @@
 #include "datasets/scaled_music.h"
 #include "query/eval.h"
 #include "query/parser.h"
+#include "server/faults.h"
 #include "server/loopback.h"
 #include "server/net.h"
 #include "server/proto.h"
+#include "server/retry.h"
 #include "server/session.h"
 #include "store/file.h"
 
@@ -87,10 +95,11 @@ TEST(ProtoTest, RejectsCorruptFrames) {
   EXPECT_EQ(DecodeFrame(bad_type, &out, &consumed, &error),
             DecodeResult::kError);
 
-  std::string bad_reserved = wire;
-  bad_reserved[3] = '\x01';
-  EXPECT_EQ(DecodeFrame(bad_reserved, &out, &consumed, &error),
+  std::string bad_flags = wire;
+  bad_flags[3] = '\x80';  // A flag bit this version does not know.
+  EXPECT_EQ(DecodeFrame(bad_flags, &out, &consumed, &error),
             DecodeResult::kError);
+  EXPECT_EQ(error, "unknown header flags");
 
   std::string flipped_payload = wire;
   flipped_payload[kHeaderSize + 4] ^= 0x20;  // CRC must catch this.
@@ -106,6 +115,41 @@ TEST(ProtoTest, RejectsCorruptFrames) {
   EXPECT_EQ(DecodeFrame(oversize, &out, &consumed, &error),
             DecodeResult::kError);
   EXPECT_EQ(error, "payload too large");
+}
+
+TEST(ProtoTest, RoundTripsHeaderExtensions) {
+  // Every flag combination: none (a v0 frame), deadline only, write_seq
+  // only, both.
+  const struct {
+    std::uint32_t deadline_ms;
+    std::uint64_t write_seq;
+  } cases[] = {{0, 0}, {1500, 0}, {0, 77}, {250, 0x1122334455667788ull}};
+  for (const auto& c : cases) {
+    Frame in;
+    in.type = MsgType::kAssign;
+    in.seq = 9;
+    in.deadline_ms = c.deadline_ms;
+    in.write_seq = c.write_seq;
+    in.payload = "musicians|musician0|plays|inst1";
+    const std::string wire = EncodeFrame(in);
+    if (c.deadline_ms == 0 && c.write_seq == 0) {
+      EXPECT_EQ(wire[3], '\0') << "extension-free frames stay v0 on the wire";
+    }
+    Frame out;
+    std::size_t consumed = 0;
+    ASSERT_EQ(DecodeFrame(wire, &out, &consumed), DecodeResult::kOk);
+    EXPECT_EQ(consumed, wire.size());
+    EXPECT_EQ(out.deadline_ms, c.deadline_ms);
+    EXPECT_EQ(out.write_seq, c.write_seq);
+    EXPECT_EQ(out.payload, in.payload);
+    // No prefix decodes, none is mistaken for a complete frame.
+    for (std::size_t n = 0; n < wire.size(); ++n) {
+      std::size_t used = 1;
+      EXPECT_EQ(DecodeFrame(wire.substr(0, n), &out, &used),
+                DecodeResult::kNeedMore)
+          << "prefix length " << n;
+    }
+  }
 }
 
 TEST(ProtoTest, FrameReaderReassemblesByteByByte) {
@@ -391,6 +435,162 @@ TEST(ServerTest, StatsRequestReportsCounters) {
   EXPECT_EQ(s.queue_depth, 0) << "shutdown must drain every queue";
 }
 
+// --- Fault tolerance: deadlines, heartbeats, resume, dedup. ---
+
+/// Blocking HandleFrame round trip for hand-built frames (the loopback
+/// client cannot set header extensions).
+Frame CallRaw(Server* srv, std::int64_t sid, const Frame& req) {
+  isis::Mutex mu;
+  isis::CondVar cv;
+  bool ready = false;
+  Frame result;
+  srv->HandleFrame(sid, req, [&](const Frame& resp) {
+    isis::MutexLock lock(mu);
+    result = resp;
+    ready = true;
+    cv.NotifyOne();
+  });
+  isis::MutexLock lock(mu);
+  cv.Wait(lock, [&] { return ready; });
+  return result;
+}
+
+TEST(ServerTest, PingPongEchoesWithoutASession) {
+  std::unique_ptr<Server> srv = OpenScaled(2);
+  Frame ping;
+  ping.type = MsgType::kPing;
+  ping.seq = 5;
+  ping.payload = "are-you-there";
+  // No hello first: liveness probes need no session.
+  Frame pong = CallRaw(srv.get(), -1, ping);
+  EXPECT_EQ(pong.type, MsgType::kPong);
+  EXPECT_EQ(pong.seq, 5u);
+  EXPECT_EQ(pong.payload, "are-you-there");
+  EXPECT_EQ(srv->stats().Snapshot().heartbeats, 1);
+  srv->Shutdown();
+}
+
+TEST(ServerTest, ExpiredRequestsAreDroppedBeforeDispatch) {
+  // One worker and a deep queue: a burst of 1ms-deadline queries cannot all
+  // be served in time, and the stragglers must come back kDeadlineExceeded
+  // without ever running.
+  std::unique_ptr<Server> srv = OpenScaled(1, /*queue_capacity=*/512);
+  LoopbackClient client(srv.get());
+  ASSERT_TRUE(client.Connect("deadline").ok());
+
+  constexpr int kBurst = 300;
+  isis::Mutex mu;
+  isis::CondVar cv;
+  int responded = 0;
+  int expired = 0;
+  int answered = 0;
+  for (int i = 0; i < kBurst; ++i) {
+    Frame req;
+    req.type = MsgType::kQuery;
+    req.seq = static_cast<std::uint32_t>(i + 10);
+    // A generous budget for the head of the queue (those must answer), a
+    // 1ms budget for the rest (the ~30ms of queued work ahead of them
+    // guarantees stragglers).
+    req.deadline_ms = i < 10 ? 10000 : 1;
+    req.payload = JoinFields({"musicians", "e.plays ]= {inst0}"});
+    srv->HandleFrame(client.session_id(), req, [&](const Frame& resp) {
+      isis::MutexLock lock(mu);
+      ++responded;
+      if (resp.type == MsgType::kDeadlineExceeded) ++expired;
+      if (resp.type == MsgType::kQueryResult) ++answered;
+      cv.NotifyOne();
+    });
+  }
+  {
+    isis::MutexLock lock(mu);
+    cv.Wait(lock, [&] { return responded == kBurst; });
+    EXPECT_GT(expired, 0) << "1ms deadlines all survived a " << kBurst
+                          << "-deep queue on one worker";
+    EXPECT_GT(answered, 0) << "the head of the queue was still in budget";
+  }
+  EXPECT_GE(srv->stats().Snapshot().deadline_drops, expired);
+  srv->Shutdown();
+}
+
+TEST(ServerTest, ResentWritesDedupOnWriteSeq) {
+  std::unique_ptr<Server> srv = OpenScaled(2);
+  LoopbackClient client(srv.get());
+  ASSERT_TRUE(client.Connect("dedup").ok());
+  const std::int64_t sid = client.session_id();
+
+  Frame first;
+  first.type = MsgType::kAssign;
+  first.seq = 100;
+  first.write_seq = 7;
+  first.payload = JoinFields({"musicians", "musician0", "plays", "inst1"});
+  Frame resp = CallRaw(srv.get(), sid, first);
+  ASSERT_EQ(resp.type, MsgType::kOk) << resp.payload;
+
+  // A *different* mutation arriving under the same write_seq is by
+  // definition a resend of the first (the client reuses the seq only on
+  // resends): the cached response comes back and nothing is applied.
+  Frame resend;
+  resend.type = MsgType::kAssign;
+  resend.seq = 101;
+  resend.write_seq = 7;
+  resend.payload = JoinFields({"musicians", "musician1", "plays", "inst1"});
+  Frame cached = CallRaw(srv.get(), sid, resend);
+  EXPECT_EQ(cached.type, MsgType::kOk);
+  EXPECT_EQ(cached.seq, 101u) << "cached response must carry the new seq";
+  EXPECT_EQ(srv->stats().Snapshot().dedup_hits, 1);
+
+  Result<std::vector<std::string>> players =
+      client.Query("musicians", "e.plays ]= {inst1}");
+  ASSERT_TRUE(players.ok());
+  EXPECT_NE(std::find(players->begin(), players->end(), "musician0"),
+            players->end());
+  EXPECT_EQ(std::find(players->begin(), players->end(), "musician1"),
+            players->end())
+      << "the deduped resend must not have applied";
+
+  // A fresh write_seq applies normally.
+  Frame next;
+  next.type = MsgType::kAssign;
+  next.seq = 102;
+  next.write_seq = 8;
+  next.payload = JoinFields({"musicians", "musician1", "plays", "inst1"});
+  EXPECT_EQ(CallRaw(srv.get(), sid, next).type, MsgType::kOk);
+  players = client.Query("musicians", "e.plays ]= {inst1}");
+  ASSERT_TRUE(players.ok());
+  EXPECT_NE(std::find(players->begin(), players->end(), "musician1"),
+            players->end());
+  srv->Shutdown();
+}
+
+TEST(ServerTest, HelloWithResumeReattachesTheSession) {
+  std::unique_ptr<Server> srv = OpenScaled(2);
+  LoopbackClient client(srv.get());
+  ASSERT_TRUE(client.Connect("resume-me").ok());
+  const std::int64_t sid = client.session_id();
+  ASSERT_EQ(srv->session_count(), 1);
+
+  Frame hello;
+  hello.type = MsgType::kHello;
+  hello.seq = 50;
+  hello.payload = JoinFields({"resume-me", std::to_string(sid)});
+  Frame resp = CallRaw(srv.get(), -1, hello);
+  ASSERT_EQ(resp.type, MsgType::kOk) << resp.payload;
+  EXPECT_EQ(SplitFields(resp.payload)[0], std::to_string(sid));
+  EXPECT_EQ(srv->session_count(), 1) << "resume must not mint a session";
+  EXPECT_EQ(srv->stats().Snapshot().resumes, 1);
+
+  // Resuming a session the server never had falls back to a fresh one.
+  Frame stale;
+  stale.type = MsgType::kHello;
+  stale.seq = 51;
+  stale.payload = JoinFields({"resume-me", "999999"});
+  Frame fresh = CallRaw(srv.get(), -1, stale);
+  ASSERT_EQ(fresh.type, MsgType::kOk);
+  EXPECT_NE(SplitFields(fresh.payload)[0], "999999");
+  EXPECT_EQ(srv->session_count(), 2);
+  srv->Shutdown();
+}
+
 // --- Notifications. ---
 
 TEST(ServerTest, SubscribersSeeWritesFromOtherSessions) {
@@ -509,6 +709,186 @@ TEST(ServerTest, TcpRoundTrip) {
     EXPECT_EQ(bye->type, MsgType::kOk);
   }
   tcp.Stop();
+  srv->Shutdown();
+}
+
+TEST(ServerTest, IdleConnectionsAreReapedAndPingKeepsAlive) {
+  std::unique_ptr<Server> srv = OpenScaled(2);
+  // Wide margins: the chatty client pings every ~75ms against a 500ms
+  // timeout, so even a sanitizer-slowed round trip stays attached, while
+  // the idle one sits silent for ~900ms, well past the deadline.
+  TcpServerOptions topts;
+  topts.idle_timeout_ms = 500;
+  TcpServer tcp(srv.get(), topts);
+  Status st = tcp.Start(0);
+  if (!st.ok()) {
+    GTEST_SKIP() << "cannot bind a loopback socket here: " << st.ToString();
+  }
+
+  // An idle connection dies; the one that pings survives the same span.
+  TcpClient idle;
+  TcpClient chatty;
+  ASSERT_TRUE(idle.Connect("127.0.0.1", tcp.port(), "idle").ok());
+  ASSERT_TRUE(chatty.Connect("127.0.0.1", tcp.port(), "chatty").ok());
+  for (int i = 0; i < 12; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(75));
+    Result<Frame> pong = chatty.Call(MsgType::kPing, "kk");
+    ASSERT_TRUE(pong.ok()) << pong.status().ToString();
+    EXPECT_EQ(pong->type, MsgType::kPong);
+  }
+  // 900ms of silence total: well past the 500ms timeout.
+  Result<Frame> dead = idle.Call(
+      MsgType::kQuery, JoinFields({"musicians", "e.plays ]= {inst0}"}));
+  EXPECT_FALSE(dead.ok()) << "the reaped connection still answered";
+  Result<Frame> alive = chatty.Call(
+      MsgType::kQuery, JoinFields({"musicians", "e.plays ]= {inst0}"}));
+  EXPECT_TRUE(alive.ok()) << alive.status().ToString();
+  EXPECT_GE(srv->stats().Snapshot().idle_reaps, 1);
+  tcp.Stop();
+  srv->Shutdown();
+}
+
+TEST(ServerTest, PeerClosesAreClassifiedCleanVsTruncated) {
+  std::unique_ptr<Server> srv = OpenScaled(2);
+  TcpServer tcp(srv.get());
+  Status st = tcp.Start(0);
+  if (!st.ok()) {
+    GTEST_SKIP() << "cannot bind a loopback socket here: " << st.ToString();
+  }
+
+  auto dial = [&]() {
+    int fd = socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(tcp.port()));
+    inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    EXPECT_EQ(connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+              0);
+    return fd;
+  };
+  auto wait_for = [&](auto pred) {
+    for (int i = 0; i < 200 && !pred(); ++i) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    return pred();
+  };
+
+  // Clean: a whole frame, read its response, close on the boundary. (The
+  // pong must be drained first -- closing with unread data in the receive
+  // buffer sends RST, not a clean FIN.)
+  {
+    int fd = dial();
+    Frame ping;
+    ping.type = MsgType::kPing;
+    ping.seq = 1;
+    std::string wire = EncodeFrame(ping);
+    ASSERT_EQ(write(fd, wire.data(), wire.size()),
+              static_cast<ssize_t>(wire.size()));
+    FrameReader reader;
+    Frame pong;
+    for (;;) {
+      char buf[256];
+      ssize_t n = read(fd, buf, sizeof(buf));
+      ASSERT_GT(n, 0);
+      reader.Feed(buf, static_cast<std::size_t>(n));
+      if (reader.Next(&pong) == DecodeResult::kOk) break;
+    }
+    EXPECT_EQ(pong.type, MsgType::kPong);
+    close(fd);
+    EXPECT_TRUE(
+        wait_for([&] { return srv->stats().Snapshot().eof_clean >= 1; }));
+  }
+
+  // Truncated: half a frame, then the sender dies.
+  {
+    int fd = dial();
+    Frame ping;
+    ping.type = MsgType::kPing;
+    ping.seq = 2;
+    ping.payload = "half";
+    std::string wire = EncodeFrame(ping);
+    ASSERT_EQ(write(fd, wire.data(), kHeaderSize / 2),
+              static_cast<ssize_t>(kHeaderSize / 2));
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    close(fd);
+    EXPECT_TRUE(
+        wait_for([&] { return srv->stats().Snapshot().eof_truncated >= 1; }));
+  }
+  tcp.Stop();
+  srv->Shutdown();
+}
+
+// --- The retry layer over deterministic fault schedules. ---
+
+RetryOptions QuickRetries() {
+  RetryOptions o;
+  o.max_attempts = 10;
+  o.timeout_ms = 5000;
+  o.base_backoff_ms = 1;
+  o.max_backoff_ms = 4;
+  return o;
+}
+
+TEST(RetryTest, HonorsRetryHintsWithBackoff) {
+  std::unique_ptr<Server> srv = OpenScaled(2);
+  auto faulty = std::make_unique<FaultInjectingTransport>(
+      std::make_unique<LoopbackTransport>(srv.get(), "hints"),
+      FaultSchedule{.retry_hint_first_calls = 3});
+  const FaultInjectingTransport* faults = faulty.get();
+  RetryingClient client(std::move(faulty), QuickRetries());
+  ASSERT_TRUE(client.Connect().ok());
+
+  Result<std::vector<std::string>> players =
+      client.Query("musicians", "e.plays ]= {inst0}");
+  ASSERT_TRUE(players.ok()) << players.status().ToString();
+  EXPECT_EQ(client.counters().retry_hints, 3);
+  EXPECT_EQ(client.counters().retries, 3);
+  EXPECT_EQ(faults->counts().retry_hints, 3);
+  srv->Shutdown();
+}
+
+TEST(RetryTest, LostWriteResponseResendsAndDedupes) {
+  std::unique_ptr<Server> srv = OpenScaled(2);
+  auto faulty = std::make_unique<FaultInjectingTransport>(
+      std::make_unique<LoopbackTransport>(srv.get(), "lost-resp"),
+      FaultSchedule{.fail_first_calls = 1});
+  RetryingClient client(std::move(faulty), QuickRetries());
+  ASSERT_TRUE(client.Connect().ok());
+  const std::int64_t sid = client.session_id();
+
+  // First CallFrame: the server applies the assign but the response is
+  // lost and the connection dies. The client must reconnect, resume the
+  // session and resend -- and the server must answer from the dedup window
+  // rather than apply twice.
+  ASSERT_TRUE(client.Assign("musicians", "musician2", "plays", "inst1").ok());
+  EXPECT_EQ(client.session_id(), sid) << "reconnect must resume, not remint";
+  EXPECT_EQ(client.counters().resumed, 1);
+  EXPECT_EQ(client.counters().transport_errors, 1);
+  StatsSnapshot s = srv->stats().Snapshot();
+  EXPECT_EQ(s.dedup_hits, 1);
+  EXPECT_EQ(s.resumes, 1);
+
+  Result<std::vector<std::string>> players =
+      client.Query("musicians", "e.plays ]= {inst1}");
+  ASSERT_TRUE(players.ok());
+  EXPECT_NE(std::find(players->begin(), players->end(), "musician2"),
+            players->end());
+  srv->Shutdown();
+}
+
+TEST(RetryTest, ExhaustsAttemptsAgainstADeadTransport) {
+  std::unique_ptr<Server> srv = OpenScaled(2);
+  FaultSchedule schedule;
+  schedule.connect_fail_prob = 1.0;  // Every dial fails.
+  auto faulty = std::make_unique<FaultInjectingTransport>(
+      std::make_unique<LoopbackTransport>(srv.get(), "unlucky"), schedule);
+  RetryOptions opts = QuickRetries();
+  opts.max_attempts = 3;
+  RetryingClient client(std::move(faulty), opts);
+  Status st = client.Connect();
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(client.counters().attempts, 3);
   srv->Shutdown();
 }
 
