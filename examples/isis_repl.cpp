@@ -15,7 +15,14 @@
 /// targets), `query <class> <predicate>` (ad-hoc textual query, e.g.
 /// `query music_groups e.size = {4} and e.members.plays ]= {piano}`),
 /// `explain <class> <predicate>` (print the query plan — which atoms probe
-/// the value index vs scan, execution order, cardinalities), and `quit`.
+/// the value index vs scan, execution order, cardinalities — plus whether
+/// the identical query would be answered from the result cache), `stats`
+/// (result-cache counters), and `quit`.
+///
+/// Ad-hoc queries go through a query::ResultCache: repeating a query
+/// between mutations answers from the cache (byte-identical results —
+/// entity ids are cached, names rendered fresh). Any mutation, undo or
+/// load flushes it.
 ///
 /// Run: ./isis_repl [--durable <dir>] [database.isis]
 ///   with no database argument the paper's Instrumental_Music database
@@ -32,6 +39,8 @@
 
 #include "common/strings.h"
 #include "datasets/instrumental_music.h"
+#include "live/deps.h"
+#include "query/cache.h"
 #include "query/eval.h"
 #include "query/parser.h"
 #include "store/serializer.h"
@@ -46,18 +55,42 @@ void PrintScreen(ui::SessionController* session) {
   std::fputs(screen.canvas.ToString().c_str(), stdout);
 }
 
-/// `query <class> <predicate>`: parse, evaluate, print the answer.
+/// The REPL's ad-hoc result cache. Non-observing (Options::observe): undo,
+/// redo and load replace the whole workspace, and an observing cache would
+/// hold a registration on the destroyed database. Instead the cache is
+/// recreated whenever the controller's database is a different *instance*
+/// (the id is globally unique, so a new database at a reused address cannot
+/// be mistaken for the old one), and within one instance any mutation
+/// bumps the version and flushes on the next lookup.
+struct AdHocCache {
+  std::unique_ptr<query::ResultCache> cache;
+  std::uint64_t instance = 0;
+
+  query::ResultCache* For(sdm::Database* db) {
+    if (cache == nullptr || instance != db->instance_id()) {
+      query::ResultCache::Options opts;
+      opts.observe = false;
+      cache = std::make_unique<query::ResultCache>(db, opts);
+      instance = db->instance_id();
+    }
+    return cache.get();
+  }
+};
+
+/// `query <class> <predicate>`: parse, evaluate (through the result
+/// cache), print the answer.
 /// `explain <class> <predicate>`: same parse, but print the query plan
-/// (probe vs scan per atom, execution order, cardinalities) instead.
-void RunAdHocQuery(ui::SessionController* session, const std::string& args,
-                   bool explain) {
+/// (probe vs scan per atom, execution order, cardinalities) and whether
+/// the identical query would hit the cache instead.
+void RunAdHocQuery(ui::SessionController* session, AdHocCache* adhoc,
+                   const std::string& args, bool explain) {
   size_t sp = args.find(' ');
   if (sp == std::string::npos) {
     std::printf("usage: %s <class> <predicate>\n",
                 explain ? "explain" : "query");
     return;
   }
-  const sdm::Database& db = session->workspace().db();
+  sdm::Database& db = session->workspace().db();
   Result<ClassId> cls = db.schema().FindClass(args.substr(0, sp));
   if (!cls.ok()) {
     std::printf("%s\n", cls.status().ToString().c_str());
@@ -69,19 +102,52 @@ void RunAdHocQuery(ui::SessionController* session, const std::string& args,
     std::printf("%s\n", pred.status().ToString().c_str());
     return;
   }
+  query::ResultCache* rc = adhoc->For(&db);
+  const std::string key = query::ResultCache::NormalizeKey(*pred, *cls);
   if (explain) {
     std::printf("%s", query::Evaluator(db).Explain(*pred, *cls).c_str());
+    std::printf("cache: %s\n", rc->Peek(key) ? "hit" : "miss");
     return;
   }
-  sdm::EntitySet answer =
-      query::Evaluator(db).EvaluateSubclass(*pred, *cls);
+  std::shared_ptr<const sdm::EntitySet> answer = rc->Lookup(key);
+  if (answer == nullptr) {
+    // Stamp before evaluating: parsing/evaluating may intern a new value
+    // (bumping the version), and Insert refuses a stamp the database has
+    // moved past -- the next run of the same query re-evaluates cleanly.
+    const std::uint64_t v0 = db.version();
+    auto eval = std::make_shared<const sdm::EntitySet>(
+        query::Evaluator(db).EvaluateSubclass(*pred, *cls));
+    rc->Insert(key,
+               live::FlattenForCache(
+                   live::AnalyzeAdHoc(db.schema(), *cls, *pred)),
+               eval, v0);
+    answer = std::move(eval);
+  }
   std::printf("%s = {", PredicateToString(db, *pred).c_str());
   bool first = true;
-  for (EntityId e : answer) {
+  for (EntityId e : *answer) {
     std::printf("%s%s", first ? " " : ", ", db.NameOf(e).c_str());
     first = false;
   }
-  std::printf(" }  (%zu member(s))\n", answer.size());
+  std::printf(" }  (%zu member(s))\n", answer->size());
+}
+
+void PrintCacheStats(const AdHocCache& adhoc) {
+  if (adhoc.cache == nullptr) {
+    std::printf("result cache: empty (no ad-hoc queries yet)\n");
+    return;
+  }
+  const query::ResultCache::Counters c = adhoc.cache->counters();
+  std::printf(
+      "result cache: %lld entr%s, %lld hit(s), %lld miss(es), "
+      "%lld insertion(s), %lld eviction(s), %lld invalidation(s), "
+      "%lld flush(es)\n",
+      static_cast<long long>(adhoc.cache->size()),
+      adhoc.cache->size() == 1 ? "y" : "ies", static_cast<long long>(c.hits),
+      static_cast<long long>(c.misses), static_cast<long long>(c.insertions),
+      static_cast<long long>(c.evictions),
+      static_cast<long long>(c.invalidations),
+      static_cast<long long>(c.schema_flushes + c.version_flushes));
 }
 
 void PrintHits(ui::SessionController* session) {
@@ -156,6 +222,7 @@ int main(int argc, char** argv) {
                 owned->wal_path().c_str());
   }
   ui::SessionController& session = *owned;
+  AdHocCache adhoc;
   PrintScreen(&session);
   std::printf("> ");
   std::fflush(stdout);
@@ -182,13 +249,19 @@ int main(int argc, char** argv) {
       continue;
     }
     if (StartsWith(trimmed, "query ")) {
-      RunAdHocQuery(&session, trimmed.substr(6), /*explain=*/false);
+      RunAdHocQuery(&session, &adhoc, trimmed.substr(6), /*explain=*/false);
       std::printf("> ");
       std::fflush(stdout);
       continue;
     }
     if (StartsWith(trimmed, "explain ")) {
-      RunAdHocQuery(&session, trimmed.substr(8), /*explain=*/true);
+      RunAdHocQuery(&session, &adhoc, trimmed.substr(8), /*explain=*/true);
+      std::printf("> ");
+      std::fflush(stdout);
+      continue;
+    }
+    if (trimmed == "stats") {
+      PrintCacheStats(adhoc);
       std::printf("> ");
       std::fflush(stdout);
       continue;

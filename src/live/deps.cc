@@ -1,5 +1,7 @@
 #include "live/deps.h"
 
+#include <algorithm>
+
 namespace isis::live {
 
 using query::AttributeDerivation;
@@ -128,6 +130,37 @@ DepSet AnalyzeConstraint(const Schema& schema,
   AnalyzePredicate(schema, constraint.predicate, constraint.cls, ClassId(),
                    &deps);
   return deps;
+}
+
+DepSet AnalyzeAdHoc(const Schema& schema, ClassId cls,
+                    const query::Predicate& pred) {
+  DepSet deps;
+  if (!schema.HasClass(cls)) return deps;
+  deps.candidate_classes.insert(cls.value());
+  AnalyzePredicate(schema, pred, cls, ClassId(), &deps);
+  return deps;
+}
+
+query::ResultCache::Deps FlattenForCache(const DepSet& deps) {
+  query::ResultCache::Deps flat;
+  auto merge = [](const std::set<std::int64_t>& from,
+                  std::vector<std::int64_t>* into) {
+    into->insert(into->end(), from.begin(), from.end());
+  };
+  merge(deps.candidate_classes, &flat.classes);
+  merge(deps.owner_classes, &flat.classes);
+  merge(deps.coarse_classes, &flat.classes);
+  merge(deps.candidate_attrs, &flat.attrs);
+  merge(deps.self_attrs, &flat.attrs);
+  merge(deps.coarse_attrs, &flat.attrs);
+  // Buckets are std::sets but can overlap across buckets.
+  auto finish = [](std::vector<std::int64_t>* v) {
+    std::sort(v->begin(), v->end());
+    v->erase(std::unique(v->begin(), v->end()), v->end());
+  };
+  finish(&flat.classes);
+  finish(&flat.attrs);
+  return flat;
 }
 
 }  // namespace isis::live

@@ -22,6 +22,7 @@
 #include <set>
 
 #include "common/ids.h"
+#include "query/cache.h"
 #include "query/constraints.h"
 #include "query/predicate.h"
 #include "sdm/schema.h"
@@ -62,6 +63,20 @@ DepSet AnalyzeAttribute(const sdm::Schema& schema, const sdm::AttributeDef& def,
 /// Read set of a stored constraint.
 DepSet AnalyzeConstraint(const sdm::Schema& schema,
                          const query::Constraint& constraint);
+
+/// Read set of an ad-hoc query `{ e in members(cls) | pred }` — the shape
+/// the server's kQuery request evaluates. Unlike AnalyzeSubclass the
+/// candidate class is `cls` itself (the query filters its members
+/// directly), and there is no self operand.
+DepSet AnalyzeAdHoc(const sdm::Schema& schema, ClassId cls,
+                    const query::Predicate& pred);
+
+/// Flattens a DepSet into the {classes, attrs} shape the query-result
+/// cache (query/cache.h) keys invalidation on: the union of every
+/// membership bucket and the union of every value bucket. Routing
+/// precision is irrelevant to the cache — any matching delta evicts the
+/// whole entry — so the buckets collapse.
+query::ResultCache::Deps FlattenForCache(const DepSet& deps);
 
 }  // namespace isis::live
 

@@ -1,0 +1,270 @@
+#include "query/cache.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace isis::query {
+
+namespace {
+
+void AppendPath(const std::vector<AttributeId>& path, std::string* out) {
+  for (AttributeId a : path) {
+    out->push_back('.');
+    *out += std::to_string(a.value());
+  }
+}
+
+/// Canonical id-level rendering of one term, e.g. "e.3.5", "c{7,9}.2",
+/// "C12.4", "x". Names never appear, so renames cannot stale a key.
+std::string TermKey(const Term& term) {
+  std::string out;
+  switch (term.origin) {
+    case Operand::kCandidate:
+      out = "e";
+      break;
+    case Operand::kSelf:
+      out = "x";
+      break;
+    case Operand::kConstant: {
+      out = "c{";
+      bool first = true;
+      for (EntityId c : term.constants) {  // EntitySet: already id-ordered
+        if (!first) out.push_back(',');
+        first = false;
+        out += std::to_string(c.value());
+      }
+      out.push_back('}');
+      break;
+    }
+    case Operand::kClassExtent:
+      out = "C" + std::to_string(term.extent_class.value());
+      break;
+  }
+  AppendPath(term.path, &out);
+  return out;
+}
+
+std::string AtomKey(const Atom& atom) {
+  std::string out = TermKey(atom.lhs);
+  out.push_back(' ');
+  if (atom.negated) out.push_back('!');
+  out += std::to_string(static_cast<int>(atom.op));
+  out.push_back(' ');
+  out += TermKey(atom.rhs);
+  return out;
+}
+
+void SortUnique(std::vector<std::string>* v) {
+  std::sort(v->begin(), v->end());
+  v->erase(std::unique(v->begin(), v->end()), v->end());
+}
+
+std::string Join(const std::vector<std::string>& parts, char sep) {
+  std::string out;
+  for (const std::string& p : parts) {
+    if (!out.empty()) out.push_back(sep);
+    out += p;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string ResultCache::NormalizeKey(const Predicate& pred, ClassId v) {
+  // Atoms sort and dedupe within a clause, clauses within the predicate:
+  // both connectives are commutative and idempotent. Unplaced atoms and
+  // empty clauses drop out, exactly as evaluation skips them. The normal
+  // form stays in the key because an empty CNF is "everything" while an
+  // empty DNF is "nothing", and mixed forms group atoms differently.
+  std::vector<std::string> clause_keys;
+  for (const std::vector<int>& clause : pred.clauses) {
+    std::vector<std::string> atom_keys;
+    for (int idx : clause) {
+      if (idx < 0 || static_cast<std::size_t>(idx) >= pred.atoms.size()) {
+        continue;
+      }
+      atom_keys.push_back(AtomKey(pred.atoms[idx]));
+    }
+    if (atom_keys.empty()) continue;
+    SortUnique(&atom_keys);
+    clause_keys.push_back(Join(atom_keys, ','));
+  }
+  SortUnique(&clause_keys);
+  std::string out(pred.form == NormalForm::kConjunctive ? "&" : "|");
+  out += std::to_string(v.value());
+  out.push_back(':');
+  out += Join(clause_keys, ';');
+  return out;
+}
+
+ResultCache::ResultCache(sdm::Database* db, Options options)
+    : db_(db), options_(options) {
+  {
+    MutexLock lock(mu_);
+    synced_version_ = db_->version();
+  }
+  if (options_.observe) db_->AddObserver(this);
+}
+
+ResultCache::~ResultCache() {
+  // Non-observing caches must not touch db_ here: they are allowed to
+  // outlive it (Options::observe).
+  if (options_.observe) db_->RemoveObserver(this);
+}
+
+void ResultCache::SyncLocked() {
+  const std::uint64_t v = db_->version();
+  if (v == synced_version_) return;
+  // The database moved without a settle we processed: an intern or restore
+  // grew the entity universe behind the observer stream's back. Nothing
+  // says which entries that can affect, so drop them all.
+  if (!entries_.empty()) ++counters_.version_flushes;
+  FlushLocked();
+  synced_version_ = v;
+}
+
+void ResultCache::FlushLocked() {
+  lru_.clear();
+  by_class_.clear();
+  by_attr_.clear();
+  entries_.clear();
+}
+
+void ResultCache::EraseLocked(Entry* e) {
+  lru_.erase(e->lru_it);
+  for (std::int64_t c : e->deps.classes) {
+    auto it = by_class_.find(c);
+    if (it != by_class_.end()) {
+      it->second.erase(e);
+      if (it->second.empty()) by_class_.erase(it);
+    }
+  }
+  for (std::int64_t a : e->deps.attrs) {
+    auto it = by_attr_.find(a);
+    if (it != by_attr_.end()) {
+      it->second.erase(e);
+      if (it->second.empty()) by_attr_.erase(it);
+    }
+  }
+  entries_.erase(e->key);  // frees e
+}
+
+void ResultCache::TouchLocked(Entry* e) {
+  lru_.erase(e->lru_it);
+  lru_.push_front(e);
+  e->lru_it = lru_.begin();
+}
+
+std::shared_ptr<const sdm::EntitySet> ResultCache::Lookup(
+    const std::string& key) {
+  MutexLock lock(mu_);
+  SyncLocked();
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++counters_.misses;
+    return nullptr;
+  }
+  ++counters_.hits;
+  TouchLocked(it->second.get());
+  return it->second->result;
+}
+
+bool ResultCache::Peek(const std::string& key) {
+  MutexLock lock(mu_);
+  SyncLocked();
+  return entries_.count(key) > 0;
+}
+
+void ResultCache::Insert(const std::string& key, const Deps& deps,
+                         std::shared_ptr<const sdm::EntitySet> result,
+                         std::uint64_t computed_at) {
+  MutexLock lock(mu_);
+  if (computed_at != db_->version()) return;  // moved mid-evaluation
+  SyncLocked();
+  if (entries_.count(key) > 0) return;  // a concurrent reader won the race
+  while (static_cast<std::int64_t>(entries_.size()) >=
+             static_cast<std::int64_t>(options_.capacity) &&
+         !lru_.empty()) {
+    ++counters_.evictions;
+    EraseLocked(lru_.back());
+  }
+  if (options_.capacity <= 0) return;
+  auto entry = std::make_unique<Entry>();
+  Entry* e = entry.get();
+  e->key = key;
+  e->result = std::move(result);
+  e->version = computed_at;
+  e->deps = deps;
+  lru_.push_front(e);
+  e->lru_it = lru_.begin();
+  for (std::int64_t c : e->deps.classes) by_class_[c].insert(e);
+  for (std::int64_t a : e->deps.attrs) by_attr_[a].insert(e);
+  entries_.emplace(key, std::move(entry));
+  ++counters_.insertions;
+}
+
+ResultCache::Counters ResultCache::counters() const {
+  MutexLock lock(mu_);
+  return counters_;
+}
+
+std::int64_t ResultCache::size() const {
+  MutexLock lock(mu_);
+  return static_cast<std::int64_t>(entries_.size());
+}
+
+void ResultCache::OnMembership(EntityId e, ClassId cls, bool added) {
+  (void)e;
+  (void)added;
+  MutexLock lock(mu_);
+  pending_classes_.insert(cls.value());
+}
+
+void ResultCache::OnAttributeValue(EntityId e, AttributeId attr,
+                                   const sdm::EntitySet& before,
+                                   const sdm::EntitySet& after) {
+  (void)e;
+  (void)before;
+  (void)after;
+  MutexLock lock(mu_);
+  pending_attrs_.insert(attr.value());
+}
+
+void ResultCache::OnSchemaChange() {
+  MutexLock lock(mu_);
+  pending_schema_ = true;
+}
+
+void ResultCache::OnMutationsSettled() {
+  MutexLock lock(mu_);
+  if (pending_schema_) {
+    if (!entries_.empty()) ++counters_.schema_flushes;
+    FlushLocked();
+  } else {
+    // Evict exactly the entries whose read set intersects the touched ids.
+    // Victims are collected first: EraseLocked edits the very sets being
+    // walked.
+    std::set<Entry*> victims;
+    for (std::int64_t c : pending_classes_) {
+      auto it = by_class_.find(c);
+      if (it != by_class_.end()) victims.insert(it->second.begin(),
+                                                it->second.end());
+    }
+    for (std::int64_t a : pending_attrs_) {
+      auto it = by_attr_.find(a);
+      if (it != by_attr_.end()) victims.insert(it->second.begin(),
+                                               it->second.end());
+    }
+    for (Entry* e : victims) {
+      ++counters_.invalidations;
+      EraseLocked(e);
+    }
+  }
+  pending_classes_.clear();
+  pending_attrs_.clear();
+  pending_schema_ = false;
+  // The settle explains everything up to the current version.
+  synced_version_ = db_->version();
+}
+
+}  // namespace isis::query

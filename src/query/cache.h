@@ -1,0 +1,177 @@
+/// \file cache.h
+/// \brief Delta-invalidated query-result cache for the read path.
+///
+/// ISIS sessions re-issue the same or overlapping predicates constantly
+/// (interactive browsing is repetitive by nature), so the server keeps a
+/// small LRU map from *normalized predicate* to the result id-set it
+/// evaluated to. Three mechanisms keep a hit exactly as correct as a fresh
+/// evaluation:
+///
+///   1. Normalization. The key renders each placed atom by ids (operand
+///      origin, path attribute ids, constant entity ids, extent class id,
+///      operator, negation), sorts and dedupes atoms within a clause and
+///      clauses within the predicate (AND/OR are commutative and
+///      idempotent), and drops unplaced atoms and empty clauses — exactly
+///      the parts evaluation ignores. Two textually different queries that
+///      evaluate identically therefore share one entry, and renames cannot
+///      stale a key because names never enter it.
+///
+///   2. Selective invalidation. The cache registers as a MutationObserver.
+///      Each entry carries the flattened read set of its predicate
+///      (live/deps.h dependency analysis: the classes whose membership and
+///      the attributes whose values the query can read). Deltas collected
+///      during a mutation batch evict, at OnMutationsSettled, only the
+///      entries whose read set intersects the touched ids; a schema-level
+///      change (deletion, value-class switch, extra parent) flushes
+///      everything. The analysis over-approximates, so eviction is only
+///      ever too eager, never too lazy.
+///
+///   3. Version stamps. sdm::Database::version() advances once per mutation
+///      batch and once per entity interned or restored outside a mutator.
+///      The cache tracks the last version it reconciled to; finding the
+///      database at any other version at lookup/insert time means a change
+///      happened that produced no settle notification (interning grows a
+///      predefined class extent silently), and the cache flushes wholesale
+///      rather than guess. Results are stored as shared_ptr id-sets and
+///      formatted at hit time, so concurrent readers share one copy and
+///      eviction never invalidates a reader mid-format.
+///
+/// Thread-safety: every public method and observer callback locks the
+/// cache's own small mutex; hits copy a shared_ptr under it, so the
+/// critical section is a hash probe plus a list splice. Observer callbacks
+/// only run during the owner's exclusive phase, but the cache does not rely
+/// on that — it is safe under any interleaving the database itself allows.
+/// The cache registers itself with the database on construction and
+/// removes itself on destruction; it must not outlive the database.
+
+#ifndef ISIS_QUERY_CACHE_H_
+#define ISIS_QUERY_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/sync.h"
+#include "query/predicate.h"
+#include "sdm/database.h"
+
+namespace isis::query {
+
+class ResultCache : public sdm::MutationObserver {
+ public:
+  struct Options {
+    int capacity = 1024;  ///< Entry bound; beyond it the LRU tail is evicted.
+    /// Register as a mutation observer for *selective* invalidation (the
+    /// normal mode). false skips registration -- the destructor then never
+    /// touches the database, so the cache may safely outlive it, at the
+    /// cost of invalidation degrading to a full flush on any version
+    /// advance (SyncLocked's unexplained-bump rule fires for every
+    /// mutation). For single-threaded tooling like the REPL, whose
+    /// database can be replaced wholesale by undo/redo/load.
+    bool observe = true;
+  };
+
+  /// Flattened read set of one cached query, as produced by
+  /// live::FlattenForCache (live/deps.h). Sorted-unique id vectors.
+  struct Deps {
+    std::vector<std::int64_t> classes;  ///< Membership reads.
+    std::vector<std::int64_t> attrs;    ///< Value reads.
+  };
+
+  struct Counters {
+    std::int64_t hits = 0;
+    std::int64_t misses = 0;
+    std::int64_t insertions = 0;
+    std::int64_t evictions = 0;       ///< Capacity (LRU) evictions.
+    std::int64_t invalidations = 0;   ///< Entries evicted by matching deltas.
+    std::int64_t schema_flushes = 0;  ///< Full flushes on schema change.
+    std::int64_t version_flushes = 0; ///< Full flushes on unexplained bumps.
+  };
+
+  /// Registers with `db` as a mutation observer. `db` must outlive this.
+  ResultCache(sdm::Database* db, Options options);
+  explicit ResultCache(sdm::Database* db) : ResultCache(db, Options()) {}
+  ~ResultCache() override;
+
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
+
+  /// Canonical cache key of `{ e in members(v) | pred }`. Pure function of
+  /// the predicate structure and ids; see the file comment, rule 1.
+  static std::string NormalizeKey(const Predicate& pred, ClassId v);
+
+  /// Version-current result for `key`, or nullptr. Counts a hit or a miss
+  /// and refreshes the entry's LRU position.
+  std::shared_ptr<const sdm::EntitySet> Lookup(const std::string& key)
+      ISIS_EXCLUDES(mu_);
+
+  /// Like Lookup but counts nothing and keeps the LRU order — for `explain`
+  /// to report hit/miss without skewing the stats.
+  bool Peek(const std::string& key) ISIS_EXCLUDES(mu_);
+
+  /// Publishes a result evaluated while the database was at version
+  /// `computed_at`. A no-op if the database has moved since (the result may
+  /// reflect a half-applied change) or if an entry for `key` already exists
+  /// (a concurrent reader won the race; the results are identical).
+  void Insert(const std::string& key, const Deps& deps,
+              std::shared_ptr<const sdm::EntitySet> result,
+              std::uint64_t computed_at) ISIS_EXCLUDES(mu_);
+
+  Counters counters() const ISIS_EXCLUDES(mu_);
+  std::int64_t size() const ISIS_EXCLUDES(mu_);
+
+  // --- sdm::MutationObserver (record now, evict at settle). ---
+  void OnMembership(EntityId e, ClassId cls, bool added) override
+      ISIS_EXCLUDES(mu_);
+  void OnAttributeValue(EntityId e, AttributeId attr,
+                        const sdm::EntitySet& before,
+                        const sdm::EntitySet& after) override
+      ISIS_EXCLUDES(mu_);
+  void OnSchemaChange() override ISIS_EXCLUDES(mu_);
+  void OnMutationsSettled() override ISIS_EXCLUDES(mu_);
+
+ private:
+  struct Entry {
+    std::string key;
+    std::shared_ptr<const sdm::EntitySet> result;
+    std::uint64_t version = 0;  ///< Database version the result reflects.
+    Deps deps;
+    std::list<Entry*>::iterator lru_it;
+  };
+
+  /// Reconciles to the database's current version: any advance the settle
+  /// protocol did not explain flushes everything (file comment, rule 3).
+  void SyncLocked() ISIS_REQUIRES(mu_);
+  void FlushLocked() ISIS_REQUIRES(mu_);
+  /// Unlinks `e` from the LRU list and both dep indexes, then frees it.
+  void EraseLocked(Entry* e) ISIS_REQUIRES(mu_);
+  void TouchLocked(Entry* e) ISIS_REQUIRES(mu_);
+
+  sdm::Database* const db_;
+  const Options options_;
+
+  mutable Mutex mu_;
+  std::unordered_map<std::string, std::unique_ptr<Entry>> entries_
+      ISIS_GUARDED_BY(mu_);
+  std::list<Entry*> lru_ ISIS_GUARDED_BY(mu_);  ///< Front = most recent.
+  /// Inverted dep indexes: touched id -> entries to evict.
+  std::unordered_map<std::int64_t, std::set<Entry*>> by_class_
+      ISIS_GUARDED_BY(mu_);
+  std::unordered_map<std::int64_t, std::set<Entry*>> by_attr_
+      ISIS_GUARDED_BY(mu_);
+  /// Deltas recorded since the last settle.
+  std::set<std::int64_t> pending_classes_ ISIS_GUARDED_BY(mu_);
+  std::set<std::int64_t> pending_attrs_ ISIS_GUARDED_BY(mu_);
+  bool pending_schema_ ISIS_GUARDED_BY(mu_) = false;
+  std::uint64_t synced_version_ ISIS_GUARDED_BY(mu_) = 0;
+  Counters counters_ ISIS_GUARDED_BY(mu_);
+};
+
+}  // namespace isis::query
+
+#endif  // ISIS_QUERY_CACHE_H_

@@ -39,6 +39,7 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <utility>
@@ -54,6 +55,31 @@ namespace isis::query {
 /// mutations of one attribute: the cache is only sound when the predicate
 /// never reads that attribute.
 bool PredicateMentionsAttribute(const Predicate& pred, AttributeId attr);
+
+/// \brief The four-scope term-image memo backing one PlannedPredicate.
+///
+/// Normally arena-backed: a PlannedPredicate borrows the calling thread's
+/// memo block at construction and returns it at destruction, so the map
+/// node allocations survive from one request to the next instead of being
+/// rebuilt per evaluation. The candidate/self/constant scopes are cleared
+/// on every borrow (their keys only mean something within one query --
+/// `consts` is keyed by Term address), but the class-extent scope is keyed
+/// by (class id, path ids) and survives across borrows for as long as the
+/// database's (instance_id, version) stands still: repeated queries over
+/// the same extents skip rematerializing them even on result-cache misses.
+/// A nested plan (one built while another is alive on the same thread)
+/// finds the arena busy and falls back to a privately owned block.
+struct TermMemos {
+  // Candidate-rooted images are valid for one e, self-rooted for one x;
+  // constants and class extents are e/x-independent.
+  std::map<std::vector<AttributeId>, sdm::EntitySet> cand;
+  EntityId cand_e = sdm::kNullEntity;
+  std::map<std::vector<AttributeId>, sdm::EntitySet> self;
+  EntityId self_x = sdm::kNullEntity;
+  std::unordered_map<const Term*, sdm::EntitySet> consts;
+  std::map<std::pair<std::int64_t, std::vector<AttributeId>>, sdm::EntitySet>
+      extents;
+};
 
 /// How one atom will be executed.
 struct AtomPlan {
@@ -104,6 +130,10 @@ class PlannedPredicate {
   /// Builds the plan. Probe analysis may lazily build value indexes (they
   /// are maintained incrementally afterwards).
   PlannedPredicate(const sdm::Database& db, const Predicate& pred, ClassId v);
+  ~PlannedPredicate();  ///< Returns the borrowed memo block to the arena.
+
+  PlannedPredicate(const PlannedPredicate&) = delete;
+  PlannedPredicate& operator=(const PlannedPredicate&) = delete;
 
   /// { e in candidates | P_x(e) } -- bit-identical to filtering candidates
   /// with Evaluator::EvalPredicate.
@@ -139,16 +169,9 @@ class PlannedPredicate {
   std::vector<ClausePlan> clauses_;
   PlanStats stats_;
 
-  // --- Per-query map-image memo. ---
-  // Candidate-rooted images are valid for one e, self-rooted for one x;
-  // constants and class extents are e/x-independent and live for the query.
-  std::map<std::vector<AttributeId>, sdm::EntitySet> cand_memo_;
-  EntityId memo_e_ = sdm::kNullEntity;
-  std::map<std::vector<AttributeId>, sdm::EntitySet> self_memo_;
-  EntityId memo_x_ = sdm::kNullEntity;
-  std::unordered_map<const Term*, sdm::EntitySet> const_memo_;
-  std::map<std::pair<std::int64_t, std::vector<AttributeId>>, sdm::EntitySet>
-      extent_memo_;
+  // --- Per-query map-image memo (arena-backed; see TermMemos). ---
+  TermMemos* memos_ = nullptr;
+  std::unique_ptr<TermMemos> owned_memos_;  ///< Set iff the arena was busy.
 };
 
 }  // namespace isis::query

@@ -15,6 +15,9 @@ namespace {
 /// "Concurrency" section of database.h). Thread-local so concurrent
 /// shared-phase readers can each detect their own misses race-free.
 thread_local std::int64_t tls_intern_misses = 0;
+
+/// Source of instance_id(); starts at 1 so 0 means "no database".
+std::atomic<std::uint64_t> next_db_instance{1};
 }  // namespace
 
 std::int64_t Database::InternMissCount() { return tls_intern_misses; }
@@ -22,7 +25,9 @@ std::int64_t Database::InternMissCount() { return tls_intern_misses; }
 Database::Database() : Database(Options{}) {}
 
 Database::Database(Options options)
-    : schema_(options.schema), options_(options) {
+    : schema_(options.schema),
+      options_(options),
+      instance_id_(next_db_instance.fetch_add(1, std::memory_order_relaxed)) {
   // Slot 0 is the null entity: "a member of every class", never listed.
   Entity null_entity;
   null_entity.id = kNullEntity;
@@ -246,6 +251,11 @@ Result<EntityId> Database::InternValue(const Value& v) const {
   members_[base.value()].insert(e.id);
   entities_.push_back(std::move(e));
   entity_live_.push_back(true);
+  // Interning grows a predefined class extent without firing observers, so
+  // the data version must advance here: consumers that stamp results by
+  // version (the query-result cache) see the bump and discard rather than
+  // serve answers from before the new entity existed.
+  version_.fetch_add(1, std::memory_order_acq_rel);
   return entities_.back().id;
 }
 
@@ -1010,6 +1020,9 @@ Status Database::RestoreEntity(const Entity& e) {
   members_[e.baseclass.value()].insert(e.id);
   entities_.push_back(e);
   entity_live_.push_back(true);
+  // Restore bypasses observers; advance the version stamp so anything
+  // holding version-stamped results across a load discards them.
+  version_.fetch_add(1, std::memory_order_acq_rel);
   return Status::OK();
 }
 
@@ -1022,6 +1035,7 @@ Status Database::RestoreMembers(ClassId cls, EntitySet members) {
         "baseclass membership is restored entity by entity");
   }
   members_[cls.value()] = std::move(members);
+  version_.fetch_add(1, std::memory_order_acq_rel);
   return Status::OK();
 }
 
@@ -1030,6 +1044,7 @@ Status Database::RestoreSingle(AttributeId attr, EntityId e, EntityId value) {
     return Status::ParseError("bad singlevalued attribute slot on restore");
   }
   if (value != kNullEntity) single_[attr.value()][e] = value;
+  version_.fetch_add(1, std::memory_order_acq_rel);
   MutexLock lock(lazy_mu_);
   auto it = value_index_.find(attr.value());
   if (it != value_index_.end()) it->second.dirty = true;
@@ -1041,6 +1056,7 @@ Status Database::RestoreMulti(AttributeId attr, EntityId e, EntitySet values) {
     return Status::ParseError("bad multivalued attribute slot on restore");
   }
   if (!values.empty()) multi_[attr.value()][e] = std::move(values);
+  version_.fetch_add(1, std::memory_order_acq_rel);
   MutexLock lock(lazy_mu_);
   auto it = value_index_.find(attr.value());
   if (it != value_index_.end()) it->second.dirty = true;

@@ -375,6 +375,24 @@ class Database {
   /// must be retried under the exclusive lock.
   static std::int64_t InternMissCount();
 
+  /// Monotonic data-version stamp. Bumped once when the outermost mutating
+  /// call returns (one bump per mutation batch, before OnMutationsSettled
+  /// fires, so observers read the post-batch version), and once per entity
+  /// interned or restored outside a mutator (interning bypasses the observer
+  /// stream; version-stamp consumers such as the query-result cache treat an
+  /// unexplained bump as "flush everything"). Equal versions imply equal
+  /// query answers; the converse does not hold. Atomic so shared-phase
+  /// readers can stamp results without any lock.
+  std::uint64_t version() const {
+    return version_.load(std::memory_order_acquire);
+  }
+
+  /// Process-unique id of this instance, assigned at construction from a
+  /// monotone counter. Per-thread caches keyed by database identity use
+  /// (instance_id, version) rather than (pointer, version): a new database
+  /// allocated at a recycled address must not inherit the old one's cache.
+  std::uint64_t instance_id() const { return instance_id_; }
+
  private:
   /// RAII depth guard wrapping every public mutator: OnMutationsSettled
   /// fires when the outermost one returns, so observers never mutate the
@@ -383,8 +401,9 @@ class Database {
    public:
     explicit MutationScope(Database* db) : db_(db) { ++db_->mutation_depth_; }
     ~MutationScope() {
-      if (--db_->mutation_depth_ == 0 && !db_->observers_.empty()) {
-        db_->NotifySettled();
+      if (--db_->mutation_depth_ == 0) {
+        db_->version_.fetch_add(1, std::memory_order_acq_rel);
+        if (!db_->observers_.empty()) db_->NotifySettled();
       }
     }
     MutationScope(const MutationScope&) = delete;
@@ -447,6 +466,7 @@ class Database {
 
   Schema schema_;
   Options options_;
+  const std::uint64_t instance_id_;  ///< See instance_id().
 
   // Entity universe. Interning predefined-class entities is logically const
   // (the classes "contain all values of interest"), hence mutable.
@@ -480,6 +500,9 @@ class Database {
   mutable Stats stats_ ISIS_GUARDED_BY(lazy_mu_);
   std::vector<MutationObserver*> observers_;
   int mutation_depth_ = 0;
+  /// See version(). Mutable: interning is a logically-const read that still
+  /// has to advance the stamp (it grows the entity universe).
+  mutable std::atomic<std::uint64_t> version_{0};
   static const EntitySet kEmptySet;
 };
 

@@ -73,6 +73,48 @@ void Executor::RecordLockWait(bool exclusive,
   stats_->RecordDispatch(exclusive, waited);
 }
 
+bool Executor::PopSharedTask(Task* task, std::shared_ptr<Lane>* lane,
+                             std::int64_t* lane_id) {
+  MutexLock lock(mu_);
+  std::size_t probes = ready_.size();
+  for (std::size_t i = 0; i < probes; ++i) {
+    std::int64_t cand = ready_.front();
+    ready_.pop_front();
+    auto it = lanes_.find(cand);
+    if (it == lanes_.end()) continue;  // Stale entry; drop it.
+    if (it->second->running || it->second->queue.empty()) continue;
+    if (it->second->queue.front().mode != TaskMode::kShared) {
+      // Not batchable under a reader hold; leave it for a fresh dispatch.
+      // The rotation to the back is bounded round-robin, not starvation:
+      // a worker picks it up as soon as one is free.
+      ready_.push_back(cand);
+      continue;
+    }
+    *task = std::move(it->second->queue.front());
+    it->second->queue.pop_front();
+    it->second->running = true;
+    ++in_flight_;
+    *lane = it->second;
+    *lane_id = cand;
+    return true;
+  }
+  return false;
+}
+
+void Executor::FinishLane(const std::shared_ptr<Lane>& lane,
+                          std::int64_t lane_id) {
+  MutexLock lock(mu_);
+  lane->running = false;
+  --in_flight_;
+  if (!lane->queue.empty()) {
+    ready_.push_back(lane_id);
+    work_cv_.NotifyOne();
+  } else if (lane->removed) {
+    lanes_.erase(lane_id);
+  }
+  if (closed_ && in_flight_ == 0 && ready_.empty()) work_cv_.NotifyAll();
+}
+
 void Executor::RunTask(Task& task) {
   auto t0 = std::chrono::steady_clock::now();
   switch (task.mode) {
@@ -80,6 +122,26 @@ void Executor::RunTask(Task& task) {
       ReaderLock db(db_lock_);
       RecordLockWait(/*exclusive=*/false, t0);
       task.fn();
+      // Rule 5: the hold is already paid for -- drain more shared work
+      // under it before letting a writer in.
+      for (int extra = 1; extra < options_.shared_batch; ++extra) {
+        Task next;
+        std::shared_ptr<Lane> lane;
+        std::int64_t lane_id = 0;
+        if (!PopSharedTask(&next, &lane, &lane_id)) break;
+        if (stats_) stats_->AdjustQueueDepth(-1);
+        if (next.has_deadline && next.on_expired != nullptr &&
+            std::chrono::steady_clock::now() >= next.deadline) {
+          // Rule 4 still applies mid-batch; on_expired acquires nothing.
+          if (stats_) stats_->RecordDeadlineDrop();
+          next.on_expired();
+        } else {
+          // A batched read waited zero time for the lock by construction.
+          if (stats_) stats_->RecordDispatch(/*exclusive=*/false, 0);
+          next.fn();
+        }
+        FinishLane(lane, lane_id);
+      }
       break;
     }
     case TaskMode::kExclusive: {
@@ -128,16 +190,8 @@ void Executor::WorkerLoop() {
       RunTask(task);
     }
 
+    FinishLane(lane, lane_id);
     lock.Lock();
-    lane->running = false;
-    --in_flight_;
-    if (!lane->queue.empty()) {
-      ready_.push_back(lane_id);
-      work_cv_.NotifyOne();
-    } else if (lane->removed) {
-      lanes_.erase(lane_id);
-    }
-    if (closed_ && in_flight_ == 0 && ready_.empty()) work_cv_.NotifyAll();
   }
 }
 

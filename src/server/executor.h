@@ -19,9 +19,19 @@
 ///      unboundedly.
 ///   4. Deadlines: a task submitted with a deadline that has passed by the
 ///      time a worker picks it up is *dropped before dispatch* -- its
-///      `on_expired` callback runs instead of the task, without touching
+///      `on_expired` callback runs instead of the task, without acquiring
 ///      the database lock. Serving a request nobody is waiting for anymore
 ///      would only lengthen the queue behind it.
+///   5. Shared batching: when a worker finishes a kShared task it keeps its
+///      reader hold open and drains up to `shared_batch - 1` more kShared
+///      head-of-lane tasks from *other* ready lanes before releasing. With
+///      the result cache a read is microseconds, so the RwMutex
+///      acquire/release pair dominates; batching amortizes it across
+///      several reads. Lane order (rule 1) is preserved -- only head tasks
+///      are taken, one per lane at a time. A waiting writer can be passed
+///      by at most `shared_batch - 1` reads per hold, a bounded and
+///      deliberate trade; the RwMutex's writer preference still blocks
+///      fresh reader *acquisitions* behind it.
 ///
 /// Shutdown() closes submission, drains every queued task, then joins the
 /// workers -- accepted work always runs exactly once (either its body or,
@@ -29,8 +39,10 @@
 ///
 /// Lock discipline (checked by -Wthread-safety): all queue state -- lanes_,
 /// ready_, closed_, in_flight_ -- is guarded by mu_; the database itself is
-/// guarded by db_lock_, held in the task's declared mode around task.fn()
-/// and never while mu_ is held.
+/// guarded by db_lock_, held in the task's declared mode around task.fn().
+/// mu_ is never held while *acquiring* db_lock_; the shared-batch path does
+/// acquire mu_ while db_lock_ is held (to pop the next task), which cannot
+/// deadlock precisely because the opposite order never occurs.
 
 #ifndef ISIS_SERVER_EXECUTOR_H_
 #define ISIS_SERVER_EXECUTOR_H_
@@ -69,6 +81,9 @@ class Executor {
   struct Options {
     int threads = 4;
     int queue_capacity = 64;  ///< Per-lane task bound; beyond this, shed.
+    /// Max kShared tasks run under one reader hold (rule 5); 1 disables
+    /// batching.
+    int shared_batch = 8;
   };
 
   /// `stats` may be null (tests); if set, queue depth and lock-wait times
@@ -125,8 +140,18 @@ class Executor {
   void WorkerLoop() ISIS_EXCLUDES(mu_);
   /// Runs `task.fn` under db_lock_ in the task's declared mode, recording
   /// the acquisition wait. One scoped hold per mode keeps the analysis's
-  /// lock state balanced on every path.
+  /// lock state balanced on every path. kShared tasks continue into the
+  /// shared-batch drain (rule 5) before the hold is released.
   void RunTask(Task& task) ISIS_EXCLUDES(mu_, db_lock_);
+  /// Claims the head task of some ready lane iff it is kShared, marking the
+  /// lane running. Lanes whose head needs another mode are rotated to the
+  /// back of ready_ untouched. False when no shared head is ready.
+  bool PopSharedTask(Task* task, std::shared_ptr<Lane>* lane,
+                     std::int64_t* lane_id) ISIS_EXCLUDES(mu_);
+  /// The post-task lane bookkeeping (requeue / erase / shutdown notify),
+  /// shared by WorkerLoop and the batch drain.
+  void FinishLane(const std::shared_ptr<Lane>& lane, std::int64_t lane_id)
+      ISIS_EXCLUDES(mu_);
   void RecordLockWait(bool exclusive,
                       std::chrono::steady_clock::time_point t0);
 

@@ -5,6 +5,7 @@
 
 #include "common/strings.h"
 #include "input/event.h"
+#include "live/deps.h"
 #include "query/eval.h"
 #include "query/parser.h"
 #include "store/serializer.h"
@@ -107,6 +108,12 @@ Result<std::unique_ptr<Server>> Server::Open(
   }
   server->deltas_.Attach(&server->ws_->db());
   server->ws_->db().AddObserver(&server->deltas_);
+  if (options.result_cache) {
+    query::ResultCache::Options copts;
+    copts.capacity = options.result_cache_capacity;
+    server->cache_ =
+        std::make_unique<query::ResultCache>(&server->ws_->db(), copts);
+  }
   // From here on reads run concurrently: freeze interning (see the
   // "Concurrency" section of sdm/database.h). Exclusive tasks unfreeze
   // around themselves.
@@ -203,6 +210,7 @@ std::string Server::Shutdown() {
     shut_down_ = true;
   }
   executor_->Shutdown();  // Drains every accepted request.
+  SyncCacheStats();
   ws_->db().set_intern_frozen(false);
   if (wal_ != nullptr) {
     store::FileEnv* env =
@@ -234,6 +242,13 @@ std::shared_ptr<Session> Server::FindSession(std::int64_t id) const {
   MutexLock lock(sessions_mu_);
   auto it = sessions_.find(id);
   return it == sessions_.end() ? nullptr : it->second;
+}
+
+void Server::SyncCacheStats() {
+  if (cache_ == nullptr) return;
+  query::ResultCache::Counters c = cache_->counters();
+  stats_.SetCacheCounters(c.hits, c.misses, c.evictions, c.invalidations,
+                          c.schema_flushes + c.version_flushes);
 }
 
 void Server::Finish(const Frame& req, const Frame& resp,
@@ -420,6 +435,7 @@ void Server::HandleFrame(std::int64_t session_id, const Frame& request,
       resp.seq = request.seq;
       switch (request.type) {
         case MsgType::kStats:
+          SyncCacheStats();
           resp.type = MsgType::kStatsResult;
           resp.payload = stats_.ToJsonLine();
           break;
@@ -528,16 +544,46 @@ Frame Server::DoQuery(const Frame& req) {
         req, Status::InvalidArgument("kQuery payload is class|predicate"));
   }
   const sdm::Database& db = ws_->db();
+  // Degraded-read marker, snapshotted before the parse: a frozen-intern
+  // read that could not intern (thread-local miss) yields a predicate that
+  // must neither consult nor populate the cache -- the caller discards this
+  // whole response and re-runs exclusively anyway.
+  const std::int64_t misses0 = sdm::Database::InternMissCount();
   Result<ClassId> cls = db.schema().FindClass(fields[0]);
   if (!cls.ok()) return ErrorFrame(req, cls.status());
   Result<query::Predicate> pred =
       query::ParsePredicate(db, *cls, fields[1]);
   if (!pred.ok()) return ErrorFrame(req, pred.status());
-  query::Evaluator ev(db);
-  sdm::EntitySet result = ev.EvaluateSubclass(*pred, *cls);
+
+  std::shared_ptr<const sdm::EntitySet> result;
+  std::string key;
+  const bool cacheable =
+      cache_ != nullptr && sdm::Database::InternMissCount() == misses0;
+  if (cacheable) {
+    key = query::ResultCache::NormalizeKey(*pred, *cls);
+    result = cache_->Lookup(key);
+  }
+  if (result == nullptr) {
+    // Stamp the version *before* evaluating: Insert refuses the result if
+    // the database moved mid-evaluation (REPL-style unfrozen readers can
+    // intern while evaluating; under the server's shared lock nothing
+    // moves and the stamp always holds).
+    const std::uint64_t v0 = db.version();
+    query::Evaluator ev(db);
+    auto eval = std::make_shared<const sdm::EntitySet>(
+        ev.EvaluateSubclass(*pred, *cls));
+    if (cacheable && sdm::Database::InternMissCount() == misses0) {
+      query::ResultCache::Deps deps = live::FlattenForCache(
+          live::AnalyzeAdHoc(db.schema(), *cls, *pred));
+      cache_->Insert(key, deps, eval, v0);
+    }
+    result = std::move(eval);
+  }
+  // Names are rendered at response time, never cached: the id-keyed result
+  // stays valid across renames, and NameOf reflects the current names.
   std::vector<std::string> out;
-  out.push_back(std::to_string(result.size()));
-  for (EntityId e : result) out.push_back(db.NameOf(e));
+  out.push_back(std::to_string(result->size()));
+  for (EntityId e : *result) out.push_back(db.NameOf(e));
   Frame resp;
   resp.type = MsgType::kQueryResult;
   resp.seq = req.seq;
@@ -562,6 +608,16 @@ Frame Server::DoExplain(const Frame& req) {
   resp.type = MsgType::kExplainResult;
   resp.seq = req.seq;
   resp.payload = ev.Explain(*pred, *cls);
+  // Whether the identical kQuery would be served from the result cache
+  // right now. Peek does not touch the counters or the LRU order, so
+  // explaining a query does not perturb what it reports.
+  if (cache_ == nullptr) {
+    resp.payload += "\ncache: bypass";
+  } else if (cache_->Peek(query::ResultCache::NormalizeKey(*pred, *cls))) {
+    resp.payload += "\ncache: hit";
+  } else {
+    resp.payload += "\ncache: miss";
+  }
   return resp;
 }
 

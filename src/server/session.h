@@ -55,6 +55,7 @@
 #include "common/result.h"
 #include "common/sync.h"
 #include "live/engine.h"
+#include "query/cache.h"
 #include "query/workspace.h"
 #include "server/executor.h"
 #include "server/proto.h"
@@ -68,6 +69,12 @@ namespace isis::server {
 struct ServerOptions {
   int threads = 4;
   int queue_capacity = 64;  ///< Per-session queued-request bound.
+  /// Query-result cache over the shared database (query/cache.h): kQuery
+  /// answers are memoized by normalized predicate and invalidated from the
+  /// mutation delta stream. Results are identical either way (property-
+  /// tested in result_cache_test.cpp); off is only for A/B benching.
+  bool result_cache = true;
+  int result_cache_capacity = 1024;
   /// Non-empty: run durable -- WAL in this directory (must exist), recovery
   /// on open, checkpoint on shutdown.
   std::string durable_dir;
@@ -158,6 +165,8 @@ class Server {
   /// kinds) against the server's counters.
   ServerStats* mutable_stats() { return &stats_; }
   const query::Workspace& workspace() const { return *ws_; }
+  /// The query-result cache, or nullptr when disabled (for tests).
+  const query::ResultCache* result_cache() const { return cache_.get(); }
   /// Sessions currently open (for tests).
   int session_count() const;
 
@@ -211,10 +220,17 @@ class Server {
   std::shared_ptr<Session> FindSession(std::int64_t id) const;
   void Finish(const Frame& req, const Frame& resp, ResponseCallback& done,
               std::chrono::steady_clock::time_point t0);
+  /// Copies the result cache's counters into stats_ (absolute stores), so
+  /// the next Snapshot()/ToJsonLine() reflects them. Cheap; called before
+  /// every stats read.
+  void SyncCacheStats();
 
   const ServerOptions options_;
   std::unique_ptr<query::Workspace> ws_;
   std::unique_ptr<live::LiveViewEngine> live_;  ///< Iff db options.live_views.
+  /// Declared after ws_ so it is destroyed first (its destructor
+  /// deregisters from the database). Null when options_.result_cache is off.
+  std::unique_ptr<query::ResultCache> cache_;
   DeltaCollector deltas_;
   ServerStats stats_;
   std::unique_ptr<Executor> executor_;

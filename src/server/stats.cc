@@ -4,9 +4,9 @@
 
 namespace isis::server {
 
-double ServerStats::PercentileLocked(double q) const {
+double ServerStats::Percentile(double q) const {
   std::int64_t total = 0;
-  for (std::int64_t c : latency_buckets_) total += c;
+  for (const Counter& c : latency_buckets_) total += Get(c);
   if (total == 0) return 0.0;
   // Rank of the q-th sample, 1-based.
   std::int64_t rank = static_cast<std::int64_t>(q * static_cast<double>(total));
@@ -14,7 +14,7 @@ double ServerStats::PercentileLocked(double q) const {
   if (rank > total) rank = total;
   std::int64_t seen = 0;
   for (int b = 0; b < kBuckets; ++b) {
-    std::int64_t c = latency_buckets_[static_cast<std::size_t>(b)];
+    std::int64_t c = Get(latency_buckets_[static_cast<std::size_t>(b)]);
     if (c == 0) continue;
     if (seen + c >= rank) {
       // Interpolate inside bucket b, which spans [lo, 2*lo) microseconds.
@@ -26,12 +26,12 @@ double ServerStats::PercentileLocked(double q) const {
     }
     seen += c;
   }
-  return static_cast<double>(max_us_);
+  return static_cast<double>(Get(max_us_));
 }
 
 std::string ServerStats::ToJsonLine() const {
   StatsSnapshot s = Snapshot();
-  char buf[1024];
+  char buf[1536];
   std::snprintf(
       buf, sizeof(buf),
       "{\"name\": \"server_stats\", \"requests\": %lld, \"errors\": %lld, "
@@ -42,6 +42,9 @@ std::string ServerStats::ToJsonLine() const {
       "\"eof_clean\": %lld, \"eof_truncated\": %lld, "
       "\"queue_depth\": %lld, \"queue_peak\": %lld, "
       "\"read_lock_wait_us\": %lld, \"write_lock_wait_us\": %lld, "
+      "\"cache_hits\": %lld, \"cache_misses\": %lld, "
+      "\"cache_evictions\": %lld, \"cache_invalidations\": %lld, "
+      "\"cache_flushes\": %lld, "
       "\"p50_us\": %.1f, \"p95_us\": %.1f, \"max_us\": %lld",
       static_cast<long long>(s.requests), static_cast<long long>(s.errors),
       static_cast<long long>(s.sheds), static_cast<long long>(s.reads),
@@ -57,7 +60,12 @@ std::string ServerStats::ToJsonLine() const {
       static_cast<long long>(s.queue_depth),
       static_cast<long long>(s.queue_peak),
       static_cast<long long>(s.read_lock_wait_us),
-      static_cast<long long>(s.write_lock_wait_us), s.p50_us, s.p95_us,
+      static_cast<long long>(s.write_lock_wait_us),
+      static_cast<long long>(s.cache_hits),
+      static_cast<long long>(s.cache_misses),
+      static_cast<long long>(s.cache_evictions),
+      static_cast<long long>(s.cache_invalidations),
+      static_cast<long long>(s.cache_flushes), s.p50_us, s.p95_us,
       static_cast<long long>(s.max_us));
   std::string out = buf;
   out += ", \"by_type\": [";
