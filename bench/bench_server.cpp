@@ -1,48 +1,49 @@
 /// \file bench_server.cpp
-/// \brief Multi-session server throughput as the worker pool grows, swept
-/// across read/write mixes.
+/// \brief Multi-session durable-server throughput as the worker pool grows,
+/// swept across read/write mixes AND WAL sync policies.
 ///
 /// K client threads each drive one session through the production client
 /// stack -- RetryingClient over the in-process loopback transport (full
 /// wire framing with deadline/write_seq extensions, no socket) -- against
-/// one shared scaled_music database. Three mixes are swept: 50/50, 95/5
-/// and 100/0 query/assign, each at 1, 4 and 8 worker threads. The
-/// transport is fault-free, so this doubles as the "does the retry layer
-/// cost anything when nothing fails" benchmark; kRetry sheds under load
-/// are absorbed by the client's backoff instead of being counted as
-/// answered ops. Writes are disjoint by session -- session s only
-/// reassigns its own slice of musicians, to fixed values -- so the final
-/// database state is interleaving-independent and the run can assert
-/// byte-identical query answers across every thread count of a mix.
+/// one shared scaled_music database running DURABLE: every assign is in the
+/// on-disk WAL before its reply. Three mixes are swept -- 0/100, 50/50 and
+/// 95/5 query/assign -- each under three sync policies (per_commit, group,
+/// none; store/group_commit.h) at 1, 4 and 8 worker threads. Writes are
+/// disjoint by session and idempotent, so the final database state is
+/// interleaving-independent and the run asserts byte-identical query
+/// answers across every thread count of one (mix, policy) cell.
 ///
-/// The mixes are chosen to exercise the query-result cache (query/cache.h)
-/// at three invalidation rates: at 100/0 everything after warmup is a hit;
-/// at 95/5 each write invalidates the entries reading the written
-/// attribute and the hit rate measures how fast they repopulate; at 50/50
-/// the cache is mostly cold and the bench measures that it does not *cost*
-/// anything. Each throughput line carries the cache counters and hit rate.
+/// The sweep isolates what group commit buys: under per_commit every write
+/// pays its own fsync; under group concurrent writers share one; none is
+/// the no-durability ceiling. The group-size and fsync counters on each
+/// line show the mechanism (syncs_per_write < 1 = groups formed), and the
+/// scaling line per cell shows the effect (multi-thread throughput no
+/// longer collapsing under the write-heavy mixes).
 ///
-/// One JSON line per (mix, pool size), bench_predicates-style:
+/// One JSON line per (mix, policy, pool size):
 ///
 ///   {"name":"server_throughput","threads":4,"sessions":8,"ops":3200,
-///    "read_frac":0.95,"ops_per_sec":...,"p50_us":...,"p95_us":...,
-///    "max_us":...,"sheds":...,"promotions":...,"write_lock_wait_us":...,
-///    "cache_hits":...,"cache_misses":...,"cache_hit_rate":...,
-///    "retries":...,"retry_hints":...}
+///    "read_frac":0.50,"wal_sync":"group","ops_per_sec":...,
+///    "p50_us":...,"p95_us":...,"max_us":...,"sheds":...,
+///    "promotions":...,"write_lock_wait_us":...,"cache_hits":...,
+///    "cache_misses":...,"cache_hit_rate":...,"retries":...,
+///    "retry_hints":...,"wal_records":...,"wal_syncs":...,
+///    "syncs_per_write":...,"wal_group_max":...,"fsync_p50_us":...}
 ///
-/// plus one summary line per mix:
+/// plus one summary line per (mix, policy):
 ///
-///   {"name":"server_scaling","read_frac":0.95,"speedup_4x":...,
-///    "speedup_8x":...,"final_state_identical":true}
+///   {"name":"server_scaling","read_frac":0.50,"wal_sync":"group",
+///    "speedup_4x":...,"speedup_8x":...,"final_state_identical":true}
 ///
 /// speedup_4x is ops_per_sec(4 threads) / ops_per_sec(1 thread). The
-/// numbers are hardware-dependent: on a single-core container the pool
-/// cannot run requests in parallel, and speedup_4x mostly measures how well
-/// the executor overlaps one session's wait with another's work; multi-core
-/// hosts see the shared-lock read parallelism directly (the CI bench job
-/// asserts speedup_4x >= 1.0 on the 95/5 mix there). A custom main (not
-/// Google Benchmark): the JSON-lines contract is the point, and one process
-/// run doubles as the CI smoke test.
+/// numbers are hardware-dependent, but the shape is not: under per_commit
+/// the fsync serializes inside the exclusive section and multi-thread
+/// throughput collapses below 1x; under group the fsync waits overlap
+/// (they run after the lock is released) and concurrency holds or beats
+/// the single-thread line even on one core -- the CI bench job asserts
+/// speedup_4x >= 1.0 for wal_sync=group on both the 95/5 and 50/50 mixes.
+/// A custom main (not Google Benchmark): the JSON-lines contract is the
+/// point, and one process run doubles as the CI smoke test.
 
 #include <chrono>
 #include <cstdio>
@@ -56,6 +57,8 @@
 #include "server/loopback.h"
 #include "server/retry.h"
 #include "server/session.h"
+#include "store/file.h"
+#include "store/group_commit.h"
 
 namespace {
 
@@ -73,25 +76,40 @@ using isis::server::RetryOptions;
 using isis::server::Server;
 using isis::server::ServerOptions;
 using isis::server::StatsSnapshot;
+using isis::store::WalSyncPolicy;
+using isis::store::WalSyncPolicyName;
 
 constexpr int kScale = 4;      // ~64 musicians, 8 instruments, 12 groups.
 constexpr int kSessions = 8;
 constexpr int kOpsPerSession = 400;
+const char* const kDurableDir = "/tmp";
 
-/// One assign per this many ops; 0 = read-only. {2, 20, 0} gives the
-/// 50/50, 95/5 and 100/0 mixes.
-constexpr int kWriteEverySweep[] = {2, 20, 0};
+/// One assign per this many ops; {1, 2, 20} gives the 0/100, 50/50 and
+/// 95/5 read/write mixes.
+constexpr int kWriteEverySweep[] = {1, 2, 20};
+
+constexpr WalSyncPolicy kPolicySweep[] = {
+    WalSyncPolicy::kPerCommit, WalSyncPolicy::kGroup, WalSyncPolicy::kNone};
 
 /// The canonical post-run probe: answers must be byte-identical across
-/// every worker-pool size of one mix.
+/// every worker-pool size of one (mix, policy) cell.
 const char* const kFinalQueries[][2] = {
     {"musicians", "e.plays ]= {inst0}"},
     {"musicians", "e.plays ]= {inst1}"},
     {"music_groups", "e.size = {3}"},
 };
 
-double ReadFrac(int write_every) {
-  return write_every == 0 ? 1.0 : 1.0 - 1.0 / write_every;
+double ReadFrac(int write_every) { return 1.0 - 1.0 / write_every; }
+
+/// Removes the durable files a run leaves in kDurableDir, so no run
+/// recovers a predecessor's WAL.
+void WipeDurable(const std::string& db_name) {
+  isis::store::FileEnv* env = isis::store::FileEnv::Default();
+  (void)env->Remove(std::string(kDurableDir) + "/" + db_name + ".server.wal");
+  (void)env->Remove(std::string(kDurableDir) + "/" + db_name +
+                    ".server.wal.tmp");
+  (void)env->Remove(std::string(kDurableDir) + "/" + db_name + ".isis");
+  (void)env->Remove(std::string(kDurableDir) + "/" + db_name + ".isis.tmp");
 }
 
 struct RunResult {
@@ -125,7 +143,7 @@ void ClientScript(Server* srv, int session_index, int write_every, char* ok,
   const int base = session_index * slice;
   int next_write = 0;
   for (int op = 0; op < kOpsPerSession; ++op) {
-    if (write_every > 0 && op % write_every == write_every - 1) {
+    if (op % write_every == write_every - 1) {
       // Deterministic target and value: musician (base + i) plays
       // inst(i % 2), regardless of interleaving.
       int i = next_write++ % slice;
@@ -149,11 +167,19 @@ void ClientScript(Server* srv, int session_index, int write_every, char* ok,
   *counters = client.counters();
 }
 
-RunResult RunConfig(int threads, int write_every) {
+RunResult RunConfig(int threads, int write_every, WalSyncPolicy policy) {
+  const std::string db_name =
+      "bench_srv_w" + std::to_string(write_every) + "_" +
+      WalSyncPolicyName(policy) + "_t" + std::to_string(threads);
+  WipeDurable(db_name);
   ServerOptions options;
   options.threads = threads;
+  options.durable_dir = kDurableDir;
+  options.wal_sync = policy;
+  auto ws = BuildScaledMusic(kScale);
+  ws->set_name(db_name);
   Result<std::unique_ptr<Server>> opened =
-      Server::Open(BuildScaledMusic(kScale), options);
+      Server::Open(std::move(ws), options);
   if (!opened.ok()) std::abort();
   std::unique_ptr<Server> srv = std::move(opened).ValueOrDie();
 
@@ -188,10 +214,11 @@ RunResult RunConfig(int threads, int write_every) {
     if (!resp.ok() || resp->type != MsgType::kQueryResult) std::abort();
     r.final_payloads.push_back(resp->payload);
   }
-  // Snapshot after Shutdown: it drains the pool and syncs the result-cache
-  // counters into the stats block.
+  // Snapshot after Shutdown: it drains the pool, flushes the committer and
+  // syncs the result-cache counters into the stats block.
   srv->Shutdown();
   r.stats = srv->stats().Snapshot();
+  WipeDurable(db_name);
   return r;
 }
 
@@ -201,45 +228,64 @@ int main() {
   const int thread_counts[] = {1, 4, 8};
   bool all_identical = true;
   for (int write_every : kWriteEverySweep) {
-    std::vector<RunResult> results;
-    for (int threads : thread_counts) {
-      RunResult r = RunConfig(threads, write_every);
-      const double lookups =
-          static_cast<double>(r.stats.cache_hits + r.stats.cache_misses);
-      std::printf(
-          "{\"name\":\"server_throughput\",\"threads\":%d,\"sessions\":%d,"
-          "\"ops\":%d,\"read_frac\":%.2f,\"ops_per_sec\":%.0f,"
-          "\"p50_us\":%.1f,\"p95_us\":%.1f,\"max_us\":%lld,\"sheds\":%lld,"
-          "\"promotions\":%lld,\"write_lock_wait_us\":%lld,"
-          "\"cache_hits\":%lld,\"cache_misses\":%lld,"
-          "\"cache_hit_rate\":%.3f,\"retries\":%lld,\"retry_hints\":%lld}\n",
-          threads, kSessions, kSessions * kOpsPerSession,
-          ReadFrac(write_every), r.ops_per_sec, r.stats.p50_us,
-          r.stats.p95_us, static_cast<long long>(r.stats.max_us),
-          static_cast<long long>(r.stats.sheds),
-          static_cast<long long>(r.stats.promotions),
-          static_cast<long long>(r.stats.write_lock_wait_us),
-          static_cast<long long>(r.stats.cache_hits),
-          static_cast<long long>(r.stats.cache_misses),
-          lookups > 0 ? static_cast<double>(r.stats.cache_hits) / lookups
-                      : 0.0,
-          static_cast<long long>(r.retries),
-          static_cast<long long>(r.retry_hints));
-      results.push_back(std::move(r));
-    }
+    for (WalSyncPolicy policy : kPolicySweep) {
+      std::vector<RunResult> results;
+      for (int threads : thread_counts) {
+        RunResult r = RunConfig(threads, write_every, policy);
+        const double lookups =
+            static_cast<double>(r.stats.cache_hits + r.stats.cache_misses);
+        const double syncs_per_write =
+            r.stats.wal_records > 0
+                ? static_cast<double>(r.stats.wal_syncs) /
+                      static_cast<double>(r.stats.wal_records)
+                : 0.0;
+        std::printf(
+            "{\"name\":\"server_throughput\",\"threads\":%d,\"sessions\":%d,"
+            "\"ops\":%d,\"read_frac\":%.2f,\"wal_sync\":\"%s\","
+            "\"ops_per_sec\":%.0f,"
+            "\"p50_us\":%.1f,\"p95_us\":%.1f,\"max_us\":%lld,\"sheds\":%lld,"
+            "\"promotions\":%lld,\"write_lock_wait_us\":%lld,"
+            "\"cache_hits\":%lld,\"cache_misses\":%lld,"
+            "\"cache_hit_rate\":%.3f,\"retries\":%lld,\"retry_hints\":%lld,"
+            "\"wal_records\":%lld,\"wal_syncs\":%lld,"
+            "\"syncs_per_write\":%.3f,\"wal_group_max\":%lld,"
+            "\"fsync_p50_us\":%.1f}\n",
+            threads, kSessions, kSessions * kOpsPerSession,
+            ReadFrac(write_every), WalSyncPolicyName(policy), r.ops_per_sec,
+            r.stats.p50_us, r.stats.p95_us,
+            static_cast<long long>(r.stats.max_us),
+            static_cast<long long>(r.stats.sheds),
+            static_cast<long long>(r.stats.promotions),
+            static_cast<long long>(r.stats.write_lock_wait_us),
+            static_cast<long long>(r.stats.cache_hits),
+            static_cast<long long>(r.stats.cache_misses),
+            lookups > 0 ? static_cast<double>(r.stats.cache_hits) / lookups
+                        : 0.0,
+            static_cast<long long>(r.retries),
+            static_cast<long long>(r.retry_hints),
+            static_cast<long long>(r.stats.wal_records),
+            static_cast<long long>(r.stats.wal_syncs), syncs_per_write,
+            static_cast<long long>(r.stats.wal_group_max),
+            r.stats.fsync_p50_us);
+        std::fflush(stdout);
+        results.push_back(std::move(r));
+      }
 
-    bool identical = true;
-    for (const RunResult& r : results) {
-      if (r.final_payloads != results[0].final_payloads) identical = false;
+      bool identical = true;
+      for (const RunResult& r : results) {
+        if (r.final_payloads != results[0].final_payloads) identical = false;
+      }
+      all_identical = all_identical && identical;
+      std::printf(
+          "{\"name\":\"server_scaling\",\"read_frac\":%.2f,"
+          "\"wal_sync\":\"%s\",\"speedup_4x\":%.2f,\"speedup_8x\":%.2f,"
+          "\"final_state_identical\":%s}\n",
+          ReadFrac(write_every), WalSyncPolicyName(policy),
+          results[1].ops_per_sec / results[0].ops_per_sec,
+          results[2].ops_per_sec / results[0].ops_per_sec,
+          identical ? "true" : "false");
+      std::fflush(stdout);
     }
-    all_identical = all_identical && identical;
-    std::printf(
-        "{\"name\":\"server_scaling\",\"read_frac\":%.2f,"
-        "\"speedup_4x\":%.2f,\"speedup_8x\":%.2f,"
-        "\"final_state_identical\":%s}\n",
-        ReadFrac(write_every), results[1].ops_per_sec / results[0].ops_per_sec,
-        results[2].ops_per_sec / results[0].ops_per_sec,
-        identical ? "true" : "false");
   }
   return all_identical ? 0 : 1;
 }

@@ -132,7 +132,9 @@ int main(int argc, char** argv) {
   while (std::getline(std::cin, line)) {
     std::string trimmed(Trim(line));
     using server::MsgType;
-    Result<server::Frame> resp = Status::OK();
+    // Placeholder must be an error: Result rejects an OK status with no
+    // value (assert in Debug builds). Every dispatch arm overwrites it.
+    Result<server::Frame> resp = Status::Internal("no command dispatched");
     if (trimmed.empty() || trimmed[0] == '#') {
       std::printf("> ");
       std::fflush(stdout);

@@ -7,9 +7,13 @@
 /// mutation hits a write-ahead log before its response is sent.
 ///
 /// Run: ./isis_serve [--port N] [--db file.isis] [--durable <dir>]
-///                   [--threads N] [--data_dir <dir>]
+///                   [--wal_sync per_commit|group|none] [--threads N]
+///                   [--data_dir <dir>]
 ///   with no --db the paper's Instrumental_Music database is served.
 ///   Relative --db paths resolve against --data_dir / $ISIS_DATA_DIR.
+///   --wal_sync picks when WAL commits reach stable storage (default
+///   `group`: concurrent writers share one fsync via the group committer;
+///   see store/group_commit.h). Only meaningful with --durable.
 ///   The server runs until stdin closes, a `quit` line arrives, or SIGINT/
 ///   SIGTERM lands, then drains in-flight requests, checkpoints (durable
 ///   mode) and prints its stats JSON line. --idle_timeout_ms reaps
@@ -27,6 +31,7 @@
 #include "datasets/instrumental_music.h"
 #include "server/net.h"
 #include "server/session.h"
+#include "store/group_commit.h"
 #include "store/serializer.h"
 
 using namespace isis;  // NOLINT — example brevity
@@ -46,6 +51,7 @@ int main(int argc, char** argv) {
   std::string db_path;
   std::string durable_dir;
   std::string data_dir;
+  store::WalSyncPolicy wal_sync = store::WalSyncPolicy::kGroup;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     auto need_value = [&](const char* flag) {
@@ -65,12 +71,21 @@ int main(int argc, char** argv) {
       db_path = need_value("--db");
     } else if (arg == "--durable") {
       durable_dir = need_value("--durable");
+    } else if (arg == "--wal_sync") {
+      Result<store::WalSyncPolicy> parsed =
+          store::ParseWalSyncPolicy(need_value("--wal_sync"));
+      if (!parsed.ok()) {
+        std::fprintf(stderr, "%s\n", parsed.status().ToString().c_str());
+        return 1;
+      }
+      wal_sync = *parsed;
     } else if (arg == "--data_dir") {
       data_dir = need_value("--data_dir");
     } else {
       std::fprintf(stderr,
                    "usage: %s [--port N] [--db file.isis] [--durable <dir>] "
-                   "[--threads N] [--data_dir <dir>] [--idle_timeout_ms N]\n",
+                   "[--wal_sync per_commit|group|none] [--threads N] "
+                   "[--data_dir <dir>] [--idle_timeout_ms N]\n",
                    argv[0]);
       return 1;
     }
@@ -94,6 +109,7 @@ int main(int argc, char** argv) {
   server::ServerOptions options;
   options.threads = threads;
   options.durable_dir = durable_dir;
+  options.wal_sync = wal_sync;
   Result<std::unique_ptr<server::Server>> opened =
       server::Server::Open(std::move(ws), options);
   if (!opened.ok()) {
@@ -112,9 +128,10 @@ int main(int argc, char** argv) {
                  st.ToString().c_str());
     return 1;
   }
-  std::printf("serving '%s' on 127.0.0.1:%d (%d threads%s)\n",
+  std::printf("serving '%s' on 127.0.0.1:%d (%d threads%s%s)\n",
               srv->workspace().name().c_str(), tcp.port(), threads,
-              durable_dir.empty() ? "" : ", durable");
+              durable_dir.empty() ? "" : ", durable wal_sync=",
+              durable_dir.empty() ? "" : store::WalSyncPolicyName(wal_sync));
   std::fflush(stdout);
 
   // SIGINT/SIGTERM request the same graceful drain as `quit`. No

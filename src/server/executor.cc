@@ -35,9 +35,8 @@ void Executor::RemoveLane(std::int64_t lane) {
   }
 }
 
-SubmitResult Executor::Submit(std::int64_t lane, TaskMode mode,
-                              std::function<void()> task, bool important,
-                              std::uint32_t deadline_ms,
+SubmitResult Executor::Submit(std::int64_t lane, TaskMode mode, TaskFn task,
+                              bool important, std::uint32_t deadline_ms,
                               std::function<void()> on_expired) {
   Task t{mode, std::move(task)};
   if (deadline_ms > 0) {
@@ -73,8 +72,9 @@ void Executor::RecordLockWait(bool exclusive,
   stats_->RecordDispatch(exclusive, waited);
 }
 
-bool Executor::PopSharedTask(Task* task, std::shared_ptr<Lane>* lane,
-                             std::int64_t* lane_id) {
+bool Executor::PopHeadTask(TaskMode mode, Task* task,
+                           std::shared_ptr<Lane>* lane,
+                           std::int64_t* lane_id) {
   MutexLock lock(mu_);
   std::size_t probes = ready_.size();
   for (std::size_t i = 0; i < probes; ++i) {
@@ -83,10 +83,10 @@ bool Executor::PopSharedTask(Task* task, std::shared_ptr<Lane>* lane,
     auto it = lanes_.find(cand);
     if (it == lanes_.end()) continue;  // Stale entry; drop it.
     if (it->second->running || it->second->queue.empty()) continue;
-    if (it->second->queue.front().mode != TaskMode::kShared) {
-      // Not batchable under a reader hold; leave it for a fresh dispatch.
-      // The rotation to the back is bounded round-robin, not starvation:
-      // a worker picks it up as soon as one is free.
+    if (it->second->queue.front().mode != mode) {
+      // Not batchable under the current hold; leave it for a fresh
+      // dispatch. The rotation to the back is bounded round-robin, not
+      // starvation: a worker picks it up as soon as one is free.
       ready_.push_back(cand);
       continue;
     }
@@ -115,45 +115,66 @@ void Executor::FinishLane(const std::shared_ptr<Lane>& lane,
   if (closed_ && in_flight_ == 0 && ready_.empty()) work_cv_.NotifyAll();
 }
 
+void Executor::DrainBatchLocked(TaskMode mode, int batch,
+                                std::vector<PostLockFn>* post) {
+  // Rules 5 and 6: the hold is already paid for -- drain more same-mode
+  // work under it before releasing. Continuations must NOT run here (the
+  // lock is still held); they accumulate in `post` for the caller.
+  for (int extra = 1; extra < batch; ++extra) {
+    Task next;
+    std::shared_ptr<Lane> lane;
+    std::int64_t lane_id = 0;
+    if (!PopHeadTask(mode, &next, &lane, &lane_id)) break;
+    if (stats_) stats_->AdjustQueueDepth(-1);
+    if (next.has_deadline && next.on_expired != nullptr &&
+        std::chrono::steady_clock::now() >= next.deadline) {
+      // Rule 4 still applies mid-batch; on_expired acquires nothing.
+      if (stats_) stats_->RecordDeadlineDrop();
+      next.on_expired();
+    } else {
+      // A batched task waited zero time for the lock by construction.
+      if (stats_) stats_->RecordDispatch(mode == TaskMode::kExclusive, 0);
+      PostLockFn after = next.fn();
+      if (after) post->push_back(std::move(after));
+    }
+    FinishLane(lane, lane_id);
+  }
+}
+
 void Executor::RunTask(Task& task) {
   auto t0 = std::chrono::steady_clock::now();
+  // Deferred work from the whole batch, run strictly after the lock hold
+  // below closes. Enqueue order is preserved: for durable mutations that
+  // means commit tickets are awaited in WAL order, though any order would
+  // be correct -- each ticket waits only on its own record.
+  std::vector<PostLockFn> post;
   switch (task.mode) {
     case TaskMode::kShared: {
       ReaderLock db(db_lock_);
       RecordLockWait(/*exclusive=*/false, t0);
-      task.fn();
-      // Rule 5: the hold is already paid for -- drain more shared work
-      // under it before letting a writer in.
-      for (int extra = 1; extra < options_.shared_batch; ++extra) {
-        Task next;
-        std::shared_ptr<Lane> lane;
-        std::int64_t lane_id = 0;
-        if (!PopSharedTask(&next, &lane, &lane_id)) break;
-        if (stats_) stats_->AdjustQueueDepth(-1);
-        if (next.has_deadline && next.on_expired != nullptr &&
-            std::chrono::steady_clock::now() >= next.deadline) {
-          // Rule 4 still applies mid-batch; on_expired acquires nothing.
-          if (stats_) stats_->RecordDeadlineDrop();
-          next.on_expired();
-        } else {
-          // A batched read waited zero time for the lock by construction.
-          if (stats_) stats_->RecordDispatch(/*exclusive=*/false, 0);
-          next.fn();
-        }
-        FinishLane(lane, lane_id);
-      }
+      PostLockFn after = task.fn();
+      if (after) post.push_back(std::move(after));
+      DrainBatchLocked(TaskMode::kShared, options_.shared_batch, &post);
       break;
     }
     case TaskMode::kExclusive: {
       WriterLock db(db_lock_);
       RecordLockWait(/*exclusive=*/true, t0);
-      task.fn();
+      PostLockFn after = task.fn();
+      if (after) post.push_back(std::move(after));
+      DrainBatchLocked(TaskMode::kExclusive, options_.exclusive_batch, &post);
       break;
     }
-    case TaskMode::kNone:
-      task.fn();
+    case TaskMode::kNone: {
+      PostLockFn after = task.fn();
+      if (after) post.push_back(std::move(after));
       break;
+    }
   }
+  // The lock is released; now the batch's deferred work (group-commit
+  // waits, replies that imply durability) may block without serializing
+  // other workers' database access.
+  for (PostLockFn& fn : post) fn();
 }
 
 void Executor::WorkerLoop() {

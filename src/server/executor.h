@@ -32,10 +32,19 @@
 ///      by at most `shared_batch - 1` reads per hold, a bounded and
 ///      deliberate trade; the RwMutex's writer preference still blocks
 ///      fresh reader *acquisitions* behind it.
+///   6. Exclusive batching + post-lock continuations: symmetric to rule 5,
+///      a worker holding the *writer* lock drains up to `exclusive_batch -
+///      1` more kExclusive head-of-lane tasks before releasing, so one
+///      writer acquisition covers several sessions' mutations. A task body
+///      may return a continuation, which the worker runs only AFTER the
+///      database lock is released -- that is where a durable write waits on
+///      its group-commit ticket (store/group_commit.h), so the fsync that
+///      makes a whole exclusive batch durable happens outside the lock and
+///      is paid once for the batch instead of once per mutation.
 ///
 /// Shutdown() closes submission, drains every queued task, then joins the
-/// workers -- accepted work always runs exactly once (either its body or,
-/// past its deadline, its on_expired callback).
+/// workers -- accepted work always runs exactly once (either its body plus
+/// its continuation or, past its deadline, its on_expired callback).
 ///
 /// Lock discipline (checked by -Wthread-safety): all queue state -- lanes_,
 /// ready_, closed_, in_flight_ -- is guarded by mu_; the database itself is
@@ -76,6 +85,14 @@ enum class SubmitResult {
   kClosed,    ///< Executor is shutting down.
 };
 
+/// Work a task defers to after the database lock is released (rule 6);
+/// empty = nothing deferred.
+using PostLockFn = std::function<void()>;
+/// A task body: runs under the declared lock mode and may return the
+/// deferred part. Waiting (on a commit ticket, a peer, anything slower than
+/// memory) belongs in the returned continuation, never in the body.
+using TaskFn = std::function<PostLockFn()>;
+
 class Executor {
  public:
   struct Options {
@@ -84,6 +101,9 @@ class Executor {
     /// Max kShared tasks run under one reader hold (rule 5); 1 disables
     /// batching.
     int shared_batch = 8;
+    /// Max kExclusive tasks run under one writer hold (rule 6); 1 disables
+    /// batching.
+    int exclusive_batch = 8;
   };
 
   /// `stats` may be null (tests); if set, queue depth and lock-wait times
@@ -106,9 +126,8 @@ class Executor {
   /// budget (measured from this call) runs out, a worker runs `on_expired`
   /// instead of `task`, with no database lock held. `on_expired` must be
   /// set whenever `deadline_ms` is (the response still has to be sent).
-  SubmitResult Submit(std::int64_t lane, TaskMode mode,
-                      std::function<void()> task, bool important = false,
-                      std::uint32_t deadline_ms = 0,
+  SubmitResult Submit(std::int64_t lane, TaskMode mode, TaskFn task,
+                      bool important = false, std::uint32_t deadline_ms = 0,
                       std::function<void()> on_expired = nullptr)
       ISIS_EXCLUDES(mu_);
 
@@ -125,7 +144,7 @@ class Executor {
  private:
   struct Task {
     TaskMode mode;
-    std::function<void()> fn;
+    TaskFn fn;
     /// Validity gated by has_deadline (a default time_point is a real time).
     std::chrono::steady_clock::time_point deadline{};
     bool has_deadline = false;
@@ -140,14 +159,22 @@ class Executor {
   void WorkerLoop() ISIS_EXCLUDES(mu_);
   /// Runs `task.fn` under db_lock_ in the task's declared mode, recording
   /// the acquisition wait. One scoped hold per mode keeps the analysis's
-  /// lock state balanced on every path. kShared tasks continue into the
-  /// shared-batch drain (rule 5) before the hold is released.
+  /// lock state balanced on every path. kShared/kExclusive tasks continue
+  /// into the same-mode batch drain (rules 5 and 6) before the hold is
+  /// released; every collected continuation runs after it.
   void RunTask(Task& task) ISIS_EXCLUDES(mu_, db_lock_);
-  /// Claims the head task of some ready lane iff it is kShared, marking the
-  /// lane running. Lanes whose head needs another mode are rotated to the
-  /// back of ready_ untouched. False when no shared head is ready.
-  bool PopSharedTask(Task* task, std::shared_ptr<Lane>* lane,
-                     std::int64_t* lane_id) ISIS_EXCLUDES(mu_);
+  /// The rule-5/6 drain: runs up to batch-1 more `mode` head-of-lane tasks
+  /// while the caller's lock hold is still open, appending their
+  /// continuations to `post`. The caller must hold db_lock_ in `mode`.
+  void DrainBatchLocked(TaskMode mode, int batch,
+                        std::vector<PostLockFn>* post)
+      ISIS_EXCLUDES(mu_);
+  /// Claims the head task of some ready lane iff it declares `mode`,
+  /// marking the lane running. Lanes whose head needs another mode are
+  /// rotated to the back of ready_ untouched. False when no such head is
+  /// ready.
+  bool PopHeadTask(TaskMode mode, Task* task, std::shared_ptr<Lane>* lane,
+                   std::int64_t* lane_id) ISIS_EXCLUDES(mu_);
   /// The post-task lane bookkeeping (requeue / erase / shutdown notify),
   /// shared by WorkerLoop and the batch drain.
   void FinishLane(const std::shared_ptr<Lane>& lane, std::int64_t lane_id)

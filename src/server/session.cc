@@ -102,6 +102,17 @@ Result<std::unique_ptr<Server>> Server::Open(
   std::unique_ptr<Server> server(new Server(std::move(ws), options));
   if (!options.durable_dir.empty()) {
     ISIS_RETURN_NOT_OK(server->InitDurable());
+    store::GroupCommitter::Options gc;
+    gc.policy = options.wal_sync;
+    // stats_ lives inside the heap-allocated Server, so the pointer stays
+    // valid for the committer's whole life.
+    ServerStats* stats = &server->stats_;
+    gc.batch_observer = [stats](int records, std::int64_t sync_us,
+                                bool synced) {
+      stats->RecordWalBatch(records, sync_us, synced);
+    };
+    server->committer_ =
+        std::make_unique<store::GroupCommitter>(server->wal_.get(), gc);
   }
   if (server->ws_->db().options().live_views) {
     server->live_ = std::make_unique<live::LiveViewEngine>(server->ws_.get());
@@ -121,6 +132,7 @@ Result<std::unique_ptr<Server>> Server::Open(
   Executor::Options exec_options;
   exec_options.threads = options.threads;
   exec_options.queue_capacity = options.queue_capacity;
+  exec_options.exclusive_batch = options.exclusive_batch;
   server->executor_ =
       std::make_unique<Executor>(exec_options, &server->stats_);
   return server;
@@ -209,7 +221,13 @@ std::string Server::Shutdown() {
     if (shut_down_) return stats_.ToJsonLine();
     shut_down_ = true;
   }
-  executor_->Shutdown();  // Drains every accepted request.
+  executor_->Shutdown();  // Drains every accepted request + continuations.
+  if (committer_ != nullptr) {
+    // Every request's own continuation already waited; this covers records
+    // whose waiter died with a dropped transport, and makes "WAL complete"
+    // a precondition of the checkpoint below.
+    LogIfError(committer_->Flush(), "WAL flush at shutdown");
+  }
   SyncCacheStats();
   ws_->db().set_intern_frozen(false);
   if (wal_ != nullptr) {
@@ -224,7 +242,12 @@ std::string Server::Shutdown() {
       base.push_back({"base", store::Save(*ws_)});
       Result<std::unique_ptr<store::WalWriter>> writer =
           store::WalWriter::CreateWithRecords(wal_->path(), env, base);
-      if (writer.ok()) wal_ = std::move(writer).ValueOrDie();
+      if (writer.ok()) {
+        wal_ = std::move(writer).ValueOrDie();
+        // The committer is idle (executor drained, Flush returned) -- the
+        // one state set_writer's contract allows.
+        committer_->set_writer(wal_.get());
+      }
     }
     // A failed checkpoint keeps the old log -- recovery still works.
   }
@@ -318,7 +341,7 @@ void Server::HandleFrame(std::int64_t session_id, const Frame& request,
     executor_->AddLane(id);
     SubmitResult r = executor_->Submit(
         id, TaskMode::kShared,
-        [this, id, request, done, t0]() mutable {
+        [this, id, request, done, t0]() mutable -> PostLockFn {
           auto s = std::make_shared<Session>(id, ws_.get(), live_.get());
           {
             MutexLock lock(sessions_mu_);
@@ -329,6 +352,7 @@ void Server::HandleFrame(std::int64_t session_id, const Frame& request,
           resp.seq = request.seq;
           resp.payload = JoinFields({std::to_string(id), ws_->name()});
           Finish(request, resp, done, t0);
+          return {};
         },
         /*important=*/true);
     if (r != SubmitResult::kAccepted) {
@@ -380,9 +404,9 @@ void Server::HandleFrame(std::int64_t session_id, const Frame& request,
     }
   }
 
-  std::function<void()> task;
+  TaskFn task;
   if (mode == TaskMode::kShared) {
-    task = [this, s, request, done, t0]() mutable {
+    task = [this, s, request, done, t0]() mutable -> PostLockFn {
       // Detect reads that needed to intern an unseen value: either the
       // engine returned Unavailable, or a degraded naming read bumped the
       // thread-local miss counter. Re-run those under the exclusive lock.
@@ -393,12 +417,13 @@ void Server::HandleFrame(std::int64_t session_id, const Frame& request,
         stats_.RecordPromotion();
         SubmitResult r = executor_->Submit(
             s->id(), TaskMode::kExclusive,
-            [this, s, request, done, t0]() mutable {
+            [this, s, request, done, t0]() mutable -> PostLockFn {
               ws_->db().set_intern_frozen(false);
               Frame retry = HandleReadLocked(s, request);
               ws_->db().set_intern_frozen(true);
               FanOutDeltas();  // Interning may have touched memberships.
               Finish(request, retry, done, t0);
+              return {};
             },
             /*important=*/true);
         if (r != SubmitResult::kAccepted) {
@@ -406,12 +431,25 @@ void Server::HandleFrame(std::int64_t session_id, const Frame& request,
                  ErrorFrame(request, Status::Unavailable("server is closed")),
                  done, t0);
         }
-        return;
+        return {};
       }
       Finish(request, resp, done, t0);
+      return {};
     };
   } else if (mode == TaskMode::kExclusive) {
-    task = [this, s, request, done, t0]() mutable {
+    // The WAL record is assembled here, on the transport's thread -- string
+    // building has no business inside the exclusive section.
+    std::string wal_type;
+    std::string wal_payload;
+    if (request.type == MsgType::kEvent) {
+      wal_type = "sevent";
+      wal_payload = std::to_string(s->id()) + "|" + request.payload;
+    } else {
+      wal_type = "assign";
+      wal_payload = request.payload;
+    }
+    task = [this, s, request, done, t0, wal_type = std::move(wal_type),
+            wal_payload = std::move(wal_payload)]() mutable -> PostLockFn {
       // A resend of the write we just applied (its response was lost in
       // flight): replay the cached response instead of applying twice.
       if (request.write_seq != 0 &&
@@ -420,17 +458,35 @@ void Server::HandleFrame(std::int64_t session_id, const Frame& request,
         Frame resp = s->last_write_response();
         resp.seq = request.seq;
         Finish(request, resp, done, t0);
-        return;
+        return {};
       }
+      bool log_wal = false;
       ws_->db().set_intern_frozen(false);
-      Frame resp = HandleWriteLocked(s, request);
+      Frame resp = HandleWriteLocked(s, request, &log_wal);
       ws_->db().set_intern_frozen(true);
       FanOutDeltas();
       if (request.write_seq != 0) s->set_last_write(request.write_seq, resp);
-      Finish(request, resp, done, t0);
+      if (!log_wal || committer_ == nullptr) {
+        Finish(request, resp, done, t0);
+        return {};
+      }
+      // Enqueue while the writer lock is still held (a queue push, no
+      // I/O), so WAL order always equals apply order. The wait -- and the
+      // fsync behind it -- happens in the continuation, after the lock is
+      // released; until then the reply does not exist.
+      store::GroupCommitter::Ticket ticket =
+          committer_->Enqueue(std::move(wal_type), std::move(wal_payload));
+      return [this, ticket, request, resp, done, t0]() mutable {
+        // Best-effort like the old inline append: the mutation is already
+        // applied, so an error here must not fail the request (the client
+        // would desync from state that exists); it surfaces in the log and
+        // the committer's sticky failure keeps later commits loud.
+        LogIfError(committer_->Wait(ticket), "server WAL group commit");
+        Finish(request, resp, done, t0);
+      };
     };
   } else {
-    task = [this, s, request, done, t0]() mutable {
+    task = [this, s, request, done, t0]() mutable -> PostLockFn {
       Frame resp;
       resp.seq = request.seq;
       switch (request.type) {
@@ -474,6 +530,7 @@ void Server::HandleFrame(std::int64_t session_id, const Frame& request,
           break;
       }
       Finish(request, resp, done, t0);
+      return {};
     };
   }
 
@@ -525,13 +582,13 @@ Frame Server::HandleReadLocked(std::shared_ptr<Session> s, const Frame& req) {
   }
 }
 
-Frame Server::HandleWriteLocked(std::shared_ptr<Session> s,
-                                const Frame& req) {
+Frame Server::HandleWriteLocked(std::shared_ptr<Session> s, const Frame& req,
+                                bool* log_wal) {
   switch (req.type) {
     case MsgType::kEvent:
-      return DoEvent(std::move(s), req);
+      return DoEvent(std::move(s), req, log_wal);
     case MsgType::kAssign:
-      return DoAssign(req);
+      return DoAssign(req, log_wal);
     default:
       return ErrorFrame(req, Status::Internal("bad exclusive dispatch"));
   }
@@ -631,20 +688,17 @@ Frame Server::DoRender(std::shared_ptr<Session> s, const Frame& req) {
   return resp;
 }
 
-Frame Server::DoEvent(std::shared_ptr<Session> s, const Frame& req) {
+Frame Server::DoEvent(std::shared_ptr<Session> s, const Frame& req,
+                      bool* log_wal) {
   Result<input::Event> ev = input::DecodeEvent(req.payload);
   if (!ev.ok()) return ErrorFrame(req, ev.status());
   // Errors surface in the session's message line, exactly like the
   // single-user interface; the response is still the rendered screen.
   Status st = s->ctrl().HandleEvent(*ev);
-  if (st.ok() && wal_ != nullptr) {
-    // Best-effort by design: a lost append surfaces at recovery (the base
-    // checkpoint replays without this event), and failing the request here
-    // would desync the client from a mutation that already happened.
-    LogIfError(wal_->Append("sevent",
-                            std::to_string(s->id()) + "|" + req.payload),
-               "server WAL append (sevent)");
-  }
+  // The caller commits the record through the group committer once the
+  // exclusive lock is released; rejected events replay as no-ops anyway,
+  // so only accepted ones are worth a WAL slot.
+  if (st.ok() && log_wal != nullptr) *log_wal = true;
   const ui::Screen& screen = s->ctrl().Render();
   Frame resp;
   resp.type = MsgType::kScreen;
@@ -685,14 +739,10 @@ Status Server::ApplyAssign(const std::vector<std::string>& fields) {
   return db.SetSingle(*e, *attr, v);
 }
 
-Frame Server::DoAssign(const Frame& req) {
+Frame Server::DoAssign(const Frame& req, bool* log_wal) {
   Status st = ApplyAssign(SplitFields(req.payload));
   if (!st.ok()) return ErrorFrame(req, st);
-  if (wal_ != nullptr) {
-    // Best-effort, as the sevent append in DoEvent.
-    LogIfError(wal_->Append("assign", req.payload),
-               "server WAL append (assign)");
-  }
+  if (log_wal != nullptr) *log_wal = true;  // Committed by the caller.
   if (live_ == nullptr) {
     // No live engine: stored derived views go stale on mutation, so bring
     // them up to date before anyone reads (same rule as RefreshDerived).

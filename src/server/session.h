@@ -32,13 +32,21 @@
 /// lock, where interning is safe. Results are identical to a
 /// single-threaded run; only the lock held differs.
 ///
-/// Durability: in a durable server every accepted mutation is in the WAL
+/// Durability: in a durable server every mutation is in the WAL
 /// (`<dir>/<db>.server.wal`, records "sevent" = `<sid>|<event line>` and
-/// "assign") before its response exists. Open() replays a leftover log
-/// through per-session replay controllers -- the same dispatch path that
-/// produced it -- then rotates it onto a fresh base checkpoint. Shutdown()
-/// drains the executor, checkpoints to `<dir>/<db>.isis`, rotates the log
-/// and emits one stats JSON line.
+/// "assign") before its response is sent, via group commit
+/// (store/group_commit.h, DESIGN.md §14): the exclusive task applies the
+/// mutation and *enqueues* the pre-built WAL record while holding the
+/// writer lock -- so WAL order equals apply order -- then waits for its
+/// commit ticket in a post-lock continuation, after the lock is released.
+/// The fsync that makes a whole batch of mutations durable thus never
+/// blocks readers or the next writer, and under `wal_sync = kGroup` is
+/// paid once per batch instead of once per mutation. Open() replays a
+/// leftover log through per-session replay controllers -- the same
+/// dispatch path that produced it -- then rotates it onto a fresh base
+/// checkpoint. Shutdown() drains the executor, flushes the committer,
+/// checkpoints to `<dir>/<db>.isis`, rotates the log and emits one stats
+/// JSON line.
 
 #ifndef ISIS_SERVER_SESSION_H_
 #define ISIS_SERVER_SESSION_H_
@@ -61,6 +69,7 @@
 #include "server/proto.h"
 #include "server/stats.h"
 #include "store/file.h"
+#include "store/group_commit.h"
 #include "store/wal.h"
 #include "ui/controller.h"
 
@@ -78,6 +87,16 @@ struct ServerOptions {
   /// Non-empty: run durable -- WAL in this directory (must exist), recovery
   /// on open, checkpoint on shutdown.
   std::string durable_dir;
+  /// When fsyncs happen on the durable write path (store/group_commit.h):
+  /// `kGroup` amortizes one fsync over every mutation that arrived while
+  /// the previous one was flushing; `kPerCommit` is the classic
+  /// one-fsync-per-write; `kNone` trades crash durability for speed.
+  /// Replies imply durability under the first two. Ignored when not
+  /// durable.
+  store::WalSyncPolicy wal_sync = store::WalSyncPolicy::kGroup;
+  /// Mutations one worker runs under a single writer-lock hold
+  /// (executor.h, rule 6); they then commit as one WAL group.
+  int exclusive_batch = 8;
   store::FileEnv* env = nullptr;  ///< nullptr = store::FileEnv::Default().
 };
 
@@ -208,12 +227,17 @@ class Server {
   // `exclusive` ones alone. All return the response frame.
   Frame HandleHello(const Frame& req);
   Frame HandleReadLocked(std::shared_ptr<Session> s, const Frame& req);
-  Frame HandleWriteLocked(std::shared_ptr<Session> s, const Frame& req);
+  /// `log_wal` (out, may be null): set true iff the mutation applied and
+  /// must be in the WAL before the response is sent. The *caller* owns the
+  /// commit -- it enqueues the pre-built record on the group committer
+  /// under the lock and waits for the ticket after releasing it.
+  Frame HandleWriteLocked(std::shared_ptr<Session> s, const Frame& req,
+                          bool* log_wal);
   Frame DoQuery(const Frame& req);
   Frame DoExplain(const Frame& req);
   Frame DoRender(std::shared_ptr<Session> s, const Frame& req);
-  Frame DoEvent(std::shared_ptr<Session> s, const Frame& req);
-  Frame DoAssign(const Frame& req);
+  Frame DoEvent(std::shared_ptr<Session> s, const Frame& req, bool* log_wal);
+  Frame DoAssign(const Frame& req, bool* log_wal);
   /// Fan out collected deltas to subscribed sessions (exclusive lock held).
   void FanOutDeltas();
 
@@ -235,6 +259,9 @@ class Server {
   ServerStats stats_;
   std::unique_ptr<Executor> executor_;
   std::unique_ptr<store::WalWriter> wal_;  ///< Null when not durable.
+  /// Serializes WAL appends and amortizes fsyncs across concurrent
+  /// mutations. Null iff wal_ is. Declared after wal_: destroyed first.
+  std::unique_ptr<store::GroupCommitter> committer_;
 
   mutable Mutex sessions_mu_;
   std::map<std::int64_t, std::shared_ptr<Session>> sessions_

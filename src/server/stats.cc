@@ -4,9 +4,10 @@
 
 namespace isis::server {
 
-double ServerStats::Percentile(double q) const {
+double ServerStats::Percentile(const std::array<Counter, kBuckets>& buckets,
+                               const Counter& max, double q) {
   std::int64_t total = 0;
-  for (const Counter& c : latency_buckets_) total += Get(c);
+  for (const Counter& c : buckets) total += Get(c);
   if (total == 0) return 0.0;
   // Rank of the q-th sample, 1-based.
   std::int64_t rank = static_cast<std::int64_t>(q * static_cast<double>(total));
@@ -14,7 +15,7 @@ double ServerStats::Percentile(double q) const {
   if (rank > total) rank = total;
   std::int64_t seen = 0;
   for (int b = 0; b < kBuckets; ++b) {
-    std::int64_t c = Get(latency_buckets_[static_cast<std::size_t>(b)]);
+    std::int64_t c = Get(buckets[static_cast<std::size_t>(b)]);
     if (c == 0) continue;
     if (seen + c >= rank) {
       // Interpolate inside bucket b, which spans [lo, 2*lo) microseconds.
@@ -26,12 +27,12 @@ double ServerStats::Percentile(double q) const {
     }
     seen += c;
   }
-  return static_cast<double>(Get(max_us_));
+  return static_cast<double>(Get(max));
 }
 
 std::string ServerStats::ToJsonLine() const {
   StatsSnapshot s = Snapshot();
-  char buf[1536];
+  char buf[2048];
   std::snprintf(
       buf, sizeof(buf),
       "{\"name\": \"server_stats\", \"requests\": %lld, \"errors\": %lld, "
@@ -45,6 +46,10 @@ std::string ServerStats::ToJsonLine() const {
       "\"cache_hits\": %lld, \"cache_misses\": %lld, "
       "\"cache_evictions\": %lld, \"cache_invalidations\": %lld, "
       "\"cache_flushes\": %lld, "
+      "\"wal_batches\": %lld, \"wal_records\": %lld, \"wal_syncs\": %lld, "
+      "\"wal_sync_us\": %lld, \"wal_group_max\": %lld, "
+      "\"fsync_p50_us\": %.1f, \"fsync_p95_us\": %.1f, "
+      "\"fsync_max_us\": %lld, "
       "\"p50_us\": %.1f, \"p95_us\": %.1f, \"max_us\": %lld",
       static_cast<long long>(s.requests), static_cast<long long>(s.errors),
       static_cast<long long>(s.sheds), static_cast<long long>(s.reads),
@@ -65,8 +70,14 @@ std::string ServerStats::ToJsonLine() const {
       static_cast<long long>(s.cache_misses),
       static_cast<long long>(s.cache_evictions),
       static_cast<long long>(s.cache_invalidations),
-      static_cast<long long>(s.cache_flushes), s.p50_us, s.p95_us,
-      static_cast<long long>(s.max_us));
+      static_cast<long long>(s.cache_flushes),
+      static_cast<long long>(s.wal_batches),
+      static_cast<long long>(s.wal_records),
+      static_cast<long long>(s.wal_syncs),
+      static_cast<long long>(s.wal_sync_us),
+      static_cast<long long>(s.wal_group_max), s.fsync_p50_us,
+      s.fsync_p95_us, static_cast<long long>(s.fsync_max_us), s.p50_us,
+      s.p95_us, static_cast<long long>(s.max_us));
   std::string out = buf;
   out += ", \"by_type\": [";
   bool first = true;

@@ -56,6 +56,15 @@ struct StatsSnapshot {
   std::int64_t cache_evictions = 0;     ///< Entries dropped by the LRU bound.
   std::int64_t cache_invalidations = 0; ///< Entries evicted by deltas.
   std::int64_t cache_flushes = 0;       ///< Full flushes (schema + version).
+  // Group commit (store/group_commit.h), fed through its batch observer.
+  std::int64_t wal_batches = 0;    ///< Leader drains (write groups formed).
+  std::int64_t wal_records = 0;    ///< WAL records committed.
+  std::int64_t wal_syncs = 0;      ///< fsyncs issued; < wal_records = grouping.
+  std::int64_t wal_sync_us = 0;    ///< Cumulative fsync time.
+  std::int64_t wal_group_max = 0;  ///< Largest group committed by one fsync.
+  double fsync_p50_us = 0.0;       ///< Median fsync latency (interpolated).
+  double fsync_p95_us = 0.0;       ///< 95th percentile fsync latency.
+  std::int64_t fsync_max_us = 0;   ///< Exact slowest fsync.
   double p50_us = 0.0;              ///< Median request latency (interpolated).
   double p95_us = 0.0;              ///< 95th percentile latency (interpolated).
   std::int64_t max_us = 0;          ///< Exact slowest request.
@@ -115,6 +124,22 @@ class ServerStats {
     UpdateMax(&queue_peak_, depth);
   }
 
+  /// One WAL commit group: `records` committed together, `sync_us` spent in
+  /// the fsync (when `synced`; the `none` policy never syncs). Wired to
+  /// store::GroupCommitter::Options::batch_observer. syncs-per-record
+  /// falling below 1 is group commit working.
+  void RecordWalBatch(int records, std::int64_t sync_us, bool synced) {
+    Add(&wal_batches_);
+    Add(&wal_records_, records);
+    UpdateMax(&wal_group_max_, records);
+    if (synced) {
+      Add(&wal_syncs_);
+      Add(&wal_sync_us_, sync_us);
+      Add(&fsync_buckets_[static_cast<std::size_t>(BucketOf(sync_us))]);
+      UpdateMax(&fsync_max_us_, sync_us);
+    }
+  }
+
   /// Absolute sync of the result-cache counters (the cache keeps its own
   /// under its own lock; the Server copies them over before a snapshot is
   /// served). Stores, not adds: the cache's counters are the truth.
@@ -153,8 +178,16 @@ class ServerStats {
     s.cache_evictions = Get(cache_evictions_);
     s.cache_invalidations = Get(cache_invalidations_);
     s.cache_flushes = Get(cache_flushes_);
-    s.p50_us = Percentile(0.50);
-    s.p95_us = Percentile(0.95);
+    s.wal_batches = Get(wal_batches_);
+    s.wal_records = Get(wal_records_);
+    s.wal_syncs = Get(wal_syncs_);
+    s.wal_sync_us = Get(wal_sync_us_);
+    s.wal_group_max = Get(wal_group_max_);
+    s.fsync_p50_us = Percentile(fsync_buckets_, fsync_max_us_, 0.50);
+    s.fsync_p95_us = Percentile(fsync_buckets_, fsync_max_us_, 0.95);
+    s.fsync_max_us = Get(fsync_max_us_);
+    s.p50_us = Percentile(latency_buckets_, max_us_, 0.50);
+    s.p95_us = Percentile(latency_buckets_, max_us_, 0.95);
     s.max_us = Get(max_us_);
     for (std::size_t t = 0; t < by_type_.size(); ++t) {
       s.by_type[t] = Get(by_type_[t]);
@@ -192,9 +225,11 @@ class ServerStats {
     return b;
   }
 
-  /// Latency percentile by interpolating within the log2 bucket that holds
-  /// the q-th sample.
-  double Percentile(double q) const;
+  /// Percentile of a log2-bucketed histogram by interpolating within the
+  /// bucket that holds the q-th sample; `max` answers q past the last
+  /// bucket boundary exactly.
+  static double Percentile(const std::array<Counter, kBuckets>& buckets,
+                           const Counter& max, double q);
 
   Counter requests_{0};
   Counter errors_{0};
@@ -219,9 +254,16 @@ class ServerStats {
   Counter cache_evictions_{0};
   Counter cache_invalidations_{0};
   Counter cache_flushes_{0};
+  Counter wal_batches_{0};
+  Counter wal_records_{0};
+  Counter wal_syncs_{0};
+  Counter wal_sync_us_{0};
+  Counter wal_group_max_{0};
+  Counter fsync_max_us_{0};
   Counter max_us_{0};
   std::array<Counter, 32> by_type_{};
   std::array<Counter, kBuckets> latency_buckets_{};
+  std::array<Counter, kBuckets> fsync_buckets_{};
 };
 
 }  // namespace isis::server

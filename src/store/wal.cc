@@ -109,4 +109,21 @@ Status WalWriter::Append(std::string_view type, std::string_view payload) {
   return file_->Sync();
 }
 
+Status WalWriter::AppendRecords(const std::vector<WalRecord>& records) {
+  if (records.empty()) return Status::OK();
+  std::string buffer;
+  for (const WalRecord& r : records) {
+    buffer += FrameRecord(r.type, r.payload);
+  }
+  return file_->Write(buffer);
+}
+
+Status WalWriter::AppendBatch(const std::vector<WalRecord>& records) {
+  if (records.empty()) return Status::OK();
+  ISIS_RETURN_NOT_OK(AppendRecords(records));
+  return file_->Sync();
+}
+
+Status WalWriter::Sync() { return file_->Sync(); }
+
 }  // namespace isis::store

@@ -54,7 +54,9 @@ struct WalContents {
 /// ParseError on mid-log corruption; a torn tail is reported, not fatal.
 Result<WalContents> ReadWal(const std::string& path, FileEnv* env);
 
-/// \brief Appender; every Append is flushed and fsynced before returning.
+/// \brief Appender. Append/AppendBatch flush and fsync before returning;
+/// AppendRecords leaves the fsync to the caller (the group committer's
+/// building block — see store/group_commit.h).
 class WalWriter {
  public:
   /// Atomically (re)creates the log at `path` holding `records` (the first
@@ -70,6 +72,19 @@ class WalWriter {
 
   /// Appends one record and makes it durable (write + fsync).
   Status Append(std::string_view type, std::string_view payload);
+
+  /// Appends `records` with ONE write and ONE fsync: the frames are
+  /// concatenated into a single buffer first, so N records cost one disk
+  /// flush instead of N. A crash mid-batch tears the tail like any other
+  /// torn append — readers recover the intact prefix.
+  Status AppendBatch(const std::vector<WalRecord>& records);
+
+  /// Writes `records` as one buffer WITHOUT syncing: durability arrives at
+  /// the next Sync(). Callers that ack commits must Sync() before acking.
+  Status AppendRecords(const std::vector<WalRecord>& records);
+
+  /// Flushes everything appended so far to stable storage.
+  Status Sync();
 
   const std::string& path() const { return path_; }
 

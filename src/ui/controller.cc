@@ -109,14 +109,23 @@ Status SessionController::RunScript(const std::string& script,
                                     bool stop_on_error) {
   ISIS_ASSIGN_OR_RETURN(std::vector<Event> events,
                         input::ParseScript(script));
+  // Batch the script's WAL: each successful event is buffered and the
+  // whole run is framed + fsynced once at the end (AppendBatch), so an
+  // N-event script costs one sync instead of N. The durability unit
+  // becomes the script -- which is also the unit a caller would re-run
+  // after a crash, since replay truncates at the torn tail.
+  const bool batch = wal_ != nullptr && !wal_replaying_ && !wal_batching_;
+  if (batch) wal_batching_ = true;
   for (const Event& e : events) {
     Status st = HandleEvent(e);
     if (!st.ok() && stop_on_error) {
+      if (batch) WalFlushBatch();  // What succeeded stays durable.
       return Status(st.code(),
                     "at event " + input::EventToString(e) + ": " +
                         st.message());
     }
   }
+  if (batch) WalFlushBatch();
   return Status::OK();
 }
 
@@ -140,6 +149,10 @@ std::string SessionController::WalPathFor(const std::string& name) const {
 }
 
 void SessionController::WalAppendEvent(const Event& event) {
+  if (wal_batching_) {
+    wal_batch_.push_back({"event", input::EncodeEvent(event)});
+    return;
+  }
   Status st = wal_->Append("event", input::EncodeEvent(event));
   if (!st.ok()) {
     // The action already succeeded in memory; surface the durability gap
@@ -151,15 +164,35 @@ void SessionController::WalAppendEvent(const Event& event) {
 void SessionController::WalAppendNote(const std::string& action,
                                       const std::string& detail) {
   if (wal_ == nullptr || wal_replaying_) return;
+  if (wal_batching_) {
+    wal_batch_.push_back({"note", Escape(action) + "|" + Escape(detail)});
+    return;
+  }
   // Best-effort by design: notes are commentary, not replayed state -- a
   // lost one costs journal context, never data. Logged, not propagated.
   LogIfError(wal_->Append("note", Escape(action) + "|" + Escape(detail)),
              "session WAL append (note)");
 }
 
+void SessionController::WalFlushBatch() {
+  wal_batching_ = false;
+  if (wal_batch_.empty()) return;
+  std::vector<store::WalRecord> batch;
+  batch.swap(wal_batch_);
+  if (wal_ == nullptr) return;  // Durability was lost mid-script.
+  Status st = wal_->AppendBatch(batch);
+  if (!st.ok()) {
+    Say(message_ + " [WAL batch append failed: " + st.ToString() + "]");
+  }
+}
+
 void SessionController::RotateWalForLoad() {
   // The just-dispatched `load` event must not be appended to the old log:
-  // its whole effect is captured by the new base checkpoint.
+  // its whole effect is captured by the new base checkpoint. The same goes
+  // for any records a script buffered before the load -- the base
+  // supersedes them, and appending them to the new log would replay them
+  // on top of it.
+  wal_batch_.clear();
   wal_event_logged_ = true;
   std::vector<store::WalRecord> records;
   records.push_back({"base", store::Save(*ws_)});

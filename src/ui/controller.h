@@ -132,8 +132,13 @@ class SessionController {
   std::string WalPathFor(const std::string& name) const;
   /// Best-effort append of one logged event / journal note; a failed
   /// append degrades the message but never fails the action itself.
+  /// During a script (wal_batching_) records are buffered instead and
+  /// committed by WalFlushBatch with one sync for the whole script.
   void WalAppendEvent(const input::Event& event);
   void WalAppendNote(const std::string& action, const std::string& detail);
+  /// Ends a RunScript batch: frames every buffered record with one write
+  /// and one sync (store::WalWriter::AppendBatch). Clears wal_batching_.
+  void WalFlushBatch();
   /// After a successful `load`, the old log no longer describes the
   /// workspace: start a fresh one whose base is the just-loaded state,
   /// carrying the journal forward as notes.
@@ -234,6 +239,11 @@ class SessionController {
   /// Set by handlers (load) whose effect is already captured in the log by
   /// other means, so HandleEvent must not also append the raw event.
   bool wal_event_logged_ = false;
+  /// True inside RunScript on a durable session: appends buffer into
+  /// wal_batch_ and commit with one sync at script end, so an N-event
+  /// script costs one fsync instead of N.
+  bool wal_batching_ = false;
+  std::vector<store::WalRecord> wal_batch_;
 };
 
 }  // namespace isis::ui

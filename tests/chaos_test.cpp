@@ -15,9 +15,15 @@
 ///
 /// Runs under ThreadSanitizer in CI (label `chaos`) with ISIS_CHAOS_SEEDS
 /// trimmed; the full default is 8 seeded schedules.
+///
+/// The durable variant replays the same discipline against a server with
+/// `--wal_sync=group`: chaos traffic over a real on-disk WAL, then a crash
+/// (no Shutdown) and recovery must land byte-identical to the oracle too --
+/// group commit must not reorder or lose acknowledged writes.
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdlib>
 #include <memory>
 #include <string>
@@ -30,6 +36,7 @@
 #include "server/loopback.h"
 #include "server/retry.h"
 #include "server/session.h"
+#include "store/file.h"
 
 namespace isis::server {
 namespace {
@@ -238,6 +245,142 @@ TEST(ChaosTest, SeededSchedulesConvergeToTheFaultFreeOracle) {
   EXPECT_GT(total_resumes, 0) << "no reconnect ever resumed a session";
   EXPECT_GT(total_dedup_hits, 0)
       << "no resent write was deduped -- the write-safety path went untested";
+}
+
+/// Removes every file a durable server named `name` can leave behind, so a
+/// round never recovers a previous round's WAL.
+void WipeDurable(const std::string& name) {
+  store::FileEnv* env = store::FileEnv::Default();
+  const std::string dir = ::testing::TempDir();
+  (void)env->Remove(dir + "/" + name + ".server.wal");
+  (void)env->Remove(dir + "/" + name + ".server.wal.tmp");
+  (void)env->Remove(dir + "/" + name + ".isis");
+  (void)env->Remove(dir + "/" + name + ".isis.tmp");
+}
+
+TEST(ChaosTest, DurableGroupCommitConvergesAndSurvivesACrash) {
+  // Fewer rounds than the in-memory suite: every round pays real fsyncs.
+  const int schedules = std::max(1, ScheduleCount() / 4);
+
+  // The oracle: same writes, one thread, no faults, no disk.
+  std::vector<std::string> oracle_payloads;
+  {
+    ServerOptions opts;
+    opts.threads = 1;
+    Result<std::unique_ptr<Server>> opened =
+        Server::Open(datasets::BuildScaledMusic(2), opts);
+    ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+    std::unique_ptr<Server> oracle_srv = std::move(opened).ValueOrDie();
+    LoopbackClient client(oracle_srv.get());
+    ASSERT_TRUE(client.Connect("oracle").ok());
+    for (int s = 0; s < kSessions; ++s) {
+      for (const Write& w : SessionWrites(s)) {
+        ASSERT_TRUE(
+            client.Assign("musicians", w.entity, "plays", w.values).ok());
+      }
+    }
+    for (const std::string& pred : OracleQueries()) {
+      Result<Frame> resp = client.Call(
+          MsgType::kQuery, JoinFields({"musicians", pred}));
+      ASSERT_TRUE(resp.ok());
+      oracle_payloads.push_back(resp->payload);
+    }
+    oracle_srv->Shutdown();
+  }
+
+  for (int round = 0; round < schedules; ++round) {
+    const std::uint64_t seed = static_cast<std::uint64_t>(round + 1);
+    const FaultSchedule schedule = MakeSchedule(seed);
+    const std::string db_name = "chaos_dur" + std::to_string(round);
+    SCOPED_TRACE("durable chaos seed " + std::to_string(seed));
+    WipeDurable(db_name);
+
+    ServerOptions opts;
+    opts.threads = 4;
+    opts.queue_capacity = 16;
+    opts.durable_dir = ::testing::TempDir();
+    opts.wal_sync = store::WalSyncPolicy::kGroup;
+    auto fresh_ws = [&db_name] {
+      auto ws = datasets::BuildScaledMusic(2);
+      ws->set_name(db_name);
+      return ws;
+    };
+    Result<std::unique_ptr<Server>> opened = Server::Open(fresh_ws(), opts);
+    ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+    std::unique_ptr<Server> srv = std::move(opened).ValueOrDie();
+
+    std::vector<SessionTally> tallies(kSessions);
+    std::vector<std::thread> threads;
+    for (int s = 0; s < kSessions; ++s) {
+      threads.emplace_back([&, s] {
+        SessionTally& tally = tallies[s];
+        auto record = [&tally](const Status& st) {
+          if (!st.ok() && tally.all_ok) {
+            tally.all_ok = false;
+            tally.first_error = st.ToString();
+          }
+        };
+        FaultSchedule mine = schedule;
+        mine.seed = seed * 977 + static_cast<std::uint64_t>(s);
+        auto faulty = std::make_unique<FaultInjectingTransport>(
+            std::make_unique<LoopbackTransport>(
+                srv.get(), "chaos" + std::to_string(s)),
+            mine);
+        RetryingClient client(std::move(faulty),
+                              ChaosRetryOptions(seed, s));
+        record(client.Connect());
+        for (const Write& w : SessionWrites(s)) {
+          record(client.Assign("musicians", w.entity, "plays", w.values));
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    for (int s = 0; s < kSessions; ++s) {
+      EXPECT_TRUE(tallies[s].all_ok)
+          << "session " << s << ": " << tallies[s].first_error;
+    }
+
+    // Group commit did its job: every logged record is on disk, and the
+    // sync count never exceeds the record count.
+    StatsSnapshot snap = srv->stats().Snapshot();
+    EXPECT_GT(snap.wal_records, 0);
+    EXPECT_LE(snap.wal_syncs, snap.wal_records);
+
+    // The live survivors must match the oracle byte for byte.
+    const std::vector<std::string> preds = OracleQueries();
+    {
+      LoopbackClient verifier(srv.get());
+      ASSERT_TRUE(verifier.Connect("verifier").ok());
+      for (std::size_t i = 0; i < preds.size(); ++i) {
+        Result<Frame> resp = verifier.Call(
+            MsgType::kQuery, JoinFields({"musicians", preds[i]}));
+        ASSERT_TRUE(resp.ok());
+        EXPECT_EQ(resp->payload, oracle_payloads[i])
+            << "diverged live on: " << preds[i];
+      }
+    }
+
+    // Crash: destroy without Shutdown. Recovery must replay the WAL to a
+    // state that still matches the oracle -- an acked-but-lost or
+    // reordered group-committed write would diverge here.
+    srv.reset();
+    Result<std::unique_ptr<Server>> reopened = Server::Open(fresh_ws(), opts);
+    ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+    std::unique_ptr<Server> recovered = std::move(reopened).ValueOrDie();
+    {
+      LoopbackClient verifier(recovered.get());
+      ASSERT_TRUE(verifier.Connect("verifier").ok());
+      for (std::size_t i = 0; i < preds.size(); ++i) {
+        Result<Frame> resp = verifier.Call(
+            MsgType::kQuery, JoinFields({"musicians", preds[i]}));
+        ASSERT_TRUE(resp.ok());
+        EXPECT_EQ(resp->payload, oracle_payloads[i])
+            << "diverged after recovery on: " << preds[i];
+      }
+    }
+    recovered->Shutdown();
+    WipeDurable(db_name);
+  }
 }
 
 }  // namespace

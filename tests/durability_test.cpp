@@ -104,6 +104,38 @@ TEST(DurabilityTest, CrashRecoveryReplaysEventsAndJournal) {
       sdm::ConsistencyChecker((*r2)->workspace().db()).Check().ok());
 }
 
+TEST(DurabilityTest, ScriptCommitsWithOneSyncAndRecovers) {
+  CleanSlate("dur_batchsync");
+  std::string expected;
+  {
+    // A fault-free FaultInjectingEnv counts the syncs; its "page cache"
+    // model also proves the batch reaches disk only through its one Sync.
+    store::FaultInjectingEnv env(store::FaultPlan{},
+                                 store::FileEnv::Default());
+    auto s = Open("dur_batchsync", &env);
+    ASSERT_TRUE(s.ok()) << s.status().ToString();
+    const int syncs_before = env.syncs();
+    ASSERT_TRUE((*s)
+                    ->RunScript("pick class:instruments\n"
+                                "cmd create subclass\n"
+                                "type zz_brass\n"
+                                "pick class:musicians\n"
+                                "cmd create subclass\n"
+                                "type zz_crooners\n")
+                    .ok());
+    // Six events, ONE sync: the script batched its WAL appends through
+    // AppendBatch instead of fsyncing per event.
+    EXPECT_EQ(env.syncs() - syncs_before, 1);
+    expected = store::Save((*s)->workspace());
+    // Crash (no orderly shutdown).
+  }
+  auto r = Open("dur_batchsync");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(store::Save((*r)->workspace()), expected);
+  EXPECT_FALSE((*r)->journal().Find("zz_brass").empty());
+  CleanSlate("dur_batchsync");
+}
+
 TEST(DurabilityTest, TornFinalAppendIsDroppedAndRepaired) {
   CleanSlate("dur_torn");
   std::string wal_path;
